@@ -1,0 +1,60 @@
+// Fig. 7: total Bloom-filter look ups (L), insertions (I), and signature
+// verifications (V) at (a) edge routers and (b) core routers, per
+// topology (log scale in the paper).
+//
+// Paper shape: at the edge, L >> I >> V (lookups per request, insertions
+// per fresh/vouched tag, verifications only for unvouched aggregates and
+// after resets); core routers do orders of magnitude less than edge
+// routers thanks to request aggregation and flag-F cooperation.
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tactic;
+  const bench::HarnessOptions options =
+      bench::HarnessOptions::parse(argc, argv, {1, 2, 3, 4}, 60.0);
+  util::Flags flags(argc, argv);
+  // Scaled-down BF so resets (and hence the verification component the
+  // paper's Fig. 7 shows) occur within the shortened default runs.
+  const std::int64_t bf_capacity =
+      flags.get_int("bf-size", options.full ? 500 : 50);
+  bench::print_header(
+      "Fig. 7: BF lookups (L), insertions (I), verifications (V) by "
+      "router class",
+      options);
+
+  bench::MaybeCsv csv(options.csv_path);
+  csv.row({"topology", "router_class", "lookups", "insertions",
+           "verifications"});
+
+  util::Table table({"Topology", "Class", "L (lookups)", "I (insertions)",
+                     "V (verifications)"});
+  for (const std::int64_t topo : options.topologies) {
+    const auto acc = bench::run_seeds(
+        options, static_cast<int>(topo), [&](sim::ScenarioConfig& config) {
+          config.tactic.bloom.capacity =
+              static_cast<std::size_t>(bf_capacity);
+        });
+    table.add_row({"Topo. " + std::to_string(topo), "edge",
+                   util::Table::fmt(acc.edge_lookups.mean(), 10),
+                   util::Table::fmt(acc.edge_inserts.mean(), 10),
+                   util::Table::fmt(acc.edge_verifies.mean(), 10)});
+    table.add_row({"", "core",
+                   util::Table::fmt(acc.core_lookups.mean(), 10),
+                   util::Table::fmt(acc.core_inserts.mean(), 10),
+                   util::Table::fmt(acc.core_verifies.mean(), 10)});
+    csv.row({std::to_string(topo), "edge",
+             util::CsvWriter::num(acc.edge_lookups.mean()),
+             util::CsvWriter::num(acc.edge_inserts.mean()),
+             util::CsvWriter::num(acc.edge_verifies.mean())});
+    csv.row({std::to_string(topo), "core",
+             util::CsvWriter::num(acc.core_lookups.mean()),
+             util::CsvWriter::num(acc.core_inserts.mean()),
+             util::CsvWriter::num(acc.core_verifies.mean())});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper shape: edge L ~1e6 >> I >> V (log scale); core workload "
+      "1-2 orders of magnitude below edge\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#pragma once
+// Shared scaffolding for the experiment harnesses in bench/.
+//
+// Every harness reproduces one table or figure of the paper.  Defaults
+// are scaled down (shorter duration, one seed, smaller Bloom capacities)
+// so the full suite completes in minutes; pass --full for the paper-scale
+// configuration (2000 s, 5 seeds, Table III scale), or tune individual
+// knobs:
+//   --duration <seconds>     simulated seconds per run
+//   --runs <n>               seeds averaged per configuration
+//   --topologies 1,2,3,4     Table III presets to include
+//   --seed <base>            base seed
+//   --csv <path>             also write a CSV with the full-resolution data
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace tactic::bench {
+
+struct HarnessOptions {
+  std::vector<std::int64_t> topologies{1, 2, 3, 4};
+  double duration_s = 60.0;
+  std::int64_t runs = 1;
+  std::uint64_t seed = 1;
+  bool full = false;
+  std::string csv_path;
+
+  static HarnessOptions parse(int argc, char** argv,
+                              std::vector<std::int64_t> default_topologies,
+                              double default_duration_s,
+                              std::int64_t default_runs = 1) {
+    util::Flags flags(argc, argv);
+    HarnessOptions options;
+    options.full = flags.get_bool("full", false);
+    options.topologies =
+        flags.get_int_list("topologies", options.full
+                                             ? std::vector<std::int64_t>{1, 2,
+                                                                         3, 4}
+                                             : default_topologies);
+    options.duration_s = flags.get_double(
+        "duration", options.full ? 2000.0 : default_duration_s);
+    options.runs =
+        flags.get_int("runs", options.full ? 5 : default_runs);
+    options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    options.csv_path = flags.get_string("csv", "");
+    return options;
+  }
+};
+
+/// The paper's standard scenario for one Table III topology.
+inline sim::ScenarioConfig paper_scenario(int topology_index,
+                                          const HarnessOptions& options,
+                                          std::uint64_t run_index = 0) {
+  sim::ScenarioConfig config;
+  config.topology = topology::paper_topology(topology_index);
+  config.duration = event::from_seconds(options.duration_s);
+  config.seed = options.seed + run_index * 1000 +
+                static_cast<std::uint64_t>(topology_index);
+  // 1024-bit provider keys at --full fidelity; 512-bit otherwise (same
+  // semantics, faster setup).
+  config.provider.key_bits = options.full ? 1024 : 512;
+  return config;
+}
+
+/// Runs one configuration across `runs` seeds, accumulating.
+template <typename ConfigureFn>
+sim::MetricsAccumulator run_seeds(const HarnessOptions& options,
+                                  int topology_index,
+                                  ConfigureFn&& configure) {
+  sim::MetricsAccumulator acc;
+  for (std::int64_t run = 0; run < options.runs; ++run) {
+    sim::ScenarioConfig config = paper_scenario(
+        topology_index, options, static_cast<std::uint64_t>(run));
+    configure(config);
+    sim::Scenario scenario(config);
+    acc.add(scenario.run());
+  }
+  return acc;
+}
+
+inline void print_header(const std::string& title,
+                         const HarnessOptions& options) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "config: duration=%.0fs runs=%lld%s (use --full for paper scale; "
+      "--duration/--runs/--topologies to tune)\n\n",
+      options.duration_s, static_cast<long long>(options.runs),
+      options.full ? " [FULL]" : "");
+}
+
+/// Optional CSV sink (no-op when the user gave no --csv).
+class MaybeCsv {
+ public:
+  explicit MaybeCsv(const std::string& path) {
+    if (!path.empty()) writer_ = std::make_unique<util::CsvWriter>(path);
+  }
+  void row(const std::vector<std::string>& fields) {
+    if (writer_) writer_->row(fields);
+  }
+  explicit operator bool() const { return writer_ != nullptr; }
+
+ private:
+  std::unique_ptr<util::CsvWriter> writer_;
+};
+
+}  // namespace tactic::bench

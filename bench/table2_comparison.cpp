@@ -1,0 +1,89 @@
+// Table II: quantitative comparison of TACTIC against the baseline
+// access-control architectures, with the same workload run under each
+// mechanism.  Where the paper's table is qualitative (Low/Moderate/High),
+// this harness measures the quantities behind each column:
+//   - communication overhead: bytes on the wire per delivered chunk;
+//   - provider computation: signature verifications at the provider;
+//   - network computation: signature verifications at routers;
+//   - attacker bandwidth waste: chunks delivered to unauthorized users;
+//   - cache utility: in-network cache hit ratio;
+//   - revocation: what revoking one client costs (one refused tag
+//     refresh for TACTIC vs re-encrypt/re-key/re-distribution elsewhere,
+//     reported analytically).
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tactic;
+  const bench::HarnessOptions options =
+      bench::HarnessOptions::parse(argc, argv, {1}, 60.0);
+  bench::print_header(
+      "Table II: TACTIC vs baseline access-control mechanisms", options);
+
+  bench::MaybeCsv csv(options.csv_path);
+  csv.row({"mechanism", "client_rate", "attacker_chunks",
+           "provider_verifies", "router_verifies", "router_bf_lookups",
+           "cache_hit_ratio", "bytes_per_chunk"});
+
+  const std::vector<sim::PolicyKind> mechanisms = {
+      sim::PolicyKind::kTactic, sim::PolicyKind::kNoAccessControl,
+      sim::PolicyKind::kClientSideAc, sim::PolicyKind::kPerRequestAuth,
+      sim::PolicyKind::kProbBf};
+
+  util::Table table({"Mechanism", "Client rate", "Attacker chunks",
+                     "Provider verifies", "Router verifies", "Router BF ops",
+                     "Cache hit", "Bytes/chunk"});
+  for (const sim::PolicyKind policy : mechanisms) {
+    sim::ScenarioConfig config = bench::paper_scenario(
+        static_cast<int>(options.topologies.front()), options);
+    config.policy = policy;
+    config.attacker.think_time_mean = 2 * event::kSecond;
+    sim::Scenario scenario(config);
+    const sim::Metrics& metrics = scenario.run();
+
+    const double bytes_per_chunk =
+        metrics.clients.received == 0
+            ? 0.0
+            : static_cast<double>(metrics.link_bytes_sent) /
+                  static_cast<double>(metrics.clients.received);
+    const std::uint64_t router_verifies =
+        metrics.edge_ops.sig_verifications +
+        metrics.core_ops.sig_verifications;
+    const std::uint64_t router_bf =
+        metrics.edge_ops.bf_lookups + metrics.core_ops.bf_lookups;
+
+    table.add_row(
+        {to_string(policy),
+         util::Table::fmt_ratio(metrics.clients.delivery_ratio()),
+         util::Table::fmt(metrics.attackers.received),
+         util::Table::fmt(metrics.provider_sig_verifications),
+         util::Table::fmt(router_verifies), util::Table::fmt(router_bf),
+         util::Table::fmt_ratio(metrics.cache_hit_ratio()),
+         util::Table::fmt(bytes_per_chunk, 6)});
+    csv.row({to_string(policy),
+             util::CsvWriter::num(metrics.clients.delivery_ratio()),
+             util::CsvWriter::num(metrics.attackers.received),
+             util::CsvWriter::num(metrics.provider_sig_verifications),
+             util::CsvWriter::num(router_verifies),
+             util::CsvWriter::num(router_bf),
+             util::CsvWriter::num(metrics.cache_hit_ratio()),
+             util::CsvWriter::num(bytes_per_chunk)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nRevocation cost (analytic, per revoked client):\n"
+      "  TACTIC           : 1 refused tag refresh; access ends at tag "
+      "expiry (tunable, default 10 s)\n"
+      "  client-side AC   : provider re-encrypts + re-disseminates every "
+      "cached object the client could read\n"
+      "  per-request auth : revocation immediate, but only because every "
+      "request already hits the always-online provider\n"
+      "  prob-BF          : publisher must push updated client-key filters "
+      "to every router\n");
+  std::printf(
+      "\npaper Table II: TACTIC = low communication, low network compute, "
+      "no extra infrastructure, tunable time-based revocation, "
+      "network-enforced\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Example: bandwidth-waste / DDoS mitigation.
+//
+// The paper's core security argument against client-side enforcement
+// (Section 1): if the network serves everyone and only decryption is
+// restricted, revoked or unauthorized users can still pull encrypted
+// content — wasting edge bandwidth and enabling DDoS.  TACTIC stops the
+// request at the first router that cannot validate its tag.
+//
+// This example floods the same topology with aggressive attackers under
+// (a) client-side enforcement and (b) TACTIC, and compares the bytes the
+// attackers manage to draw across the wireless edge.
+//
+// Run: ./build/examples/attack_mitigation [--duration 45] [--attack-rate 20]
+
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+#include "util/flags.hpp"
+
+using namespace tactic;
+
+namespace {
+
+sim::Metrics run_policy(sim::PolicyKind policy, double duration_s,
+                        double attacks_per_second, std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.topology = topology::paper_topology(1);
+  config.topology.attackers = 30;  // an actual botnet, not a third
+  config.duration = event::from_seconds(duration_s);
+  config.seed = seed;
+  config.policy = policy;
+  config.provider.key_bits = 512;
+  // Aggressive attack pacing: think time = window / rate.
+  config.attacker.think_time_mean = event::from_seconds(
+      static_cast<double>(config.attacker.window) / attacks_per_second);
+  config.attacker_mix = {workload::AttackerMode::kNoTag,
+                         workload::AttackerMode::kForgedTag,
+                         workload::AttackerMode::kExpiredTag};
+  sim::Scenario scenario(config);
+  return scenario.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const double duration = flags.get_double("duration", 45.0);
+  const double rate = flags.get_double("attack-rate", 20.0);
+
+  std::printf("30 bots at ~%.0f requests/s each, %.0f s run\n\n", rate,
+              duration);
+
+  const sim::Metrics exposed =
+      run_policy(sim::PolicyKind::kClientSideAc, duration, rate, 7);
+  const sim::Metrics protected_run =
+      run_policy(sim::PolicyKind::kTactic, duration, rate, 7);
+
+  auto report = [](const char* name, const sim::Metrics& metrics) {
+    const double attacker_bytes =
+        static_cast<double>(metrics.attackers.received) * 1024.0;
+    std::printf("%-18s bots pulled %7llu chunks (~%.1f MB of edge "
+                "bandwidth); clients at %.2f%% delivery, %.1f ms latency\n",
+                name,
+                static_cast<unsigned long long>(metrics.attackers.received),
+                attacker_bytes / 1e6,
+                100.0 * metrics.clients.delivery_ratio(),
+                1e3 * metrics.mean_latency());
+  };
+  report("client-side AC:", exposed);
+  report("TACTIC:", protected_run);
+
+  const double reduction =
+      exposed.attackers.received == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(
+                               protected_run.attackers.received) /
+                               static_cast<double>(
+                                   exposed.attackers.received));
+  std::printf("\nTACTIC removed %.2f%% of the attack traffic from the "
+              "network: invalid requests die at the edge pre-check or "
+              "come back NACK-marked and are never delivered\n",
+              reduction);
+  std::printf(
+      "attacker requests under TACTIC: %llu sent, %llu NACKed, %llu "
+      "timed out\n",
+      static_cast<unsigned long long>(protected_run.attackers.requested),
+      static_cast<unsigned long long>(protected_run.attackers.nacks),
+      static_cast<unsigned long long>(protected_run.attackers.timeouts));
+  return 0;
+}

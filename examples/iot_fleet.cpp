@@ -1,0 +1,99 @@
+// Example: an IoT/M2M telemetry fleet at the wireless edge.
+//
+// "TACTIC is designed to be relevant for a wide range of clients, which
+// will make up tomorrow's mobile edge devices (e.g., cars, smartphones,
+// and other IoT/CPS devices)" (paper Section 1).  This example models a
+// dense fleet of constrained meters pulling small configuration/firmware
+// chunks: tiny request windows, small payloads, short tag validity (tight
+// revocation for compromised devices), and reports the per-device and
+// per-router costs that make or break constrained deployments:
+// the client-side cost is one registration per validity window —
+// no client-side ABE/broadcast-encryption math (Table II's client
+// computation column).
+//
+// Run: ./build/examples/iot_fleet [--devices 120] [--duration 60]
+
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+#include "util/flags.hpp"
+
+using namespace tactic;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::int64_t devices = flags.get_int("devices", 120);
+
+  sim::ScenarioConfig config;
+  config.topology.core_routers = 40;
+  config.topology.edge_routers = 12;
+  config.topology.aps_per_edge = 2;  // dense wireless cells
+  config.topology.providers = 3;     // device vendor / utility / city
+  config.topology.clients = static_cast<std::size_t>(devices);
+  config.topology.attackers = static_cast<std::size_t>(devices / 10);
+  config.duration =
+      event::from_seconds(flags.get_double("duration", 60.0));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.provider.key_bits = 512;
+  // Constrained devices: window of 2, small chunks, sparse polling.
+  config.client.window = 2;
+  config.client.think_time_mean = 500 * event::kMillisecond;
+  config.provider.catalog.objects = 30;
+  config.provider.catalog.chunks_per_object = 10;
+  config.provider.catalog.chunk_size = 256;
+  // Tight revocation for compromised devices.
+  config.provider.tag_validity = 5 * event::kSecond;
+  // Compromised devices replay stale credentials.
+  config.attacker_mix = {workload::AttackerMode::kExpiredTag,
+                         workload::AttackerMode::kForgedTag};
+  config.attacker.think_time_mean = 5 * event::kSecond;
+
+  std::printf("fleet: %lld devices, %zu rogue, %zu edge routers, "
+              "%zu vendors, %llu s tag validity\n\n",
+              static_cast<long long>(devices), config.topology.attackers,
+              config.topology.edge_routers, config.topology.providers,
+              static_cast<unsigned long long>(config.provider.tag_validity /
+                                              event::kSecond));
+
+  sim::Scenario scenario(config);
+  const sim::Metrics& metrics = scenario.run();
+
+  const double seconds = event::to_seconds(config.duration);
+  const double per_device_reqs =
+      static_cast<double>(metrics.clients.requested) /
+      (static_cast<double>(devices) * seconds);
+  const double per_device_tags =
+      static_cast<double>(metrics.clients.tags_requested) /
+      (static_cast<double>(devices) * seconds);
+
+  std::printf("fleet telemetry: %.2f chunk requests/device/s at %.2f%% "
+              "delivery, %.1f ms mean latency\n",
+              per_device_reqs, 100.0 * metrics.clients.delivery_ratio(),
+              1e3 * metrics.mean_latency());
+  std::printf("device-side access-control cost: %.3f registrations"
+              "/device/s (one signed tag each; no client-side crypto "
+              "beyond one RSA decryption of the content key)\n",
+              per_device_tags);
+  std::printf("rogue devices: %llu probes, %llu chunks leaked\n",
+              static_cast<unsigned long long>(metrics.attackers.requested),
+              static_cast<unsigned long long>(metrics.attackers.received));
+
+  const double edge_router_count =
+      static_cast<double>(config.topology.edge_routers);
+  std::printf(
+      "\nper-edge-router load over the run: %.0f BF lookups, %.0f BF "
+      "insertions, %.0f signature verifications (%.1f us-scale ops vs "
+      "one RSA verify per request in router-crypto schemes)\n",
+      static_cast<double>(metrics.edge_ops.bf_lookups) / edge_router_count,
+      static_cast<double>(metrics.edge_ops.bf_insertions) /
+          edge_router_count,
+      static_cast<double>(metrics.edge_ops.sig_verifications) /
+          edge_router_count,
+      1e6 * 9.14e-7);
+  std::printf("total simulated router compute charged: %.3f s across the "
+              "whole ISP for %llu delivered chunks\n",
+              metrics.edge_ops.compute_charged_s +
+                  metrics.core_ops.compute_charged_s,
+              static_cast<unsigned long long>(metrics.clients.received));
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Quickstart: the whole TACTIC flow on a hand-built five-node network.
+//
+//   client --(wireless, "ap0")-- edge router -- core router -- provider
+//
+// Walks through: provider setup (keys, catalog, protected prefix), client
+// registration (tag issuance, RSA-encrypted content key), a tagged fetch
+// validated in-network, real AES decryption of the chunk payload, a cache
+// hit served by the core router, and an attacker with a forged tag being
+// refused — all with the library's real crypto.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "crypto/aes.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/scenario.hpp"
+#include "tactic/access_path.hpp"
+#include "tactic/tactic_policy.hpp"
+#include "topology/network.hpp"
+#include "workload/provider_app.hpp"
+
+using namespace tactic;
+
+int main() {
+  event::Scheduler scheduler;
+  topology::Network net = topology::Network::empty(scheduler);
+  core::TrustAnchors anchors;
+
+  // --- Nodes and links ----------------------------------------------------
+  const net::NodeId client =
+      net.add_node(net::NodeKind::kClient, "client0", 0);
+  const net::NodeId edge =
+      net.add_node(net::NodeKind::kEdgeRouter, "edge0", 0);
+  const net::NodeId core_router =
+      net.add_node(net::NodeKind::kCoreRouter, "core0", 100);
+  const net::NodeId producer =
+      net.add_node(net::NodeKind::kProvider, "provider0", 0);
+  net.connect(client, edge, net::edge_link_params());    // 10 Mbps, 2 ms
+  net.connect(edge, core_router, net::core_link_params());  // 500 Mbps, 1 ms
+  net.connect(core_router, producer, net::core_link_params());
+
+  // --- Provider: RSA key, catalog, registration service -------------------
+  workload::ProviderConfig provider_config;
+  provider_config.catalog.objects = 5;
+  provider_config.catalog.chunks_per_object = 3;
+  provider_config.tag_validity = 10 * event::kSecond;
+  provider_config.key_bits = 1024;
+  workload::ProviderApp provider(net.node(producer), "/provider0",
+                                 provider_config, anchors, util::Rng(1));
+  net.install_routes(provider.prefix(), producer);
+  std::printf("provider up: prefix %s, key locator %s (%zu-byte RSA)\n",
+              provider.prefix().to_uri().c_str(),
+              provider.key_locator().c_str(),
+              provider.public_key().modulus_size());
+
+  // The client owns a real keypair; the provider will RSA-encrypt the
+  // content key for it at registration.
+  util::Rng client_rng(2);
+  const crypto::RsaKeyPair client_keys =
+      crypto::generate_rsa_keypair(client_rng, 1024);
+  provider.set_client_key_lookup(
+      [&](const std::string& label) -> const crypto::RsaPublicKey* {
+        return label == "client0" ? &client_keys.public_key : nullptr;
+      });
+  provider.issuer().enroll(
+      workload::ProviderApp::client_key_locator("client0"), /*AL=*/2);
+
+  // --- TACTIC policies on the routers, AP identity on the client ----------
+  core::TacticConfig tactic_config;
+  tactic_config.bloom = {500, 5, 1e-4, 1e-4};
+  tactic_config.enforce_access_path = true;  // the full feature set
+  net.node(client).set_policy(std::make_unique<core::ApPolicy>("ap0"));
+  net.node(edge).set_policy(std::make_unique<core::EdgeTacticPolicy>(
+      tactic_config, anchors, core::ComputeModel::paper_defaults(),
+      util::Rng(3)));
+  net.node(core_router).set_policy(std::make_unique<core::CoreTacticPolicy>(
+      tactic_config, anchors, core::ComputeModel::paper_defaults(),
+      util::Rng(4)));
+
+  // --- Client app face ----------------------------------------------------
+  core::TagPtr my_tag;
+  int chunks_received = 0;
+  ndn::FaceId client_face = ndn::kInvalidFace;
+  client_face = net.node(client).add_app_face(ndn::AppSink{
+      nullptr,
+      [&](const ndn::Data& data) {
+        if (data.is_registration_response) {
+          my_tag = data.tag;
+          std::printf(
+              "client: tag received (AL=%u, expires t=%.1fs, %zu bytes "
+              "on the wire)\n",
+              my_tag->access_level(), event::to_seconds(my_tag->expiry()),
+              my_tag->wire_size());
+          return;
+        }
+        if (data.nack_attached) {
+          std::printf("client: NACK for %s (%s)\n",
+                      data.name.to_uri().c_str(),
+                      ndn::to_string(data.nack_reason));
+          return;
+        }
+        ++chunks_received;
+        std::printf("client: got %s (%zu bytes)%s\n",
+                    data.name.to_uri().c_str(), data.content_size,
+                    data.from_cache ? " [from in-network cache]" : "");
+      },
+      [&](const ndn::Nack& nack) {
+        std::printf("client: standalone NACK for %s (%s)\n",
+                    nack.name.to_uri().c_str(),
+                    ndn::to_string(nack.reason));
+      }});
+  net.node(client).fib().add_route(ndn::Name("/"),
+                                   net.face_between(client, edge));
+
+  auto express = [&](const ndn::Name& name, core::TagPtr tag,
+                     std::uint64_t nonce) {
+    ndn::Interest interest;
+    interest.name = name;
+    interest.nonce = nonce;
+    interest.tag = std::move(tag);
+    interest.tag_wire_size = interest.tag ? interest.tag->wire_size() : 0;
+    net.node(client).inject_from_app(client_face, std::move(interest));
+  };
+
+  // --- 1. Register --------------------------------------------------------
+  std::printf("\n[1] client registers with the provider\n");
+  express(provider.registration_name("client0", 1), nullptr, 100);
+  scheduler.run();
+
+  // --- 2. Tagged fetch, validated in-network ------------------------------
+  std::printf("\n[2] client fetches a protected chunk with its tag\n");
+  express(provider.catalog().chunk_name(0, 0), my_tag, 101);
+  scheduler.run();
+
+  // Decrypt the chunk for real: the catalog's AES key is what the
+  // provider sent (RSA-encrypted) at registration.
+  const util::Bytes ciphertext = provider.catalog().chunk_ciphertext(0, 0);
+  const std::uint64_t nonce = crypto::sha256_prefix64(
+      provider.catalog().chunk_name(0, 0).to_uri());
+  const util::Bytes plaintext =
+      crypto::aes128_ctr(provider.catalog().content_key(), nonce, ciphertext);
+  std::printf(
+      "client: decrypted chunk with the provider's AES key -> %s\n",
+      plaintext == provider.catalog().chunk_plaintext(0, 0)
+          ? "plaintext verified"
+          : "DECRYPTION MISMATCH");
+
+  // --- 3. Cache hit -------------------------------------------------------
+  std::printf("\n[3] a second fetch is served from the core router cache\n");
+  express(provider.catalog().chunk_name(0, 0), my_tag, 102);
+  scheduler.run();
+
+  // --- 4. Forged tag ------------------------------------------------------
+  std::printf("\n[4] an attacker forges a tag (wrong signing key)\n");
+  util::Rng forger_rng(9);
+  const crypto::RsaKeyPair forger =
+      crypto::generate_rsa_keypair(forger_rng, 1024);
+  core::Tag::Fields forged_fields;
+  forged_fields.provider_key_locator = provider.key_locator();
+  forged_fields.client_key_locator = "/mallory/KEY/1";
+  forged_fields.access_level = 99;
+  forged_fields.access_path = core::entity_id_hash("ap0");
+  forged_fields.expiry = scheduler.now() + 10 * event::kSecond;
+  express(provider.catalog().chunk_name(0, 1),
+          core::forge_tag(forged_fields, forger.private_key), 103);
+  scheduler.run();
+  std::printf(
+      "(the content router detected the forgery; the edge suppressed "
+      "delivery -> the request times out at the attacker)\n");
+
+  // --- 5. Tag shared to a different location ------------------------------
+  std::printf(
+      "\n[5] the tag is replayed from another location (access path)\n");
+  net.node(client).set_policy(
+      std::make_unique<core::ApPolicy>("somewhere-else"));
+  express(provider.catalog().chunk_name(0, 2), my_tag, 104);
+  scheduler.run();
+
+  std::printf("\nsummary: %d chunks delivered; edge router did %llu BF "
+              "lookups, %llu insertions, %llu signature verifications\n",
+              chunks_received,
+              static_cast<unsigned long long>(
+                  dynamic_cast<core::TacticRouterPolicy&>(
+                      net.node(edge).policy())
+                      .counters()
+                      .bf_lookups),
+              static_cast<unsigned long long>(
+                  dynamic_cast<core::TacticRouterPolicy&>(
+                      net.node(edge).policy())
+                      .counters()
+                      .bf_insertions),
+              static_cast<unsigned long long>(
+                  dynamic_cast<core::TacticRouterPolicy&>(
+                      net.node(edge).policy())
+                      .counters()
+                      .sig_verifications));
+  return 0;
+}

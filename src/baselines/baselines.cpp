@@ -1,0 +1,104 @@
+#include "baselines/baselines.hpp"
+
+#include "tactic/tag.hpp"
+#include "util/bytes.hpp"
+
+namespace tactic::baselines {
+
+ndn::AccessControlPolicy::CacheHitDecision
+PerRequestAuthPolicy::on_cache_hit(ndn::Forwarder& /*node*/,
+                                   ndn::FaceId /*in_face*/,
+                                   const ndn::Interest& interest,
+                                   ndn::Data& /*response*/) {
+  CacheHitDecision decision;
+  // Protected content may not be answered from a cache — the provider
+  // must authenticate every request itself.
+  decision.respond = !anchors_.is_protected(interest.name);
+  return decision;
+}
+
+ndn::AccessControlPolicy::DownstreamDecision
+PerRequestAuthPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
+                                            const ndn::PitInRecord& record,
+                                            const ndn::Data& incoming,
+                                            ndn::Data& outgoing) {
+  DownstreamDecision decision;
+  if (incoming.is_registration_response ||
+      incoming.access_level == ndn::kPublicAccessLevel) {
+    return decision;
+  }
+  const bool is_authenticated_requester =
+      incoming.tag && record.tag && incoming.tag->same_tag(*record.tag);
+  if (!is_authenticated_requester) {
+    decision.forward = false;
+    return decision;
+  }
+  outgoing.tag = record.tag;
+  outgoing.tag_wire_size = record.tag_wire_size;
+  return decision;
+}
+
+bool PerRequestAuthPolicy::may_cache(const ndn::Forwarder& /*node*/,
+                                     const ndn::Data& data) {
+  if (data.is_registration_response) return false;
+  return data.access_level == ndn::kPublicAccessLevel;
+}
+
+ProbBfPolicy::ProbBfPolicy(std::shared_ptr<const Shared> shared,
+                           bloom::BloomParams bloom_params,
+                           core::ComputeModel compute, util::Rng rng)
+    : shared_(std::move(shared)),
+      compute_(compute),
+      rng_(rng),
+      bloom_(bloom_params) {}
+
+ndn::AccessControlPolicy::InterestDecision ProbBfPolicy::on_interest(
+    ndn::Forwarder& /*node*/, ndn::FaceId /*in_face*/,
+    ndn::Interest& interest) {
+  InterestDecision decision;
+
+  // Lazy load of the publisher-distributed authorized set (done on first
+  // packet so construction stays cheap for hundreds of routers).
+  if (!bloom_loaded_) {
+    bloom_loaded_ = true;
+    for (const std::string& locator : shared_->authorized) {
+      bloom_.insert(util::to_bytes(locator));
+      ++counters_.bf_insertions;
+    }
+  }
+
+  // Registration traffic is not content; let it through.
+  if (interest.name.size() >= 2 && interest.name.at(1) == "register") {
+    return decision;
+  }
+
+  ++counters_.tagged_requests;
+
+  // The requester's identity rides in its credential (we reuse the tag's
+  // client key locator as the client-identity carrier).
+  if (!interest.tag) {
+    ++counters_.no_tag_rejections;
+    decision.action = InterestDecision::Action::kDropWithNack;
+    decision.nack_reason = ndn::NackReason::kNoTag;
+    return decision;
+  }
+
+  // BF membership of the client's public key (early filtration of [8]).
+  ++counters_.bf_lookups;
+  decision.compute += compute_.bf_lookup_cost(rng_);
+  const bool member = bloom_.contains(
+      util::to_bytes(interest.tag->client_key_locator()));
+  if (!member) {
+    decision.action = InterestDecision::Action::kDropWithNack;
+    decision.nack_reason = ndn::NackReason::kInvalidSignature;
+    return decision;
+  }
+
+  // Per-request client-signature verification at every router — the
+  // per-hop crypto burden that motivates TACTIC's Bloom-filter reuse.
+  ++counters_.sig_verifications;
+  decision.compute += compute_.sig_verify_cost(rng_);
+  return decision;
+}
+
+}  // namespace tactic::baselines

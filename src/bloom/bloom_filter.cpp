@@ -1,0 +1,139 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace tactic::bloom {
+
+namespace {
+
+/// Derives the two base hashes (h1, h2) for double hashing from one
+/// SHA-256 of the element.
+struct BaseHashes {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+BaseHashes base_hashes(util::BytesView element) {
+  const util::Bytes digest = crypto::Sha256::digest(element);
+  std::uint64_t h1 = util::read_u64(digest, 0);
+  std::uint64_t h2 = util::read_u64(digest, 8);
+  h2 |= 1;  // ensure h2 is odd so the probe sequence covers the table
+  return {h1, h2};
+}
+
+std::size_t validated_bit_count(const BloomParams& params) {
+  if (params.capacity == 0 || params.hashes == 0 || params.max_fpp <= 0.0 ||
+      params.max_fpp >= 1.0 || params.design_fpp <= 0.0 ||
+      params.design_fpp >= 1.0) {
+    throw std::invalid_argument("BloomFilter: invalid parameters");
+  }
+  return bits_for_capacity(params.capacity, params.hashes,
+                           params.design_fpp);
+}
+
+}  // namespace
+
+double theoretical_fpp(std::size_t bits, std::size_t hashes,
+                       std::size_t items) {
+  if (bits == 0) return 1.0;
+  const double k = static_cast<double>(hashes);
+  const double exponent =
+      -k * static_cast<double>(items) / static_cast<double>(bits);
+  return std::pow(1.0 - std::exp(exponent), k);
+}
+
+std::size_t bits_for_capacity(std::size_t capacity, std::size_t hashes,
+                              double target_fpp) {
+  // Solve (1 - e^{-k n / m})^k = p for m:
+  // m = -k n / ln(1 - p^{1/k}).
+  const double k = static_cast<double>(hashes);
+  const double n = static_cast<double>(capacity);
+  const double denom = std::log(1.0 - std::pow(target_fpp, 1.0 / k));
+  const double m = -k * n / denom;
+  // Round up to a whole number of 64-bit words.
+  const auto bits = static_cast<std::size_t>(std::ceil(m));
+  return (bits + 63) / 64 * 64;
+}
+
+BloomFilter::BloomFilter(BloomParams params) : params_(params) {
+  bits_.assign(validated_bit_count(params_) / 64, 0);
+}
+
+void BloomFilter::insert(util::BytesView element) {
+  const auto [h1, h2] = base_hashes(element);
+  const std::size_t m = bit_count();
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    const std::size_t bit = (h1 + i * h2) % m;
+    bits_[bit / 64] |= 1ULL << (bit % 64);
+  }
+  ++items_;
+}
+
+bool BloomFilter::contains(util::BytesView element) const {
+  const auto [h1, h2] = base_hashes(element);
+  const std::size_t m = bit_count();
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    const std::size_t bit = (h1 + i * h2) % m;
+    if (!(bits_[bit / 64] & (1ULL << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::current_fpp() const {
+  return theoretical_fpp(bit_count(), params_.hashes, items_);
+}
+
+bool BloomFilter::saturated() const {
+  return current_fpp() > params_.max_fpp;
+}
+
+void BloomFilter::reset() {
+  bits_.assign(bits_.size(), 0);
+  items_ = 0;
+  ++resets_;
+}
+
+CountingBloomFilter::CountingBloomFilter(BloomParams params)
+    : params_(params) {
+  counters_.assign(validated_bit_count(params_), 0);
+}
+
+void CountingBloomFilter::insert(util::BytesView element) {
+  const auto [h1, h2] = base_hashes(element);
+  const std::size_t m = counters_.size();
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    auto& counter = counters_[(h1 + i * h2) % m];
+    if (counter < 0x0F) ++counter;  // saturate; never wraps
+  }
+  ++items_;
+}
+
+void CountingBloomFilter::remove(util::BytesView element) {
+  const auto [h1, h2] = base_hashes(element);
+  const std::size_t m = counters_.size();
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    auto& counter = counters_[(h1 + i * h2) % m];
+    // Saturated counters are sticky: decrementing one could create a false
+    // negative for another element that pushed it to the cap.
+    if (counter > 0 && counter < 0x0F) --counter;
+  }
+  if (items_ > 0) --items_;
+}
+
+bool CountingBloomFilter::contains(util::BytesView element) const {
+  const auto [h1, h2] = base_hashes(element);
+  const std::size_t m = counters_.size();
+  for (std::size_t i = 0; i < params_.hashes; ++i) {
+    if (counters_[(h1 + i * h2) % m] == 0) return false;
+  }
+  return true;
+}
+
+double CountingBloomFilter::current_fpp() const {
+  return theoretical_fpp(counters_.size(), params_.hashes, items_);
+}
+
+}  // namespace tactic::bloom

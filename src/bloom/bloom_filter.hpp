@@ -1,0 +1,111 @@
+#pragma once
+// Bloom filters, as used by every TACTIC router to cache validated tags.
+//
+// The paper (Sections 4.B, 8.A) equips each router with a Bloom filter of a
+// configurable capacity, k = 5 hash functions, and a maximum false-positive
+// probability (FPP); when the filter saturates (its analytic FPP reaches
+// the maximum), the router resets it.  TACTIC additionally *uses* the
+// current FPP as the cooperation flag `F` it stamps on forwarded Interests.
+//
+// Hashing uses the standard double-hashing scheme of Kirsch & Mitzenmacher:
+// g_i(x) = h1(x) + i * h2(x), with h1/h2 derived from one SHA-256 of the
+// element (cryptographic hashing keeps an adversary from engineering
+// collisions against router filters).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace tactic::bloom {
+
+/// Analytic false-positive probability of a Bloom filter with `bits` bits,
+/// `hashes` hash functions, and `items` inserted elements:
+/// (1 - e^{-k n / m})^k.
+double theoretical_fpp(std::size_t bits, std::size_t hashes,
+                       std::size_t items);
+
+/// Number of bits needed so `capacity` items stay under `target_fpp`
+/// with `hashes` hash functions.
+std::size_t bits_for_capacity(std::size_t capacity, std::size_t hashes,
+                              double target_fpp);
+
+/// Parameters of a router Bloom filter.
+struct BloomParams {
+  /// Designed element capacity ("BF set to index 500/1000/1500 tags").
+  std::size_t capacity = 500;
+  /// Number of hash functions (paper: 5).
+  std::size_t hashes = 5;
+  /// Saturation threshold: the filter reports `saturated()` once its
+  /// analytic FPP exceeds this value (paper: "maximum FPP" = 1e-4).
+  /// Independent of the bit sizing, so the paper's Fig. 8 sweep (fixed
+  /// size, varying threshold) is expressible.
+  double max_fpp = 1e-4;
+  /// FPP target used to size the bit array for `capacity` elements.
+  double design_fpp = 1e-4;
+};
+
+/// Standard Bloom filter over opaque byte-string elements.
+class BloomFilter {
+ public:
+  explicit BloomFilter(BloomParams params = {});
+
+  const BloomParams& params() const { return params_; }
+  std::size_t bit_count() const { return bits_.size() * 64; }
+  /// Elements inserted since the last reset (double-insertions of the same
+  /// element are counted; the analytic FPP is then an upper bound).
+  std::size_t item_count() const { return items_; }
+
+  /// Inserts an element.
+  void insert(util::BytesView element);
+
+  /// Membership query: false means definitely absent; true means present
+  /// or a false positive.
+  bool contains(util::BytesView element) const;
+
+  /// Analytic FPP given the current item count.  This is the value TACTIC
+  /// edge routers stamp into the flag F.
+  double current_fpp() const;
+
+  /// True once current_fpp() > params.max_fpp.
+  bool saturated() const;
+
+  /// Clears all bits and the item count, incrementing `reset_count()`.
+  void reset();
+
+  /// Number of resets since construction (paper Table V counts these).
+  std::uint64_t reset_count() const { return resets_; }
+
+ private:
+  BloomParams params_;
+  std::vector<std::uint64_t> bits_;
+  std::size_t items_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// Counting Bloom filter supporting deletion (4-bit saturating counters).
+/// Not used by the paper's protocols; provided for the revocation-ablation
+/// experiments where tags are removed eagerly instead of by expiry.
+class CountingBloomFilter {
+ public:
+  explicit CountingBloomFilter(BloomParams params = {});
+
+  const BloomParams& params() const { return params_; }
+  std::size_t item_count() const { return items_; }
+
+  void insert(util::BytesView element);
+  /// Removes one occurrence; removing an absent element may corrupt other
+  /// entries (inherent to counting filters), so callers only remove what
+  /// they inserted.
+  void remove(util::BytesView element);
+  bool contains(util::BytesView element) const;
+  double current_fpp() const;
+
+ private:
+  BloomParams params_;
+  std::vector<std::uint8_t> counters_;
+  std::size_t items_ = 0;
+};
+
+}  // namespace tactic::bloom

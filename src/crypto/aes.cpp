@@ -1,0 +1,199 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace tactic::crypto {
+
+namespace {
+
+/// Multiplication in GF(2^8) with the AES reduction polynomial x^8 + x^4 +
+/// x^3 + x + 1 (0x11B).
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    const bool high = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (high) a ^= 0x1B;
+    b >>= 1;
+  }
+  return result;
+}
+
+struct SBoxes {
+  std::array<std::uint8_t, 256> fwd;
+  std::array<std::uint8_t, 256> inv;
+  SBoxes() {
+    for (int x = 0; x < 256; ++x) {
+      // Multiplicative inverse (0 maps to 0).  Brute force is fine: this
+      // runs once per process.
+      std::uint8_t inv_x = 0;
+      if (x != 0) {
+        for (int y = 1; y < 256; ++y) {
+          if (gf_mul(static_cast<std::uint8_t>(x),
+                     static_cast<std::uint8_t>(y)) == 1) {
+            inv_x = static_cast<std::uint8_t>(y);
+            break;
+          }
+        }
+      }
+      // Affine transform: b_i = x_i ^ x_{i+4} ^ x_{i+5} ^ x_{i+6} ^ x_{i+7}
+      // ^ c_i with c = 0x63.
+      std::uint8_t s = 0;
+      for (int i = 0; i < 8; ++i) {
+        const int bit = ((inv_x >> i) & 1) ^ ((inv_x >> ((i + 4) % 8)) & 1) ^
+                        ((inv_x >> ((i + 5) % 8)) & 1) ^
+                        ((inv_x >> ((i + 6) % 8)) & 1) ^
+                        ((inv_x >> ((i + 7) % 8)) & 1) ^ ((0x63 >> i) & 1);
+        s |= static_cast<std::uint8_t>(bit << i);
+      }
+      fwd[static_cast<std::size_t>(x)] = s;
+      inv[s] = static_cast<std::uint8_t>(x);
+    }
+  }
+};
+
+const SBoxes& sboxes() {
+  static const SBoxes s;
+  return s;
+}
+
+}  // namespace
+
+Aes128::Aes128(util::BytesView key) {
+  if (key.size() != kKeySize) {
+    throw std::invalid_argument("Aes128: key must be 16 bytes");
+  }
+  const auto& sbox = sboxes().fwd;
+  std::memcpy(round_keys_[0].data(), key.data(), kKeySize);
+  std::uint8_t rcon = 0x01;
+  for (std::size_t round = 1; round <= 10; ++round) {
+    const auto& prev = round_keys_[round - 1];
+    auto& rk = round_keys_[round];
+    // First word: RotWord + SubWord + Rcon.
+    std::uint8_t t[4] = {sbox[prev[13]], sbox[prev[14]], sbox[prev[15]],
+                         sbox[prev[12]]};
+    t[0] ^= rcon;
+    rcon = gf_mul(rcon, 2);
+    for (int i = 0; i < 4; ++i) rk[i] = prev[i] ^ t[i];
+    for (int w = 1; w < 4; ++w) {
+      for (int i = 0; i < 4; ++i) {
+        rk[4 * w + i] = prev[4 * w + i] ^ rk[4 * (w - 1) + i];
+      }
+    }
+  }
+}
+
+void Aes128::encrypt_block(std::uint8_t block[kBlockSize]) const {
+  const auto& sbox = sboxes().fwd;
+  auto add_round_key = [&](std::size_t round) {
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      block[i] ^= round_keys_[round][i];
+    }
+  };
+  auto sub_bytes = [&] {
+    for (std::size_t i = 0; i < kBlockSize; ++i) block[i] = sbox[block[i]];
+  };
+  // State is column-major: byte i sits at row i%4, column i/4.  ShiftRows
+  // rotates row r left by r positions.
+  auto shift_rows = [&] {
+    std::uint8_t tmp[kBlockSize];
+    std::memcpy(tmp, block, kBlockSize);
+    for (int r = 1; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        block[4 * c + r] = tmp[4 * ((c + r) % 4) + r];
+      }
+    }
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = block + 4 * c;
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+      col[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+      col[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+      col[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+    }
+  };
+
+  add_round_key(0);
+  for (std::size_t round = 1; round <= 9; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+void Aes128::decrypt_block(std::uint8_t block[kBlockSize]) const {
+  const auto& inv_sbox = sboxes().inv;
+  auto add_round_key = [&](std::size_t round) {
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      block[i] ^= round_keys_[round][i];
+    }
+  };
+  auto inv_sub_bytes = [&] {
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      block[i] = inv_sbox[block[i]];
+    }
+  };
+  auto inv_shift_rows = [&] {
+    std::uint8_t tmp[kBlockSize];
+    std::memcpy(tmp, block, kBlockSize);
+    for (int r = 1; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        block[4 * ((c + r) % 4) + r] = tmp[4 * c + r];
+      }
+    }
+  };
+  auto inv_mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = block + 4 * c;
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+      col[1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+      col[2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+      col[3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+    }
+  };
+
+  add_round_key(10);
+  for (std::size_t round = 9; round >= 1; --round) {
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(round);
+    inv_mix_columns();
+  }
+  inv_shift_rows();
+  inv_sub_bytes();
+  add_round_key(0);
+}
+
+util::Bytes aes128_ctr(util::BytesView key, std::uint64_t nonce,
+                       util::BytesView data) {
+  const Aes128 cipher(key);
+  util::Bytes out(data.begin(), data.end());
+  std::uint8_t counter_block[Aes128::kBlockSize];
+  for (std::size_t offset = 0, block_index = 0; offset < out.size();
+       offset += Aes128::kBlockSize, ++block_index) {
+    for (int i = 0; i < 8; ++i) {
+      counter_block[i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+      counter_block[8 + i] =
+          static_cast<std::uint8_t>(static_cast<std::uint64_t>(block_index) >>
+                                    (56 - 8 * i));
+    }
+    cipher.encrypt_block(counter_block);
+    const std::size_t n =
+        std::min<std::size_t>(Aes128::kBlockSize, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[offset + i] ^= counter_block[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace tactic::crypto

@@ -1,0 +1,43 @@
+#pragma once
+// AES-128 (FIPS 197) block cipher and CTR mode, implemented from scratch.
+//
+// The S-box is computed at first use from the multiplicative inverse in
+// GF(2^8) followed by the standard affine transform, rather than embedded
+// as a table; known-answer tests pin it to the FIPS 197 / SP 800-38A
+// vectors.  Used by the provider apps for content encryption (the paper
+// assumes provider-encrypted content whose key is delivered alongside the
+// tag).
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace tactic::crypto {
+
+/// AES-128 with a fixed 16-byte key.
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  /// Expands the key schedule; throws std::invalid_argument on wrong size.
+  explicit Aes128(util::BytesView key);
+
+  /// Encrypts exactly one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// Decrypts exactly one 16-byte block in place.
+  void decrypt_block(std::uint8_t block[kBlockSize]) const;
+
+ private:
+  std::array<std::array<std::uint8_t, kBlockSize>, 11> round_keys_;
+};
+
+/// AES-128-CTR keystream cipher.  Encryption and decryption are the same
+/// operation.  The 16-byte initial counter block is `nonce (8 bytes) ||
+/// big-endian 64-bit block counter starting at 0`.
+util::Bytes aes128_ctr(util::BytesView key, std::uint64_t nonce,
+                       util::BytesView data);
+
+}  // namespace tactic::crypto

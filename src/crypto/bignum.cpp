@@ -1,0 +1,519 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tactic::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+BigUInt::BigUInt(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigUInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_bytes_be(util::BytesView bytes) {
+  BigUInt out;
+  for (std::uint8_t b : bytes) {
+    // out = out * 256 + b, done limb-wise for efficiency.
+    std::uint64_t carry = b;
+    for (auto& limb : out.limbs_) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(limb) << 8) | carry;
+      limb = static_cast<std::uint32_t>(v);
+      carry = v >> 32;
+    }
+    if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  }
+  out.normalize();
+  return out;
+}
+
+util::Bytes BigUInt::to_bytes_be(std::size_t min_size) const {
+  util::Bytes out;
+  const std::size_t significant = (bit_length() + 7) / 8;
+  const std::size_t size = std::max(significant, min_size);
+  out.assign(size, 0);
+  for (std::size_t i = 0; i < significant; ++i) {
+    const std::size_t limb = i / 4;
+    const std::size_t shift = 8 * (i % 4);
+    out[size - 1 - i] = static_cast<std::uint8_t>(limbs_[limb] >> shift);
+  }
+  return out;
+}
+
+BigUInt BigUInt::from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return from_bytes_be(util::from_hex("0" + std::string(hex)));
+  }
+  return from_bytes_be(util::from_hex(hex));
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = util::to_hex(to_bytes_be());
+  const std::size_t nonzero = s.find_first_not_of('0');
+  return s.substr(nonzero);
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = 32 * (limbs_.size() - 1);
+  std::uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t BigUInt::to_u64() const {
+  if (limbs_.size() > 2) throw std::overflow_error("BigUInt: > 64 bits");
+  std::uint64_t v = 0;
+  if (limbs_.size() >= 2) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+int BigUInt::compare(const BigUInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUInt& BigUInt::operator+=(const BigUInt& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t sum = static_cast<std::uint64_t>(limbs_[i]) + carry;
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUInt& BigUInt::operator-=(const BigUInt& rhs) {
+  if (compare(rhs) < 0) {
+    throw std::underflow_error("BigUInt: subtraction would go negative");
+  }
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < rhs.limbs_.size()) diff -= rhs.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  assert(borrow == 0);
+  normalize();
+  return *this;
+}
+
+BigUInt operator*(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  if (a.is_zero() || b.is_zero()) return out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t t = ai * b.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(t);
+      carry = t >> 32;
+    }
+    out.limbs_[i + b.limbs_.size()] = static_cast<std::uint32_t>(carry);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigUInt out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigUInt{};
+  const std::size_t bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >>
+                      bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.normalize();
+  return out;
+}
+
+std::pair<BigUInt, BigUInt> BigUInt::divmod(const BigUInt& num,
+                                            const BigUInt& den) {
+  if (den.is_zero()) throw std::domain_error("BigUInt: division by zero");
+  if (num.compare(den) < 0) return {BigUInt{}, num};
+
+  // Single-limb divisor: simple schoolbook short division.
+  if (den.limbs_.size() == 1) {
+    const std::uint64_t d = den.limbs_[0];
+    BigUInt q;
+    q.limbs_.assign(num.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | num.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.normalize();
+    return {q, BigUInt{rem}};
+  }
+
+  // Knuth, TAOCP Vol. 2, Algorithm D.
+  const std::size_t n = den.limbs_.size();
+  const std::size_t m = num.limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  for (std::uint32_t top = den.limbs_.back(); !(top & 0x80000000u);
+       top <<= 1) {
+    ++shift;
+  }
+  const BigUInt u_norm = num << static_cast<std::size_t>(shift);
+  const BigUInt v_norm = den << static_cast<std::size_t>(shift);
+  std::vector<std::uint32_t> u = u_norm.limbs_;
+  u.resize(num.limbs_.size() + 1, 0);  // extra high limb for D4 borrow space
+  const std::vector<std::uint32_t>& v = v_norm.limbs_;
+  assert(v.size() == n);
+
+  BigUInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q_hat.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t q_hat = numerator / v[n - 1];
+    std::uint64_t r_hat = numerator % v[n - 1];
+    while (q_hat >= kBase ||
+           q_hat * v[n - 2] > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v[n - 1];
+      if (r_hat >= kBase) break;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= q_hat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFFu) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t top_diff = static_cast<std::int64_t>(u[j + n]) -
+                            static_cast<std::int64_t>(carry) - borrow;
+    if (top_diff < 0) {
+      // D6: q_hat was one too large; add the divisor back.
+      top_diff += static_cast<std::int64_t>(kBase);
+      --q_hat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      top_diff += static_cast<std::int64_t>(add_carry);
+      top_diff &= 0xFFFFFFFFll;
+    }
+    u[j + n] = static_cast<std::uint32_t>(top_diff);
+    q.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+  }
+
+  q.normalize();
+  BigUInt r;
+  r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  r.normalize();
+  r = r >> static_cast<std::size_t>(shift);
+  return {q, r};
+}
+
+BigUInt BigUInt::modexp(const BigUInt& base, const BigUInt& exp,
+                        const BigUInt& mod) {
+  if (mod.is_zero()) throw std::domain_error("BigUInt: zero modulus");
+  if (mod == BigUInt{1}) return BigUInt{};
+  if (mod.is_odd()) return Montgomery(mod).exp(base, exp);
+
+  // Even modulus: plain square-and-multiply with divide-based reduction.
+  BigUInt result{1};
+  BigUInt b = base % mod;
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = (result * result) % mod;
+    if (exp.bit(i)) result = (result * b) % mod;
+  }
+  return result;
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::optional<BigUInt> BigUInt::mod_inverse(const BigUInt& a,
+                                            const BigUInt& m) {
+  if (m < BigUInt{2}) {
+    throw std::invalid_argument("mod_inverse: modulus must be >= 2");
+  }
+  // Extended Euclid, tracking only the coefficient of `a`.  Values of t may
+  // go "negative"; they are kept reduced mod m by adding m before
+  // subtracting.
+  BigUInt r0 = m, r1 = a % m;
+  BigUInt t0{}, t1{1};
+  while (!r1.is_zero()) {
+    const auto [q, r2] = divmod(r0, r1);
+    r0 = r1;
+    r1 = r2;
+    // t2 = t0 - q*t1 (mod m)
+    BigUInt qt = (q * t1) % m;
+    BigUInt t2 = t0;
+    if (t2 < qt) t2 += m;
+    t2 -= qt;
+    t0 = t1;
+    t1 = std::move(t2);
+  }
+  if (r0 != BigUInt{1}) return std::nullopt;
+  return t0 % m;
+}
+
+BigUInt BigUInt::random_bits(util::Rng& rng, std::size_t bits) {
+  if (bits == 0) return BigUInt{};
+  BigUInt out;
+  const std::size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<std::uint32_t>(rng());
+  }
+  const std::size_t top_bits = bits - 32 * (limbs - 1);
+  if (top_bits < 32) {
+    out.limbs_.back() &= (1u << top_bits) - 1;
+  }
+  out.limbs_.back() |= 1u << (top_bits - 1);  // force exact bit length
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::random_below(util::Rng& rng, const BigUInt& bound) {
+  if (bound.is_zero()) {
+    throw std::invalid_argument("random_below: zero bound");
+  }
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling from [0, 2^bits).
+  for (;;) {
+    BigUInt candidate;
+    const std::size_t limbs = (bits + 31) / 32;
+    candidate.limbs_.resize(limbs);
+    for (auto& limb : candidate.limbs_) {
+      limb = static_cast<std::uint32_t>(rng());
+    }
+    const std::size_t top_bits = bits - 32 * (limbs - 1);
+    if (top_bits < 32) candidate.limbs_.back() &= (1u << top_bits) - 1;
+    candidate.normalize();
+    if (candidate < bound) return candidate;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery arithmetic
+// ---------------------------------------------------------------------------
+
+Montgomery::Montgomery(BigUInt modulus) : modulus_(std::move(modulus)) {
+  if (!modulus_.is_odd() || modulus_ <= BigUInt{1}) {
+    throw std::invalid_argument("Montgomery: modulus must be odd and > 1");
+  }
+  // Build the little-endian limb vector of the modulus.
+  {
+    const util::Bytes be = modulus_.to_bytes_be();
+    const std::size_t limbs = (be.size() + 3) / 4;
+    n_.assign(limbs, 0);
+    for (std::size_t i = 0; i < be.size(); ++i) {
+      const std::size_t byte_index = be.size() - 1 - i;  // little-endian i
+      n_[i / 4] |= static_cast<std::uint32_t>(be[byte_index]) << (8 * (i % 4));
+    }
+  }
+
+  // n0_inv = -n^{-1} mod 2^32 via Newton iteration on the low limb.
+  const std::uint32_t n0 = n_[0];
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2 - n0 * inv;  // doubles correct bits each step (mod 2^32)
+  }
+  n0_inv_ = static_cast<std::uint32_t>(0u - inv);
+
+  // R^2 mod n, with R = 2^(32 * len).
+  const std::size_t r_bits = 32 * n_.size();
+  r2_ = (BigUInt{1} << (2 * r_bits)) % modulus_;
+}
+
+std::vector<std::uint32_t> Montgomery::mont_mul(
+    const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  const std::size_t len = n_.size();
+  std::vector<std::uint32_t> t(len + 2, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::uint64_t sum = ai * b[j] + t[j] + carry;
+      t[j] = static_cast<std::uint32_t>(sum);
+      carry = sum >> 32;
+    }
+    std::uint64_t sum = static_cast<std::uint64_t>(t[len]) + carry;
+    t[len] = static_cast<std::uint32_t>(sum);
+    t[len + 1] = static_cast<std::uint32_t>(sum >> 32);
+
+    // m = t[0] * n0_inv mod 2^32;  t += m * n;  t >>= 32.
+    const std::uint64_t m =
+        static_cast<std::uint32_t>(t[0] * n0_inv_);
+    carry = 0;
+    {
+      const std::uint64_t s0 = m * n_[0] + t[0];
+      carry = s0 >> 32;  // low 32 bits are zero by construction
+    }
+    for (std::size_t j = 1; j < len; ++j) {
+      const std::uint64_t s = m * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(s);
+      carry = s >> 32;
+    }
+    sum = static_cast<std::uint64_t>(t[len]) + carry;
+    t[len - 1] = static_cast<std::uint32_t>(sum);
+    t[len] = t[len + 1] + static_cast<std::uint32_t>(sum >> 32);
+    t[len + 1] = 0;
+  }
+  // Conditional final subtraction: t in [0, 2n).
+  t.resize(len + 1);
+  bool ge = t[len] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = len; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      std::int64_t diff = static_cast<std::int64_t>(t[i]) -
+                          static_cast<std::int64_t>(n_[i]) - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      t[i] = static_cast<std::uint32_t>(diff);
+    }
+  }
+  t.resize(len);
+  return t;
+}
+
+std::vector<std::uint32_t> Montgomery::to_mont(const BigUInt& x) const {
+  const BigUInt reduced = x % modulus_;
+  const util::Bytes be = reduced.to_bytes_be();
+  std::vector<std::uint32_t> limbs(n_.size(), 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    const std::size_t byte_index = be.size() - 1 - i;
+    limbs[i / 4] |= static_cast<std::uint32_t>(be[byte_index]) << (8 * (i % 4));
+  }
+  const util::Bytes r2_be = r2_.to_bytes_be();
+  std::vector<std::uint32_t> r2_limbs(n_.size(), 0);
+  for (std::size_t i = 0; i < r2_be.size(); ++i) {
+    const std::size_t byte_index = r2_be.size() - 1 - i;
+    r2_limbs[i / 4] |= static_cast<std::uint32_t>(r2_be[byte_index])
+                       << (8 * (i % 4));
+  }
+  return mont_mul(limbs, r2_limbs);
+}
+
+BigUInt Montgomery::exp(const BigUInt& base, const BigUInt& exponent) const {
+  const std::size_t len = n_.size();
+  // one_mont = R mod n (Montgomery form of 1).
+  std::vector<std::uint32_t> one(len, 0);
+  one[0] = 1;
+  std::vector<std::uint32_t> result = to_mont(BigUInt{1});
+  const std::vector<std::uint32_t> base_mont = to_mont(base);
+
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    result = mont_mul(result, result);
+    if (exponent.bit(i)) result = mont_mul(result, base_mont);
+  }
+  // Convert out of Montgomery form: REDC(result * 1).
+  result = mont_mul(result, one);
+
+  util::Bytes be(4 * len);
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      be[4 * len - 1 - (4 * i + b)] =
+          static_cast<std::uint8_t>(result[i] >> (8 * b));
+    }
+  }
+  return BigUInt::from_bytes_be(be);
+}
+
+}  // namespace tactic::crypto

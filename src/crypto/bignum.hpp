@@ -1,0 +1,134 @@
+#pragma once
+// Arbitrary-precision unsigned integers, from scratch.
+//
+// This is the arithmetic substrate for the RSA signatures that protect
+// TACTIC tags.  Limbs are 32-bit, little-endian, always normalized (no
+// leading zero limbs; zero is the empty limb vector).  Division is Knuth's
+// Algorithm D; modular exponentiation uses Montgomery multiplication for
+// odd moduli (every RSA modulus) and falls back to divide-and-reduce
+// otherwise.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace tactic::crypto {
+
+class BigUInt {
+ public:
+  BigUInt() = default;
+  BigUInt(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Big-endian byte-string conversions (the natural wire format for RSA).
+  static BigUInt from_bytes_be(util::BytesView bytes);
+  /// Serializes big-endian, left-padded with zeros to at least `min_size`.
+  util::Bytes to_bytes_be(std::size_t min_size = 0) const;
+
+  /// Hex conversions (test vectors, debugging).
+  static BigUInt from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  /// Number of significant bits; 0 for zero.
+  std::size_t bit_length() const;
+  /// Value of bit `i` (LSB = bit 0); false beyond bit_length().
+  bool bit(std::size_t i) const;
+  /// Value as uint64; throws std::overflow_error if it does not fit.
+  std::uint64_t to_u64() const;
+
+  /// Three-way comparison: -1, 0, +1.
+  int compare(const BigUInt& other) const;
+  friend bool operator==(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) >= 0;
+  }
+
+  BigUInt& operator+=(const BigUInt& rhs);
+  /// Subtraction requires *this >= rhs; throws std::underflow_error.
+  BigUInt& operator-=(const BigUInt& rhs);
+  friend BigUInt operator+(BigUInt a, const BigUInt& b) { return a += b; }
+  friend BigUInt operator-(BigUInt a, const BigUInt& b) { return a -= b; }
+  friend BigUInt operator*(const BigUInt& a, const BigUInt& b);
+
+  /// Quotient and remainder; throws std::domain_error on division by zero.
+  static std::pair<BigUInt, BigUInt> divmod(const BigUInt& num,
+                                            const BigUInt& den);
+  friend BigUInt operator/(const BigUInt& a, const BigUInt& b) {
+    return divmod(a, b).first;
+  }
+  friend BigUInt operator%(const BigUInt& a, const BigUInt& b) {
+    return divmod(a, b).second;
+  }
+
+  BigUInt operator<<(std::size_t bits) const;
+  BigUInt operator>>(std::size_t bits) const;
+
+  /// base^exp mod mod; throws std::domain_error if mod is zero.
+  static BigUInt modexp(const BigUInt& base, const BigUInt& exp,
+                        const BigUInt& mod);
+
+  static BigUInt gcd(BigUInt a, BigUInt b);
+
+  /// Modular inverse of `a` mod `m` (m >= 2), or nullopt when
+  /// gcd(a, m) != 1.
+  static std::optional<BigUInt> mod_inverse(const BigUInt& a,
+                                            const BigUInt& m);
+
+  /// Uniformly random integer with exactly `bits` bits (top bit set).
+  static BigUInt random_bits(util::Rng& rng, std::size_t bits);
+  /// Uniformly random integer in [0, bound); bound must be nonzero.
+  static BigUInt random_below(util::Rng& rng, const BigUInt& bound);
+
+ private:
+  void normalize();
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+/// Montgomery-form modular arithmetic for a fixed odd modulus.  Exposed so
+/// RSA-CRT can reuse one context per prime.
+class Montgomery {
+ public:
+  /// Modulus must be odd and > 1; throws std::invalid_argument otherwise.
+  explicit Montgomery(BigUInt modulus);
+
+  const BigUInt& modulus() const { return modulus_; }
+
+  /// base^exp mod modulus using left-to-right binary exponentiation over
+  /// Montgomery products.
+  BigUInt exp(const BigUInt& base, const BigUInt& exp) const;
+
+ private:
+  std::vector<std::uint32_t> mont_mul(const std::vector<std::uint32_t>& a,
+                                      const std::vector<std::uint32_t>& b)
+      const;
+  std::vector<std::uint32_t> to_mont(const BigUInt& x) const;
+
+  BigUInt modulus_;
+  std::vector<std::uint32_t> n_;   // modulus limbs, padded length
+  std::uint32_t n0_inv_;           // -n^{-1} mod 2^32
+  BigUInt r2_;                     // R^2 mod n, R = 2^(32*len)
+};
+
+}  // namespace tactic::crypto

@@ -1,0 +1,46 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace tactic::crypto {
+
+util::Bytes hmac_sha256(util::BytesView key, util::BytesView data) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+
+  util::Bytes k0(kBlock, 0);
+  if (key.size() > kBlock) {
+    const util::Bytes hashed = Sha256::digest(key);
+    std::copy(hashed.begin(), hashed.end(), k0.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k0.begin());
+  }
+
+  util::Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k0[i] ^ 0x36;
+    opad[i] = k0[i] ^ 0x5C;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const util::Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+util::Bytes hmac_sha256(util::BytesView key, std::string_view data) {
+  return hmac_sha256(
+      key, util::BytesView(reinterpret_cast<const std::uint8_t*>(data.data()),
+                           data.size()));
+}
+
+bool hmac_sha256_verify(util::BytesView key, util::BytesView data,
+                        util::BytesView mac) {
+  return util::constant_time_equal(hmac_sha256(key, data), mac);
+}
+
+}  // namespace tactic::crypto

@@ -1,0 +1,17 @@
+#pragma once
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+
+#include "util/bytes.hpp"
+
+namespace tactic::crypto {
+
+/// Computes HMAC-SHA-256 of `data` under `key`.  Keys longer than the
+/// SHA-256 block size are hashed first, per the RFC.
+util::Bytes hmac_sha256(util::BytesView key, util::BytesView data);
+util::Bytes hmac_sha256(util::BytesView key, std::string_view data);
+
+/// Verifies a MAC in constant time.
+bool hmac_sha256_verify(util::BytesView key, util::BytesView data,
+                        util::BytesView mac);
+
+}  // namespace tactic::crypto

@@ -1,0 +1,18 @@
+#include "crypto/pki.hpp"
+
+namespace tactic::crypto {
+
+void Pki::add_key(const KeyLocator& locator, RsaPublicKey key) {
+  keys_[locator] = std::move(key);
+}
+
+const RsaPublicKey* Pki::find(const KeyLocator& locator) const {
+  const auto it = keys_.find(locator);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+bool Pki::contains(const KeyLocator& locator) const {
+  return keys_.count(locator) > 0;
+}
+
+}  // namespace tactic::crypto

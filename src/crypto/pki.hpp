@@ -1,0 +1,41 @@
+#pragma once
+// Public-key infrastructure registry.
+//
+// The paper assumes "the existence of a public key infrastructure (PKI) by
+// which routers store the providers' public keys and certificates"
+// (Section 3.B), and argues that the universe of access-controlled
+// providers is small (a few thousand), so storing their public keys scales
+// (Section 5).  `Pki` is that store: a mapping from public-key-locator
+// names to keys, shared read-only by all routers in a scenario.
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/rsa.hpp"
+
+namespace tactic::crypto {
+
+/// A public key locator is "a name that points to a packet that contains
+/// the public key or/and its digest" (paper Section 3.B).  We represent it
+/// as its flat URI string, e.g. "/provider3/KEY/1".
+using KeyLocator = std::string;
+
+class Pki {
+ public:
+  /// Registers (or replaces) the key reachable at `locator`.
+  void add_key(const KeyLocator& locator, RsaPublicKey key);
+
+  /// Looks up a key; nullptr when unknown.  The pointer remains valid
+  /// until the next add_key/clear.
+  const RsaPublicKey* find(const KeyLocator& locator) const;
+
+  bool contains(const KeyLocator& locator) const;
+  std::size_t size() const { return keys_.size(); }
+  void clear() { keys_.clear(); }
+
+ private:
+  std::unordered_map<KeyLocator, RsaPublicKey> keys_;
+};
+
+}  // namespace tactic::crypto

@@ -1,0 +1,99 @@
+#include "crypto/prime.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace tactic::crypto {
+
+namespace {
+
+/// Small primes for fast trial division before Miller–Rabin.
+const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    constexpr std::uint32_t kLimit = 8192;
+    std::vector<bool> sieve(kLimit, true);
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 2; i < kLimit; ++i) {
+      if (!sieve[i]) continue;
+      out.push_back(i);
+      for (std::uint32_t j = 2 * i; j < kLimit; j += i) sieve[j] = false;
+    }
+    return out;
+  }();
+  return primes;
+}
+
+/// Remainder of `n` modulo a small value, without a full divmod.
+std::uint32_t mod_small(const BigUInt& n, std::uint32_t d) {
+  return static_cast<std::uint32_t>((n % BigUInt{d}).to_u64());
+}
+
+bool miller_rabin_witness(const BigUInt& n, const BigUInt& a,
+                          const BigUInt& d, std::size_t r) {
+  const BigUInt n_minus_1 = n - BigUInt{1};
+  BigUInt x = BigUInt::modexp(a, d, n);
+  if (x == BigUInt{1} || x == n_minus_1) return false;  // not a witness
+  for (std::size_t i = 1; i < r; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) return false;
+  }
+  return true;  // composite witnessed
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUInt& n, util::Rng& rng, std::size_t rounds) {
+  if (n < BigUInt{2}) return false;
+  for (std::uint32_t p : small_primes()) {
+    if (n == BigUInt{p}) return true;
+    if (mod_small(n, p) == 0) return false;
+  }
+  // All small factors excluded; n > kLimit^... n could still be a small
+  // composite only if its least factor exceeds the sieve limit, i.e.
+  // n > 8192^2, which Miller-Rabin handles below.
+
+  // Write n - 1 = d * 2^r with d odd.
+  const BigUInt n_minus_1 = n - BigUInt{1};
+  BigUInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  for (std::size_t i = 0; i < rounds; ++i) {
+    // a uniform in [2, n-2]
+    const BigUInt a =
+        BigUInt{2} + BigUInt::random_below(rng, n - BigUInt{3});
+    if (miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+BigUInt random_prime(util::Rng& rng, std::size_t bits,
+                     std::size_t mr_rounds) {
+  if (bits < 16) {
+    throw std::invalid_argument("random_prime: need at least 16 bits");
+  }
+  for (;;) {
+    // random_bits sets the top bit; also force the second-highest bit (so
+    // a product of two such primes has exactly 2*bits bits) and the low
+    // bit (odd).
+    BigUInt candidate = BigUInt::random_bits(rng, bits);
+    if (!candidate.bit(bits - 2)) candidate += BigUInt{1} << (bits - 2);
+    if (!candidate.is_odd()) candidate += BigUInt{1};
+
+    // Cheap trial division first.
+    bool has_small_factor = false;
+    for (std::uint32_t p : small_primes()) {
+      if (mod_small(candidate, p) == 0 && candidate != BigUInt{p}) {
+        has_small_factor = true;
+        break;
+      }
+    }
+    if (has_small_factor) continue;
+    if (is_probable_prime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+}  // namespace tactic::crypto

@@ -1,0 +1,56 @@
+#include "event/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tactic::event {
+
+EventId Scheduler::schedule(Time delay, Handler handler) {
+  if (delay < 0) throw std::invalid_argument("Scheduler: negative delay");
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+EventId Scheduler::schedule_at(Time when, Handler handler) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler: scheduling in the past");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq, std::move(handler)});
+  pending_ids_.insert(seq);
+  return EventId{seq};
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Lazy cancellation: erase from the pending set; the queue entry is
+  // skipped at dispatch time.
+  return pending_ids_.erase(id.seq_) > 0;
+}
+
+void Scheduler::dispatch(Entry entry) {
+  now_ = entry.when;
+  if (pending_ids_.erase(entry.seq) == 0) return;  // was cancelled
+  ++executed_;
+  entry.handler();
+}
+
+Time Scheduler::run() {
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    dispatch(std::move(entry));
+  }
+  return now_;
+}
+
+Time Scheduler::run_until(Time until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    dispatch(std::move(entry));
+  }
+  now_ = until;
+  return now_;
+}
+
+}  // namespace tactic::event

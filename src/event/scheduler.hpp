@@ -1,0 +1,84 @@
+#pragma once
+// Discrete-event scheduler — the ns-3 substitute at the heart of the
+// simulator.
+//
+// Properties the rest of the system relies on:
+//  - events at the same timestamp run in scheduling (FIFO) order, so a
+//    node that schedules A then B observes A before B;
+//  - events may be cancelled via the handle returned by `schedule`;
+//  - the scheduler is single-threaded and reentrant: handlers may schedule
+//    further events freely.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "event/time.hpp"
+
+namespace tactic::event {
+
+/// Handle identifying a scheduled event; used for cancellation.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Scheduler {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time.  Monotonically non-decreasing.
+  Time now() const { return now_; }
+
+  /// Schedules `handler` to run at now() + delay (delay >= 0; a zero delay
+  /// runs after all handlers already queued for the current instant).
+  EventId schedule(Time delay, Handler handler);
+
+  /// Schedules at an absolute time (>= now()).
+  EventId schedule_at(Time when, Handler handler);
+
+  /// Cancels a pending event.  Returns false when the event already ran,
+  /// was cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties.  Returns the final time.
+  Time run();
+
+  /// Runs events with timestamp <= `until`, then sets now() to `until`.
+  Time run_until(Time until);
+
+  /// Number of events executed so far.
+  std::uint64_t executed_count() const { return executed_; }
+  /// Number of events currently pending (excluding cancelled ones).
+  std::size_t pending_count() const { return pending_ids_.size(); }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Handler handler;
+    // Min-heap by (when, seq): earliest time first, FIFO within a time.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void dispatch(Entry entry);
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;  // queued and not cancelled
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tactic::event

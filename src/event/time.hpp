@@ -1,0 +1,28 @@
+#pragma once
+// Simulation time.
+//
+// Time is a signed 64-bit nanosecond count from the start of the run.
+// Integer time makes event ordering exact and runs bit-reproducible; the
+// range (~292 years) is far beyond any scenario.
+
+#include <cstdint>
+
+namespace tactic::event {
+
+/// Nanoseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Conversions to/from floating-point seconds (for configuration and
+/// reporting; the engine itself never uses doubles for time).
+constexpr Time from_seconds(double seconds) {
+  return static_cast<Time>(seconds * 1e9);
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+}  // namespace tactic::event

@@ -1,0 +1,42 @@
+#include "ndn/cs.hpp"
+
+namespace tactic::ndn {
+
+ContentStore::ContentStore(std::size_t capacity) : capacity_(capacity) {}
+
+const Data* ContentStore::find(const Name& name) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+void ContentStore::insert(const Data& data) {
+  if (capacity_ == 0) return;
+  const auto it = index_.find(data.name);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Data stored = data;
+  // Strip the response envelope: the cache holds the content object.
+  stored.tag.reset();
+  stored.tag_wire_size = 0;
+  stored.nack_attached = false;
+  stored.nack_reason = NackReason::kNone;
+  stored.flag_f = 0.0;
+  stored.from_cache = false;
+
+  lru_.push_front(std::move(stored));
+  index_[data.name] = lru_.begin();
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().name);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace tactic::ndn

@@ -1,0 +1,44 @@
+#pragma once
+// Content Store: the per-router LRU cache that makes a core router a
+// "content router" (R_C^c) for the objects it holds.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "ndn/name.hpp"
+#include "ndn/packet.hpp"
+
+namespace tactic::ndn {
+
+class ContentStore {
+ public:
+  /// `capacity` in packets; 0 disables caching entirely.
+  explicit ContentStore(std::size_t capacity = 1000);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+
+  /// Exact-name lookup.  A hit refreshes LRU order and returns a pointer
+  /// valid until the next insert.  Counters are updated.
+  const Data* find(const Name& name);
+
+  /// Inserts (or refreshes) a cacheable data packet.  Per-requester fields
+  /// (tag echo, NACK, F) are stripped: the cache stores content, not the
+  /// response envelope it arrived in.
+  void insert(const Data& data);
+
+  bool contains(const Name& name) const { return index_.count(name) > 0; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<Data> lru_;  // front = most recent
+  std::unordered_map<Name, std::list<Data>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace tactic::ndn

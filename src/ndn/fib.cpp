@@ -1,0 +1,69 @@
+#include "ndn/fib.hpp"
+
+#include <algorithm>
+
+namespace tactic::ndn {
+
+void Fib::sort_hops(std::vector<NextHop>& hops) {
+  std::sort(hops.begin(), hops.end(),
+            [](const NextHop& a, const NextHop& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.face < b.face;
+            });
+}
+
+void Fib::add_route(const Name& prefix, FaceId next_hop,
+                    std::uint32_t cost) {
+  auto [it, inserted] = entries_.try_emplace(prefix);
+  Entry& entry = it->second;
+  if (inserted) entry.prefix = prefix;
+  const auto existing = std::find_if(
+      entry.next_hops.begin(), entry.next_hops.end(),
+      [next_hop](const NextHop& hop) { return hop.face == next_hop; });
+  if (existing != entry.next_hops.end()) {
+    existing->cost = cost;
+  } else {
+    entry.next_hops.push_back(NextHop{next_hop, cost});
+  }
+  sort_hops(entry.next_hops);
+}
+
+void Fib::remove_next_hop(const Name& prefix, FaceId next_hop) {
+  const auto it = entries_.find(prefix);
+  if (it == entries_.end()) return;
+  auto& hops = it->second.next_hops;
+  hops.erase(std::remove_if(hops.begin(), hops.end(),
+                            [next_hop](const NextHop& hop) {
+                              return hop.face == next_hop;
+                            }),
+             hops.end());
+  if (hops.empty()) entries_.erase(it);
+}
+
+void Fib::remove_route(const Name& prefix) { entries_.erase(prefix); }
+
+void Fib::set_routes(const Name& prefix, std::vector<NextHop> next_hops) {
+  if (next_hops.empty()) {
+    entries_.erase(prefix);
+    return;
+  }
+  sort_hops(next_hops);
+  Entry& entry = entries_[prefix];
+  entry.prefix = prefix;
+  entry.next_hops = std::move(next_hops);
+}
+
+const Fib::Entry* Fib::lookup(const Name& name) const {
+  for (std::size_t len = name.size() + 1; len-- > 0;) {
+    const auto it = entries_.find(name.prefix(len));
+    if (it != entries_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+const Fib::Entry* Fib::find_exact(const Name& prefix) const {
+  const auto it = entries_.find(prefix);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tactic::ndn

@@ -1,0 +1,66 @@
+#pragma once
+// Forwarding Information Base: longest-prefix-match routing of Interests
+// toward providers, with equal-cost multipath next hops for failover.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ndn/name.hpp"
+
+namespace tactic::ndn {
+
+/// Per-node face identifier (index into the node's face table).
+using FaceId = std::uint32_t;
+constexpr FaceId kInvalidFace = ~0u;
+
+class Fib {
+ public:
+  struct NextHop {
+    FaceId face = kInvalidFace;
+    std::uint32_t cost = 0;  // routing metric (hop count)
+  };
+
+  struct Entry {
+    Name prefix;
+    /// Candidate upstream faces, sorted by (cost, face).  The forwarder
+    /// tries them in order and fails over when a link refuses the frame
+    /// (down or queue-full).
+    std::vector<NextHop> next_hops;
+
+    /// Best (lowest-cost) next hop; kInvalidFace when empty.
+    FaceId next_hop() const {
+      return next_hops.empty() ? kInvalidFace : next_hops.front().face;
+    }
+  };
+
+  /// Adds (or updates the cost of) one next hop for `prefix`, keeping the
+  /// hop list sorted by (cost, face).
+  void add_route(const Name& prefix, FaceId next_hop, std::uint32_t cost = 0);
+
+  /// Removes one next hop; drops the entry when no hops remain.
+  void remove_next_hop(const Name& prefix, FaceId next_hop);
+
+  /// Removes the whole entry.
+  void remove_route(const Name& prefix);
+
+  /// Replaces the entry's hop set wholesale (route recomputation).
+  void set_routes(const Name& prefix, std::vector<NextHop> next_hops);
+
+  /// Longest-prefix match; nullptr when no entry covers `name`.
+  /// O(#components) hash lookups.
+  const Entry* lookup(const Name& name) const;
+
+  /// Exact-prefix find (no LPM).
+  const Entry* find_exact(const Name& prefix) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  static void sort_hops(std::vector<NextHop>& hops);
+
+  std::unordered_map<Name, Entry> entries_;
+};
+
+}  // namespace tactic::ndn

@@ -1,0 +1,276 @@
+#include "ndn/forwarder.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace tactic::ndn {
+
+std::size_t wire_size(const PacketVariant& packet) {
+  return std::visit([](const auto& p) { return p.wire_size(); }, packet);
+}
+
+Forwarder::Forwarder(event::Scheduler& scheduler, net::NodeInfo info,
+                     std::size_t cs_capacity)
+    : scheduler_(scheduler),
+      info_(std::move(info)),
+      cs_(cs_capacity),
+      policy_(std::make_unique<NullPolicy>()) {}
+
+void Forwarder::set_policy(std::unique_ptr<AccessControlPolicy> policy) {
+  policy_ = policy ? std::move(policy) : std::make_unique<NullPolicy>();
+}
+
+FaceId Forwarder::add_link_face(
+    net::Link* tx_link, std::function<void(PacketVariant&&)> deliver) {
+  Face face;
+  face.id = static_cast<FaceId>(faces_.size());
+  face.tx = tx_link;
+  face.deliver = std::move(deliver);
+  faces_.push_back(std::move(face));
+  return faces_.back().id;
+}
+
+FaceId Forwarder::add_app_face(AppSink sink) {
+  Face face;
+  face.id = static_cast<FaceId>(faces_.size());
+  face.is_app = true;
+  face.sink = std::move(sink);
+  faces_.push_back(std::move(face));
+  return faces_.back().id;
+}
+
+void Forwarder::receive(FaceId in_face, PacketVariant&& packet) {
+  if (tracer_) tracer_(*this, packet, in_face, /*is_rx=*/true);
+  std::visit(
+      [&](auto&& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, Interest>) {
+          on_interest(in_face, std::move(p));
+        } else if constexpr (std::is_same_v<T, Data>) {
+          on_data(in_face, std::move(p));
+        } else {
+          on_nack(in_face, std::move(p));
+        }
+      },
+      std::move(packet));
+}
+
+void Forwarder::inject_from_app(FaceId app_face, PacketVariant&& packet) {
+  receive(app_face, std::move(packet));
+}
+
+void Forwarder::send(FaceId face_id, PacketVariant packet,
+                     event::Time delay) {
+  if (tracer_) tracer_(*this, packet, face_id, /*is_rx=*/false);
+  Face& face = faces_.at(face_id);
+  if (face.is_app) {
+    // Local delivery to the application, after the compute delay.
+    scheduler_.schedule(delay, [this, face_id, p = std::move(packet)]() {
+      const Face& face = faces_.at(face_id);
+      std::visit(
+          [&](const auto& pkt) {
+            using T = std::decay_t<decltype(pkt)>;
+            if constexpr (std::is_same_v<T, Interest>) {
+              if (face.sink.on_interest) face.sink.on_interest(face.id, pkt);
+            } else if constexpr (std::is_same_v<T, Data>) {
+              if (face.sink.on_data) face.sink.on_data(pkt);
+            } else {
+              if (face.sink.on_nack) face.sink.on_nack(pkt);
+            }
+          },
+          p);
+    });
+    return;
+  }
+
+  auto transmit = [this, face_id, p = std::move(packet)]() mutable {
+    Face& face = faces_.at(face_id);
+    const std::size_t size = wire_size(p);
+    const bool sent = face.tx->send(
+        size, [deliver = face.deliver, pkt = std::move(p)]() mutable {
+          deliver(std::move(pkt));
+        });
+    if (!sent) ++counters_.link_send_failures;
+  };
+  if (delay == 0) {
+    transmit();
+  } else {
+    scheduler_.schedule(delay, std::move(transmit));
+  }
+}
+
+void Forwarder::send_interest(const std::vector<Fib::NextHop>& next_hops,
+                              Interest interest, event::Time delay) {
+  if (tracer_ && !next_hops.empty()) {
+    tracer_(*this, PacketVariant(interest), next_hops.front().face,
+            /*is_rx=*/false);
+  }
+  auto transmit = [this, next_hops, p = std::move(interest)]() mutable {
+    for (std::size_t i = 0; i < next_hops.size(); ++i) {
+      Face& face = faces_.at(next_hops[i].face);
+      if (face.is_app) {
+        // Local application face (a producer): always deliverable, via
+        // the scheduler so handlers never reenter the pipeline.
+        if (i > 0) ++counters_.interest_failovers;
+        const FaceId face_id = face.id;
+        scheduler_.schedule(0, [this, face_id, pkt = std::move(p)]() {
+          const Face& app_face = faces_.at(face_id);
+          if (app_face.sink.on_interest) {
+            app_face.sink.on_interest(face_id, pkt);
+          }
+        });
+        return;
+      }
+      const std::size_t size = p.wire_size();
+      PacketVariant copy{p};
+      const bool sent = face.tx->send(
+          size, [deliver = face.deliver, pkt = std::move(copy)]() mutable {
+            deliver(std::move(pkt));
+          });
+      if (sent) {
+        if (i > 0) ++counters_.interest_failovers;
+        return;
+      }
+      ++counters_.link_send_failures;
+    }
+    ++counters_.interests_unsent;  // every candidate refused
+  };
+  if (delay == 0) {
+    transmit();
+  } else {
+    scheduler_.schedule(delay, std::move(transmit));
+  }
+}
+
+void Forwarder::schedule_pit_expiry(PitEntry& entry, event::Time expiry) {
+  if (entry.expiry_event.valid()) scheduler_.cancel(entry.expiry_event);
+  entry.expiry_time = expiry;
+  const Name name = entry.name;
+  entry.expiry_event = scheduler_.schedule_at(expiry, [this, name] {
+    if (pit_.find(name) != nullptr) {
+      ++counters_.pit_expirations;
+      pit_.erase(name);
+    }
+  });
+}
+
+void Forwarder::on_interest(FaceId in_face, Interest&& interest) {
+  ++counters_.interests_received;
+
+  auto decision = policy_->on_interest(*this, in_face, interest);
+  event::Time compute = decision.compute;
+  using Action = AccessControlPolicy::InterestDecision::Action;
+  if (decision.action == Action::kDrop) {
+    ++counters_.interests_dropped;
+    return;
+  }
+  if (decision.action == Action::kDropWithNack) {
+    ++counters_.interests_nacked;
+    ++counters_.nacks_sent;
+    send(in_face, Nack{interest.name, decision.nack_reason}, compute);
+    return;
+  }
+
+  // Content Store: a hit makes this node a content router for the request.
+  if (const Data* cached = cs_.find(interest.name)) {
+    Data response = *cached;
+    response.from_cache = true;
+    response.tag = interest.tag;
+    response.tag_wire_size = interest.tag_wire_size;
+    response.flag_f = interest.flag_f;
+    auto hit = policy_->on_cache_hit(*this, in_face, interest, response);
+    compute += hit.compute;
+    if (hit.respond) {
+      ++counters_.data_sent;
+      send(in_face, std::move(response), compute);
+      return;
+    }
+    // Policy suppressed cache reuse; continue as a miss.
+  }
+
+  // PIT: aggregate onto an in-flight request when possible.
+  const event::Time record_expiry = scheduler_.now() + interest.lifetime;
+  if (PitEntry* entry = pit_.find(interest.name);
+      entry != nullptr && entry->forwarded) {
+    if (Pit::has_nonce(*entry, interest.nonce)) {
+      ++counters_.duplicate_interests;
+      return;
+    }
+    entry->in_records.push_back(PitInRecord{
+        in_face, interest.nonce, interest.tag, interest.tag_wire_size,
+        interest.flag_f, interest.access_path, record_expiry});
+    ++counters_.interests_aggregated;
+    if (record_expiry > entry->expiry_time) {
+      schedule_pit_expiry(*entry, record_expiry);
+    }
+    return;
+  }
+
+  // New PIT entry; forward by longest-prefix match with failover across
+  // the route's next hops.
+  const Fib::Entry* route = fib_.lookup(interest.name);
+  if (route == nullptr || route->next_hops.empty()) {
+    ++counters_.no_route;
+    ++counters_.nacks_sent;
+    send(in_face, Nack{interest.name, NackReason::kNoRoute}, compute);
+    return;
+  }
+  PitEntry& entry = pit_.get_or_create(interest.name);
+  entry.in_records.push_back(PitInRecord{
+      in_face, interest.nonce, interest.tag, interest.tag_wire_size,
+      interest.flag_f, interest.access_path, record_expiry});
+  entry.forwarded = true;
+  schedule_pit_expiry(entry, record_expiry);
+  ++counters_.interests_forwarded;
+  send_interest(route->next_hops, std::move(interest), compute);
+}
+
+void Forwarder::on_data(FaceId in_face, Data&& data) {
+  ++counters_.data_received;
+
+  event::Time compute = policy_->on_data(*this, in_face, data);
+
+  PitEntry* entry = pit_.find(data.name);
+  if (entry == nullptr) {
+    ++counters_.unsolicited_data;
+    return;
+  }
+
+  if (policy_->may_cache(*this, data)) {
+    cs_.insert(data);
+  }
+
+  const event::Time now = scheduler_.now();
+  for (const PitInRecord& record : entry->in_records) {
+    if (record.expiry < now) continue;  // stale aggregate
+    Data outgoing = data;
+    auto decision =
+        policy_->on_data_to_downstream(*this, record, data, outgoing);
+    if (!decision.forward) continue;
+    if (decision.attach_nack) {
+      outgoing.nack_attached = true;
+      outgoing.nack_reason = decision.nack_reason;
+    }
+    ++counters_.data_sent;
+    send(record.face, std::move(outgoing), compute + decision.compute);
+  }
+  if (entry->expiry_event.valid()) scheduler_.cancel(entry->expiry_event);
+  pit_.erase(data.name);
+}
+
+void Forwarder::on_nack(FaceId /*in_face*/, Nack&& nack) {
+  ++counters_.nacks_received;
+  // Standalone NACKs propagate to every downstream requester and clear
+  // the pending state (hop-by-hop error semantics).
+  PitEntry* entry = pit_.find(nack.name);
+  if (entry == nullptr) return;
+  for (const PitInRecord& record : entry->in_records) {
+    ++counters_.nacks_sent;
+    send(record.face, Nack{nack.name, nack.reason}, 0);
+  }
+  if (entry->expiry_event.valid()) scheduler_.cancel(entry->expiry_event);
+  pit_.erase(nack.name);
+}
+
+}  // namespace tactic::ndn

@@ -1,0 +1,148 @@
+#pragma once
+// The per-node NDN forwarding engine (the NFD substitute).
+//
+// Pipeline on Interest arrival: policy inspection -> Content Store ->
+// PIT (aggregate or create) -> FIB longest-prefix match -> upstream face.
+// Data consumes its PIT entry and flows down the reverse paths, with the
+// node's AccessControlPolicy deciding per-downstream forwarding.  Every
+// node in a scenario — clients, APs, routers, providers — runs one
+// Forwarder; applications attach through app faces.
+//
+// Compute charging: policies report the (sampled) CPU time their checks
+// consumed; the forwarder defers all sends triggered by that packet by the
+// accumulated amount, mirroring how the paper injects benchmarked
+// BF/signature latencies into ndnSIM.
+
+#include <functional>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "event/scheduler.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "ndn/cs.hpp"
+#include "ndn/fib.hpp"
+#include "ndn/packet.hpp"
+#include "ndn/pit.hpp"
+#include "ndn/policy.hpp"
+
+namespace tactic::ndn {
+
+using PacketVariant = std::variant<Interest, Data, Nack>;
+
+/// Wire size of any packet variant.
+std::size_t wire_size(const PacketVariant& packet);
+
+/// Callbacks through which an application receives packets from its app
+/// face.  Unset members mean "drop".
+struct AppSink {
+  std::function<void(FaceId, const Interest&)> on_interest;
+  std::function<void(const Data&)> on_data;
+  std::function<void(const Nack&)> on_nack;
+};
+
+/// Forwarding-plane event counters for one node.
+struct ForwarderCounters {
+  std::uint64_t interests_received = 0;
+  std::uint64_t interests_forwarded = 0;
+  std::uint64_t interests_aggregated = 0;
+  std::uint64_t interests_dropped = 0;   // policy drops
+  std::uint64_t interests_nacked = 0;    // policy drop-with-NACK
+  std::uint64_t duplicate_interests = 0;
+  std::uint64_t data_received = 0;
+  std::uint64_t data_sent = 0;
+  std::uint64_t unsolicited_data = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t pit_expirations = 0;
+  std::uint64_t link_send_failures = 0;  // drop-tail overflow / link down
+  /// Interests sent on a non-primary next hop because the primary's link
+  /// refused the frame (down or full).
+  std::uint64_t interest_failovers = 0;
+  /// Interests dropped because every candidate next hop refused.
+  std::uint64_t interests_unsent = 0;
+};
+
+class Forwarder {
+ public:
+  Forwarder(event::Scheduler& scheduler, net::NodeInfo info,
+            std::size_t cs_capacity);
+
+  Forwarder(const Forwarder&) = delete;
+  Forwarder& operator=(const Forwarder&) = delete;
+
+  const net::NodeInfo& info() const { return info_; }
+  event::Scheduler& scheduler() { return scheduler_; }
+  const event::Scheduler& scheduler() const { return scheduler_; }
+  Fib& fib() { return fib_; }
+  Pit& pit() { return pit_; }
+  ContentStore& cs() { return cs_; }
+  const ContentStore& cs() const { return cs_; }
+  const ForwarderCounters& counters() const { return counters_; }
+
+  /// Installs the node's access-control policy (owned).  Defaults to
+  /// NullPolicy (plain NDN).
+  void set_policy(std::unique_ptr<AccessControlPolicy> policy);
+  AccessControlPolicy& policy() { return *policy_; }
+
+  /// Adds a face transmitting into `tx_link` (non-owning); frames arriving
+  /// at the other end run `deliver` there.  Returns the new face id.
+  FaceId add_link_face(net::Link* tx_link,
+                       std::function<void(PacketVariant&&)> deliver);
+
+  /// Adds a local application face.
+  FaceId add_app_face(AppSink sink);
+
+  /// Entry point for packets arriving from a link (bound into the peer's
+  /// deliver closure by the wiring helper) or from local apps.
+  void receive(FaceId in_face, PacketVariant&& packet);
+
+  /// Optional packet tracer, invoked for every packet this node receives
+  /// (direction=rx) and transmits (direction=tx).  Costs one branch per
+  /// packet when unset.  See sim::PacketTrace for a CSV sink.
+  using TraceFn =
+      std::function<void(const Forwarder&, const PacketVariant&, FaceId,
+                         bool /*is_rx*/)>;
+  void set_tracer(TraceFn tracer) { tracer_ = std::move(tracer); }
+
+  /// Application transmit: treat `packet` as if it arrived on `app_face`.
+  /// Used by clients to issue Interests and by producers to answer them.
+  void inject_from_app(FaceId app_face, PacketVariant&& packet);
+
+ private:
+  struct Face {
+    FaceId id = kInvalidFace;
+    bool is_app = false;
+    net::Link* tx = nullptr;                              // link faces
+    std::function<void(PacketVariant&&)> deliver;          // link faces
+    AppSink sink;                                          // app faces
+  };
+
+  void on_interest(FaceId in_face, Interest&& interest);
+  void on_data(FaceId in_face, Data&& data);
+  void on_nack(FaceId in_face, Nack&& nack);
+
+  /// Sends `packet` out of `face` after `delay` (compute charging).
+  void send(FaceId face, PacketVariant packet, event::Time delay);
+
+  /// Sends an Interest upstream, trying `next_hops` in cost order and
+  /// failing over when a link refuses the frame (down or queue-full).
+  void send_interest(const std::vector<Fib::NextHop>& next_hops,
+                     Interest interest, event::Time delay);
+
+  void schedule_pit_expiry(PitEntry& entry, event::Time expiry);
+
+  event::Scheduler& scheduler_;
+  net::NodeInfo info_;
+  Fib fib_;
+  Pit pit_;
+  ContentStore cs_;
+  std::unique_ptr<AccessControlPolicy> policy_;
+  std::vector<Face> faces_;
+  ForwarderCounters counters_;
+  TraceFn tracer_;
+};
+
+}  // namespace tactic::ndn

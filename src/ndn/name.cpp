@@ -1,0 +1,89 @@
+#include "ndn/name.hpp"
+
+#include <algorithm>
+
+namespace tactic::ndn {
+
+Name::Name(std::string_view uri) {
+  std::size_t start = 0;
+  while (start < uri.size()) {
+    if (uri[start] == '/') {
+      ++start;
+      continue;
+    }
+    std::size_t end = uri.find('/', start);
+    if (end == std::string_view::npos) end = uri.size();
+    components_.emplace_back(uri.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+Name::Name(std::initializer_list<std::string> components)
+    : components_(components) {}
+
+Name Name::from_components(std::vector<std::string> components) {
+  Name n;
+  n.components_ = std::move(components);
+  return n;
+}
+
+std::string Name::to_uri() const {
+  if (components_.empty()) return "/";
+  std::string out;
+  for (const auto& c : components_) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+Name Name::prefix(std::size_t n) const {
+  Name out;
+  const std::size_t take = std::min(n, components_.size());
+  out.components_.assign(components_.begin(),
+                         components_.begin() + static_cast<std::ptrdiff_t>(take));
+  return out;
+}
+
+bool Name::is_prefix_of(const Name& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+Name Name::append(std::string_view component) const {
+  Name out = *this;
+  out.components_.emplace_back(component);
+  return out;
+}
+
+Name Name::append_number(std::uint64_t number) const {
+  return append(std::to_string(number));
+}
+
+int Name::compare(const Name& other) const {
+  const std::size_t n = std::min(components_.size(), other.components_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = components_[i].compare(other.components_[i]);
+    if (c != 0) return c < 0 ? -1 : 1;
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+std::uint64_t Name::hash() const {
+  // FNV-1a over components with a separator byte, so /ab/c and /a/bc
+  // hash differently.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& c : components_) {
+    mix('/');
+    for (unsigned char byte : c) mix(byte);
+  }
+  return h;
+}
+
+}  // namespace tactic::ndn

@@ -1,0 +1,70 @@
+#pragma once
+// Hierarchical NDN names.
+//
+// A name is an ordered list of components, written as a URI like
+// "/provider3/obj12/chunk7".  Names identify content, name prefixes
+// identify providers (FIB entries), and public-key locators are themselves
+// names (paper Section 3.B).
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tactic::ndn {
+
+class Name {
+ public:
+  Name() = default;
+  /// Parses a URI: leading '/' optional, empty components collapsed.
+  /// "/" or "" parse to the empty (root) name.
+  explicit Name(std::string_view uri);
+  Name(std::initializer_list<std::string> components);
+
+  static Name from_components(std::vector<std::string> components);
+
+  bool empty() const { return components_.empty(); }
+  std::size_t size() const { return components_.size(); }
+  const std::string& at(std::size_t i) const { return components_.at(i); }
+  const std::vector<std::string>& components() const { return components_; }
+
+  /// Canonical URI form, "/a/b/c"; the root name renders as "/".
+  std::string to_uri() const;
+
+  /// First `n` components (n clamped to size()).
+  Name prefix(std::size_t n) const;
+
+  /// True when *this is a (non-strict) prefix of `other`.
+  bool is_prefix_of(const Name& other) const;
+
+  /// Returns a copy with `component` appended.
+  Name append(std::string_view component) const;
+  Name append_number(std::uint64_t number) const;
+
+  /// Lexicographic comparison by components (shorter-is-smaller ties).
+  int compare(const Name& other) const;
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.components_ == b.components_;
+  }
+  friend bool operator!=(const Name& a, const Name& b) { return !(a == b); }
+  friend bool operator<(const Name& a, const Name& b) {
+    return a.compare(b) < 0;
+  }
+
+  /// Stable 64-bit hash of the canonical URI (FNV-1a), for hash maps.
+  std::uint64_t hash() const;
+
+ private:
+  std::vector<std::string> components_;
+};
+
+}  // namespace tactic::ndn
+
+template <>
+struct std::hash<tactic::ndn::Name> {
+  std::size_t operator()(const tactic::ndn::Name& name) const noexcept {
+    return static_cast<std::size_t>(name.hash());
+  }
+};

@@ -1,0 +1,55 @@
+#include "ndn/packet.hpp"
+
+namespace tactic::ndn {
+
+const char* to_string(NackReason reason) {
+  switch (reason) {
+    case NackReason::kNone: return "none";
+    case NackReason::kNoTag: return "no-tag";
+    case NackReason::kInvalidSignature: return "invalid-signature";
+    case NackReason::kExpiredTag: return "expired-tag";
+    case NackReason::kPrefixMismatch: return "prefix-mismatch";
+    case NackReason::kAccessLevelTooLow: return "access-level-too-low";
+    case NackReason::kProviderKeyMismatch: return "provider-key-mismatch";
+    case NackReason::kAccessPathMismatch: return "access-path-mismatch";
+    case NackReason::kRegistrationRefused: return "registration-refused";
+    case NackReason::kNoRoute: return "no-route";
+  }
+  return "?";
+}
+
+namespace {
+/// Fixed per-packet header overhead (type, TLV framing, hop limit, ...).
+constexpr std::size_t kHeaderOverhead = 16;
+}  // namespace
+
+std::size_t Interest::wire_size() const {
+  std::size_t size = kHeaderOverhead + name.to_uri().size() + 4 /*nonce*/ +
+                     4 /*lifetime*/ + payload_size;
+  if (tag) size += tag_wire_size + 8 /*F*/ + 8 /*access path*/;
+  return size;
+}
+
+util::Bytes Data::signed_portion() const {
+  util::Bytes out;
+  util::append_lv(out, name.to_uri());
+  util::append_u64(out, content_size);
+  util::append_u32(out, access_level);
+  util::append_lv(out, provider_key_locator);
+  return out;
+}
+
+std::size_t Data::wire_size() const {
+  std::size_t size = kHeaderOverhead + name.to_uri().size() + content_size +
+                     4 /*access level*/ + provider_key_locator.size() +
+                     signature_size;
+  if (tag) size += tag_wire_size + 8 /*F*/;
+  if (nack_attached) size += 2;
+  return size;
+}
+
+std::size_t Nack::wire_size() const {
+  return kHeaderOverhead + name.to_uri().size() + 1 /*reason*/;
+}
+
+}  // namespace tactic::ndn

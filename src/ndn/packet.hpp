@@ -1,0 +1,135 @@
+#pragma once
+// NDN packet types with TACTIC's extensions.
+//
+// TACTIC extends plain NDN packets as follows (paper Sections 4-5):
+//  - Interests carry the client's authentication tag, the cooperation flag
+//    F stamped by edge routers, and the rolling access-path accumulator
+//    XOR-ed by every wireless entity between the client and its edge
+//    router;
+//  - Data packets echo the tag of the request they answer ("content-tag
+//    pair"), may carry an attached NACK ("content-tag-NACK tuple"), and
+//    carry back an F value content routers use to tell edge routers
+//    whether to insert the tag into their Bloom filter;
+//  - standalone NACKs tell a client (or downstream router) why a request
+//    was rejected.
+//
+// The tag itself is defined by the core TACTIC library; packets treat it
+// as an immutable shared payload, keeping the NDN layer independent of the
+// access-control scheme (baseline policies reuse the same packets).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "event/time.hpp"
+#include "ndn/name.hpp"
+#include "util/bytes.hpp"
+
+namespace tactic::core {
+class Tag;  // defined in tactic/tag.hpp
+}
+
+namespace tactic::ndn {
+
+/// Reasons carried by NACKs.
+enum class NackReason : std::uint8_t {
+  kNone = 0,
+  kNoTag,                // private content requested without a tag
+  kInvalidSignature,     // tag failed provider-signature verification
+  kExpiredTag,           // Te < current time
+  kPrefixMismatch,       // tag's provider prefix != requested content prefix
+  kAccessLevelTooLow,    // AL_D > AL_T
+  kProviderKeyMismatch,  // Pub_p in tag != Pub_p in content
+  kAccessPathMismatch,   // AP in tag != AP accumulated in request
+  kRegistrationRefused,  // provider rejected the credential (revoked client)
+  kNoRoute,              // FIB miss
+};
+
+const char* to_string(NackReason reason);
+
+/// An NDN Interest (named request).
+struct Interest {
+  Name name;
+  std::uint64_t nonce = 0;
+  event::Time lifetime = event::kSecond;  // paper: 1 s request expiry
+
+  // --- TACTIC extensions -------------------------------------------------
+  /// The client's authentication tag; null for untagged requests
+  /// (registration Interests, public content, or the no-tag attacker).
+  std::shared_ptr<const core::Tag> tag;
+  /// Serialized size of `tag` in bytes (kept here so the NDN layer can
+  /// account wire size without knowing the tag's layout).
+  std::size_t tag_wire_size = 0;
+  /// Cooperation flag F: 0 = the edge router could not vouch for the tag;
+  /// otherwise the edge router's Bloom-filter false-positive probability.
+  double flag_f = 0.0;
+  /// Rolling access path: XOR of the 64-bit identity hashes of the
+  /// entities between the client and its edge router.
+  std::uint64_t access_path = 0;
+  /// Application payload bytes (registration credentials).
+  std::size_t payload_size = 0;
+
+  /// Modeled wire size in bytes.
+  std::size_t wire_size() const;
+};
+
+/// An NDN Data (content) packet.
+struct Data {
+  Name name;
+  std::size_t content_size = 1024;  // payload bytes (modeled)
+
+  /// Content access level AL_D signed into the packet by the provider;
+  /// kPublicAccessLevel means publicly available data (paper: "NULL").
+  std::uint32_t access_level = 0;
+  /// The provider's public-key locator Pub_p^D embedded in the content.
+  std::string provider_key_locator;
+  /// Size of the provider's content signature (routers never verify
+  /// content signatures in TACTIC, only clients may).
+  std::size_t signature_size = 0;
+  /// The actual content signature bytes, present when the provider signs
+  /// content (see workload::ProviderConfig::sign_content).  Shared —
+  /// Data packets are copied along the reverse paths.  Computed over
+  /// signed_portion().
+  std::shared_ptr<const util::Bytes> signature;
+
+  /// Canonical bytes a content signature covers: name, content size,
+  /// access level, and provider key locator.  (Payload bytes are modeled
+  /// by size in the simulator; the name binds the deterministic payload.)
+  util::Bytes signed_portion() const;
+
+  // --- TACTIC extensions -------------------------------------------------
+  /// True when this packet delivers a freshly issued tag (registration
+  /// response, T_new in Protocol 2).
+  bool is_registration_response = false;
+  /// Echo of the request's tag ("content-tag pair"), or the fresh tag for
+  /// registration responses.
+  std::shared_ptr<const core::Tag> tag;
+  std::size_t tag_wire_size = 0;
+  /// Attached NACK ("content-tag-NACK tuple"): the content still flows
+  /// downstream to satisfy other aggregated valid requests, but the tagged
+  /// requester must not receive it.
+  bool nack_attached = false;
+  NackReason nack_reason = NackReason::kNone;
+  /// F value set by the responding content router (Protocol 3): zero tells
+  /// the edge router the tag was absent from upstream filters, so the edge
+  /// router inserts it into its own.
+  double flag_f = 0.0;
+
+  /// Diagnostics: satisfied from an in-network cache (not the provider).
+  bool from_cache = false;
+
+  std::size_t wire_size() const;
+};
+
+/// Content access level representing publicly available data ("We set the
+/// AL_D of a publicly available data to NULL").
+constexpr std::uint32_t kPublicAccessLevel = 0;
+
+/// A standalone NACK (edge router to client, or hop-by-hop error).
+struct Nack {
+  Name name;
+  NackReason reason = NackReason::kNone;
+  std::size_t wire_size() const;
+};
+
+}  // namespace tactic::ndn

@@ -1,0 +1,26 @@
+#include "ndn/pit.hpp"
+
+#include <algorithm>
+
+namespace tactic::ndn {
+
+PitEntry* Pit::find(const Name& name) {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+PitEntry& Pit::get_or_create(const Name& name) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) it->second.name = name;
+  return it->second;
+}
+
+void Pit::erase(const Name& name) { entries_.erase(name); }
+
+bool Pit::has_nonce(const PitEntry& entry, std::uint64_t nonce) {
+  return std::any_of(
+      entry.in_records.begin(), entry.in_records.end(),
+      [nonce](const PitInRecord& rec) { return rec.nonce == nonce; });
+}
+
+}  // namespace tactic::ndn

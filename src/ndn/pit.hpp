@@ -1,0 +1,63 @@
+#pragma once
+// Pending Interest Table.
+//
+// Besides classic NDN aggregation (one entry per in-flight name, multiple
+// downstream faces), TACTIC's Protocol 4 requires each aggregated request
+// to record the 3-tuple <tag T, flag F, incoming face>, so intermediate
+// routers can validate every aggregated tag when the content returns.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "event/scheduler.hpp"
+#include "ndn/fib.hpp"
+#include "ndn/name.hpp"
+#include "ndn/packet.hpp"
+
+namespace tactic::ndn {
+
+/// One aggregated downstream request (TACTIC's <T_u, F, InFace_u>).
+struct PitInRecord {
+  FaceId face = kInvalidFace;
+  std::uint64_t nonce = 0;
+  std::shared_ptr<const core::Tag> tag;
+  std::size_t tag_wire_size = 0;
+  double flag_f = 0.0;
+  std::uint64_t access_path = 0;
+  event::Time expiry = 0;  // absolute time this record times out
+};
+
+struct PitEntry {
+  Name name;
+  std::vector<PitInRecord> in_records;
+  /// True once the Interest has been sent upstream (subsequent arrivals
+  /// are aggregated, matching the paper's Protocol 4 lines 1-5).
+  bool forwarded = false;
+  event::EventId expiry_event;
+  /// Absolute time at which the whole entry expires (max over records).
+  event::Time expiry_time = 0;
+};
+
+class Pit {
+ public:
+  /// Finds the entry for `name`; nullptr if absent.
+  PitEntry* find(const Name& name);
+
+  /// Creates (or returns the existing) entry.
+  PitEntry& get_or_create(const Name& name);
+
+  void erase(const Name& name);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Whether a downstream face already requested this name with this nonce
+  /// (duplicate/looping Interest detection).
+  static bool has_nonce(const PitEntry& entry, std::uint64_t nonce);
+
+ private:
+  std::unordered_map<Name, PitEntry> entries_;
+};
+
+}  // namespace tactic::ndn

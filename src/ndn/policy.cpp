@@ -1,0 +1,35 @@
+#include "ndn/policy.hpp"
+
+namespace tactic::ndn {
+
+AccessControlPolicy::InterestDecision AccessControlPolicy::on_interest(
+    Forwarder& /*node*/, FaceId /*in_face*/, Interest& /*interest*/) {
+  return {};
+}
+
+AccessControlPolicy::CacheHitDecision AccessControlPolicy::on_cache_hit(
+    Forwarder& /*node*/, FaceId /*in_face*/, const Interest& /*interest*/,
+    Data& /*response*/) {
+  return {};
+}
+
+event::Time AccessControlPolicy::on_data(Forwarder& /*node*/,
+                                         FaceId /*in_face*/,
+                                         const Data& /*data*/) {
+  return 0;
+}
+
+AccessControlPolicy::DownstreamDecision
+AccessControlPolicy::on_data_to_downstream(Forwarder& /*node*/,
+                                           const PitInRecord& /*record*/,
+                                           const Data& /*incoming*/,
+                                           Data& /*outgoing*/) {
+  return {};
+}
+
+bool AccessControlPolicy::may_cache(const Forwarder& /*node*/,
+                                    const Data& data) {
+  return !data.is_registration_response;
+}
+
+}  // namespace tactic::ndn

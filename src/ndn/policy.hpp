@@ -1,0 +1,96 @@
+#pragma once
+// Access-control policy hooks.
+//
+// The Forwarder implements plain NDN (CS -> PIT -> FIB pipeline, reverse-
+// path data forwarding).  Everything access-control-specific — TACTIC's
+// Protocols 1-4 as well as the baseline mechanisms of Table II — plugs in
+// through this interface.  One policy object is instantiated *per node*,
+// because TACTIC state (the router's Bloom filter, operation counters) is
+// per-router.
+
+#include <memory>
+
+#include "event/time.hpp"
+#include "ndn/packet.hpp"
+#include "ndn/pit.hpp"
+
+namespace tactic::ndn {
+
+class Forwarder;
+
+class AccessControlPolicy {
+ public:
+  virtual ~AccessControlPolicy() = default;
+
+  /// Outcome of inspecting an arriving Interest.
+  struct InterestDecision {
+    enum class Action {
+      kContinue,       // proceed with the normal CS/PIT/FIB pipeline
+      kDrop,           // silently drop
+      kDropWithNack,   // drop and send a standalone NACK on the in-face
+    };
+    Action action = Action::kContinue;
+    NackReason nack_reason = NackReason::kNone;
+    /// Compute time consumed by the inspection (pre-check, BF lookup,
+    /// signature verification); delays everything this packet triggers.
+    event::Time compute = 0;
+  };
+
+  /// Called for every Interest arriving at the node, before CS lookup.
+  /// The policy may mutate the Interest (stamp flag F, accumulate the
+  /// access path).  Default: continue untouched.
+  virtual InterestDecision on_interest(Forwarder& node, FaceId in_face,
+                                       Interest& interest);
+
+  /// Outcome of serving an Interest from the local Content Store — i.e.
+  /// this node is acting as a *content router* for this request.
+  struct CacheHitDecision {
+    /// False suppresses the response entirely (the baseline "no cache
+    /// reuse for protected content" behaviour); the Interest then
+    /// continues to PIT/FIB as a miss.
+    bool respond = true;
+    event::Time compute = 0;
+  };
+
+  /// Called on a CS hit.  `response` is a mutable copy of the cached data
+  /// already carrying the request's tag echo; the policy may set
+  /// flag_f / nack_attached on it (TACTIC Protocol 3).  Default: respond.
+  virtual CacheHitDecision on_cache_hit(Forwarder& node, FaceId in_face,
+                                        const Interest& interest,
+                                        Data& response);
+
+  /// Called once per arriving Data packet, before PIT consumption.  Edge
+  /// routers use this for Protocol 2's "On Content" Bloom-filter
+  /// bookkeeping.  Default: no-op.
+  virtual event::Time on_data(Forwarder& node, FaceId in_face,
+                              const Data& data);
+
+  /// Outcome of forwarding arriving Data to one aggregated downstream
+  /// request (one PIT in-record).
+  struct DownstreamDecision {
+    bool forward = true;
+    /// Forward with a NACK attached (content-tag-NACK tuple), so the
+    /// downstream edge router suppresses delivery to that client while
+    /// still being able to satisfy other aggregated requests.
+    bool attach_nack = false;
+    NackReason nack_reason = NackReason::kNone;
+    event::Time compute = 0;
+  };
+
+  /// Called for each PIT in-record when Data is consumed (TACTIC
+  /// Protocol 4 lines 11-26).  `outgoing` is the per-record copy and may
+  /// be mutated (F value, tag echo).  Default: forward as-is.
+  virtual DownstreamDecision on_data_to_downstream(Forwarder& node,
+                                                   const PitInRecord& record,
+                                                   const Data& incoming,
+                                                   Data& outgoing);
+
+  /// Whether this node may cache `data`.  Default: cache everything except
+  /// registration responses.
+  virtual bool may_cache(const Forwarder& node, const Data& data);
+};
+
+/// The no-op policy: plain NDN with no access control.
+class NullPolicy : public AccessControlPolicy {};
+
+}  // namespace tactic::ndn

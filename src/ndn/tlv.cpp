@@ -1,0 +1,111 @@
+#include "ndn/tlv.hpp"
+
+namespace tactic::ndn {
+
+void append_tlv_number(util::Bytes& out, std::uint64_t value) {
+  if (value < 253) {
+    out.push_back(static_cast<std::uint8_t>(value));
+  } else if (value <= 0xFFFF) {
+    out.push_back(253);
+    util::append_u16(out, static_cast<std::uint16_t>(value));
+  } else if (value <= 0xFFFFFFFF) {
+    out.push_back(254);
+    util::append_u32(out, static_cast<std::uint32_t>(value));
+  } else {
+    out.push_back(255);
+    util::append_u64(out, value);
+  }
+}
+
+void append_tlv(util::Bytes& out, std::uint64_t type,
+                util::BytesView value) {
+  append_tlv_number(out, type);
+  append_tlv_number(out, value.size());
+  util::append_bytes(out, value);
+}
+
+void append_tlv_uint(util::Bytes& out, std::uint64_t type,
+                     std::uint64_t value) {
+  util::Bytes encoded;
+  if (value <= 0xFF) {
+    util::append_u8(encoded, static_cast<std::uint8_t>(value));
+  } else if (value <= 0xFFFF) {
+    util::append_u16(encoded, static_cast<std::uint16_t>(value));
+  } else if (value <= 0xFFFFFFFF) {
+    util::append_u32(encoded, static_cast<std::uint32_t>(value));
+  } else {
+    util::append_u64(encoded, value);
+  }
+  append_tlv(out, type, encoded);
+}
+
+std::uint64_t TlvReader::read_number() {
+  if (at_end()) throw TlvError("TLV: truncated number");
+  const std::uint8_t first = data_[offset_++];
+  if (first < 253) return first;
+  auto need = [&](std::size_t n) {
+    if (remaining() < n) throw TlvError("TLV: truncated number");
+  };
+  if (first == 253) {
+    need(2);
+    const std::uint64_t v = util::read_u16(data_, offset_);
+    offset_ += 2;
+    return v;
+  }
+  if (first == 254) {
+    need(4);
+    const std::uint64_t v = util::read_u32(data_, offset_);
+    offset_ += 4;
+    return v;
+  }
+  need(8);
+  const std::uint64_t v = util::read_u64(data_, offset_);
+  offset_ += 8;
+  return v;
+}
+
+std::uint64_t TlvReader::peek_type() {
+  const std::size_t saved = offset_;
+  const std::uint64_t type = read_number();
+  offset_ = saved;
+  return type;
+}
+
+TlvReader::Element TlvReader::read_element() {
+  const std::uint64_t type = read_number();
+  const std::uint64_t length = read_number();
+  if (remaining() < length) throw TlvError("TLV: truncated value");
+  Element element{type, data_.subspan(offset_,
+                                      static_cast<std::size_t>(length))};
+  offset_ += static_cast<std::size_t>(length);
+  return element;
+}
+
+TlvReader::Element TlvReader::expect_element(std::uint64_t type) {
+  if (at_end()) throw TlvError("TLV: missing required element");
+  const Element element = read_element();
+  if (element.type != type) {
+    throw TlvError("TLV: unexpected element type " +
+                   std::to_string(element.type) + ", wanted " +
+                   std::to_string(type));
+  }
+  return element;
+}
+
+std::optional<TlvReader::Element> TlvReader::read_optional(
+    std::uint64_t type) {
+  if (at_end() || peek_type() != type) return std::nullopt;
+  return read_element();
+}
+
+std::uint64_t TlvReader::to_uint(const Element& element) {
+  switch (element.value.size()) {
+    case 1: return element.value[0];
+    case 2: return util::read_u16(element.value, 0);
+    case 4: return util::read_u32(element.value, 0);
+    case 8: return util::read_u64(element.value, 0);
+    default: throw TlvError("TLV: bad integer width");
+  }
+}
+
+}  // namespace tactic::ndn

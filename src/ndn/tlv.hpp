@@ -1,0 +1,70 @@
+#pragma once
+// TLV (type-length-value) encoding, NDN style.
+//
+// Lengths use NDN's variable-size number encoding: values < 253 occupy
+// one byte; 253 prefixes a 2-byte big-endian value; 254 prefixes a 4-byte
+// value.  Types here are single-byte (all our assigned types are < 253,
+// encoded with the same scheme).
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace tactic::ndn {
+
+/// Thrown by readers on malformed input.
+class TlvError : public std::runtime_error {
+ public:
+  explicit TlvError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends a variable-size TLV number (used for both types and lengths).
+void append_tlv_number(util::Bytes& out, std::uint64_t value);
+
+/// Appends a full TLV element: type, length, and `value` bytes.
+void append_tlv(util::Bytes& out, std::uint64_t type, util::BytesView value);
+
+/// Appends a TLV element holding a big-endian non-negative integer using
+/// the shortest of 1/2/4/8 bytes.
+void append_tlv_uint(util::Bytes& out, std::uint64_t type,
+                     std::uint64_t value);
+
+/// Sequential TLV reader over a byte span.
+class TlvReader {
+ public:
+  explicit TlvReader(util::BytesView data) : data_(data) {}
+
+  bool at_end() const { return offset_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - offset_; }
+
+  /// Reads one variable-size number; throws TlvError on truncation.
+  std::uint64_t read_number();
+
+  /// Peeks the type of the next element without consuming it.
+  std::uint64_t peek_type();
+
+  /// Reads the next element; throws TlvError on truncation.
+  struct Element {
+    std::uint64_t type = 0;
+    util::BytesView value;
+  };
+  Element read_element();
+
+  /// Reads the next element, requiring `type`; throws TlvError otherwise.
+  Element expect_element(std::uint64_t type);
+
+  /// Reads the next element if it has `type`; otherwise leaves the
+  /// reader untouched and returns nullopt.
+  std::optional<Element> read_optional(std::uint64_t type);
+
+  /// Decodes a big-endian integer from an element's value (1/2/4/8 bytes).
+  static std::uint64_t to_uint(const Element& element);
+
+ private:
+  util::BytesView data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace tactic::ndn

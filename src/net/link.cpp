@@ -1,0 +1,47 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tactic::net {
+
+LinkParams core_link_params() {
+  return LinkParams{500e6, event::kMillisecond, 100};
+}
+
+LinkParams edge_link_params() {
+  return LinkParams{10e6, 2 * event::kMillisecond, 100};
+}
+
+Link::Link(event::Scheduler& scheduler, LinkParams params)
+    : scheduler_(scheduler), params_(params) {}
+
+event::Time Link::serialization_delay(std::size_t size_bytes) const {
+  const double seconds =
+      static_cast<double>(size_bytes) * 8.0 / params_.bits_per_second;
+  return std::max<event::Time>(1, event::from_seconds(seconds));
+}
+
+bool Link::send(std::size_t size_bytes, std::function<void()> on_delivered) {
+  if (!up_ || in_flight_ >= params_.max_queue) {
+    ++counters_.frames_dropped;
+    return false;
+  }
+  const event::Time now = scheduler_.now();
+  const event::Time start = std::max(busy_until_, now);
+  const event::Time tx_done = start + serialization_delay(size_bytes);
+  busy_until_ = tx_done;
+  ++in_flight_;
+  ++counters_.frames_sent;
+  counters_.bytes_sent += size_bytes;
+
+  scheduler_.schedule_at(
+      tx_done + params_.propagation_delay,
+      [this, deliver = std::move(on_delivered)]() mutable {
+        --in_flight_;
+        deliver();
+      });
+  return true;
+}
+
+}  // namespace tactic::net

@@ -1,0 +1,76 @@
+#pragma once
+// Point-to-point links with bandwidth, propagation delay, and a drop-tail
+// queue — the ns-3 point-to-point substitute.
+//
+// A `Link` is one direction of a channel.  Transmission of a frame of S
+// bytes occupies the transmitter for S*8/bandwidth seconds ("busy-until"
+// model); frames arriving while the transmitter is busy wait in a FIFO
+// bounded by `max_queue`; overflow frames are dropped.  After serialization
+// the frame propagates for `propagation_delay` and is handed to the
+// receiver callback.
+//
+// The layer is payload-agnostic: a frame is a byte count plus a delivery
+// closure, so `net` has no dependency on the NDN packet types.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "event/scheduler.hpp"
+#include "event/time.hpp"
+
+namespace tactic::net {
+
+/// Link configuration.
+struct LinkParams {
+  double bits_per_second = 500e6;                     // paper core: 500 Mbps
+  event::Time propagation_delay = event::kMillisecond;  // paper core: 1 ms
+  std::size_t max_queue = 100;                        // frames
+};
+
+/// Paper presets (Section 8.A).
+LinkParams core_link_params();  // 500 Mbps, 1 ms
+LinkParams edge_link_params();  // 10 Mbps, 2 ms
+
+/// Traffic counters for one link direction.
+struct LinkCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// One direction of a point-to-point channel.
+class Link {
+ public:
+  /// `deliver` runs at the receiver when a frame arrives; it receives the
+  /// same opaque cookie passed to `send` (the serialized packet stand-in).
+  Link(event::Scheduler& scheduler, LinkParams params);
+
+  const LinkParams& params() const { return params_; }
+  const LinkCounters& counters() const { return counters_; }
+
+  /// Enqueues a frame of `size_bytes` whose arrival at the receiver runs
+  /// `on_delivered`.  Returns false (and drops) when the link is down or
+  /// the queue is full — the sender may fail over to another face.
+  bool send(std::size_t size_bytes, std::function<void()> on_delivered);
+
+  /// Administrative / failure state.  A down link refuses frames; frames
+  /// already in flight still arrive (they are on the wire).
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  /// Instantaneous queue depth in frames (including the one in service).
+  std::size_t queue_depth() const { return in_flight_; }
+
+ private:
+  event::Time serialization_delay(std::size_t size_bytes) const;
+
+  event::Scheduler& scheduler_;
+  LinkParams params_;
+  LinkCounters counters_;
+  event::Time busy_until_ = 0;
+  std::size_t in_flight_ = 0;
+  bool up_ = true;
+};
+
+}  // namespace tactic::net

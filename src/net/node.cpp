@@ -1,0 +1,17 @@
+#include "net/node.hpp"
+
+namespace tactic::net {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kClient: return "client";
+    case NodeKind::kAttacker: return "attacker";
+    case NodeKind::kAccessPoint: return "ap";
+    case NodeKind::kEdgeRouter: return "edge";
+    case NodeKind::kCoreRouter: return "core";
+    case NodeKind::kProvider: return "provider";
+  }
+  return "?";
+}
+
+}  // namespace tactic::net

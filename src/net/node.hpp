@@ -1,0 +1,42 @@
+#pragma once
+// Node identity and roles.
+//
+// The paper's network model (Section 3.A) is a hierarchy: wireless clients
+// and attackers at the bottom, wireless access points, ISP edge routers
+// (R_E), ISP core routers (R_C), and content providers on top.  "Content
+// router" vs "intermediate router" is *not* a static role — it depends on
+// whether the router holds the requested content in its cache at Interest
+// arrival — so it does not appear here.
+
+#include <cstdint>
+#include <string>
+
+namespace tactic::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~0u;
+
+enum class NodeKind : std::uint8_t {
+  kClient,       // legitimate wireless client (U)
+  kAttacker,     // unauthorized user
+  kAccessPoint,  // wireless AP; accumulates the access path
+  kEdgeRouter,   // R_E
+  kCoreRouter,   // R_C
+  kProvider,     // content provider (P)
+};
+
+const char* to_string(NodeKind kind);
+
+/// True for ISP routers (the entities that run TACTIC's protocols).
+constexpr bool is_router(NodeKind kind) {
+  return kind == NodeKind::kEdgeRouter || kind == NodeKind::kCoreRouter;
+}
+
+/// Descriptive identity of a simulated node.
+struct NodeInfo {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kCoreRouter;
+  std::string label;  // e.g. "core17", "client3", "provider0"
+};
+
+}  // namespace tactic::net

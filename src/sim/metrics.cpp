@@ -1,0 +1,70 @@
+#include "sim/metrics.hpp"
+
+namespace tactic::sim {
+
+RouterOps& RouterOps::operator+=(const RouterOps& other) {
+  bf_lookups += other.bf_lookups;
+  bf_insertions += other.bf_insertions;
+  sig_verifications += other.sig_verifications;
+  bf_resets += other.bf_resets;
+  compute_charged_s += other.compute_charged_s;
+  return *this;
+}
+
+TrafficTotals& TrafficTotals::operator+=(const TrafficTotals& other) {
+  requested += other.requested;
+  received += other.received;
+  nacks += other.nacks;
+  timeouts += other.timeouts;
+  tags_requested += other.tags_requested;
+  tags_received += other.tags_received;
+  return *this;
+}
+
+double Metrics::mean_requests_per_reset(
+    const std::vector<std::uint64_t>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::uint64_t s : samples) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples.size());
+}
+
+void MetricsAccumulator::add(const Metrics& metrics) {
+  ++runs;
+  mean_latency.add(metrics.mean_latency());
+  client_delivery.add(metrics.clients.delivery_ratio());
+  attacker_delivery.add(metrics.attackers.delivery_ratio());
+  client_requested.add(static_cast<double>(metrics.clients.requested));
+  client_received.add(static_cast<double>(metrics.clients.received));
+  attacker_requested.add(static_cast<double>(metrics.attackers.requested));
+  attacker_received.add(static_cast<double>(metrics.attackers.received));
+
+  const double seconds =
+      metrics.tag_requests.bucket_count() > 0
+          ? static_cast<double>(metrics.tag_requests.bucket_count())
+          : 1.0;
+  tag_request_rate.add(
+      static_cast<double>(metrics.clients.tags_requested) / seconds);
+  tag_receive_rate.add(
+      static_cast<double>(metrics.clients.tags_received) / seconds);
+
+  edge_lookups.add(static_cast<double>(metrics.edge_ops.bf_lookups));
+  edge_inserts.add(static_cast<double>(metrics.edge_ops.bf_insertions));
+  edge_verifies.add(static_cast<double>(metrics.edge_ops.sig_verifications));
+  edge_resets.add(static_cast<double>(metrics.edge_ops.bf_resets));
+  core_lookups.add(static_cast<double>(metrics.core_ops.bf_lookups));
+  core_inserts.add(static_cast<double>(metrics.core_ops.bf_insertions));
+  core_verifies.add(static_cast<double>(metrics.core_ops.sig_verifications));
+  core_resets.add(static_cast<double>(metrics.core_ops.bf_resets));
+  edge_reqs_per_reset.add(
+      Metrics::mean_requests_per_reset(metrics.edge_requests_per_reset));
+  core_reqs_per_reset.add(
+      Metrics::mean_requests_per_reset(metrics.core_requests_per_reset));
+  provider_verifies.add(
+      static_cast<double>(metrics.provider_sig_verifications));
+  cache_hit_ratio.add(metrics.cache_hit_ratio());
+  attacker_nacks.add(static_cast<double>(metrics.attackers.nacks));
+  attacker_timeouts.add(static_cast<double>(metrics.attackers.timeouts));
+}
+
+}  // namespace tactic::sim

@@ -1,0 +1,105 @@
+#pragma once
+// Experiment metrics, matching the paper's evaluation criteria
+// (Section 8.A): user-based — content retrieval latency, request
+// satisfaction ratio, tag statistics — and network-based — BF/signature
+// operation counts and BF reset behaviour, split by router role.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/timeseries.hpp"
+
+namespace tactic::sim {
+
+/// Aggregated TACTIC operation counts for one router class (Fig. 7).
+struct RouterOps {
+  std::uint64_t bf_lookups = 0;
+  std::uint64_t bf_insertions = 0;
+  std::uint64_t sig_verifications = 0;
+  std::uint64_t bf_resets = 0;
+  /// Total simulated compute time charged for the above (seconds).
+  double compute_charged_s = 0.0;
+
+  RouterOps& operator+=(const RouterOps& other);
+};
+
+/// Traffic totals for one user class (Table IV).
+struct TrafficTotals {
+  std::uint64_t requested = 0;
+  std::uint64_t received = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t tags_requested = 0;
+  std::uint64_t tags_received = 0;
+
+  double delivery_ratio() const {
+    return requested == 0
+               ? 0.0
+               : static_cast<double>(received) /
+                     static_cast<double>(requested);
+  }
+  TrafficTotals& operator+=(const TrafficTotals& other);
+};
+
+/// Everything one scenario run produces.
+struct Metrics {
+  // Per-second series (Figs. 5 and 6).
+  util::TimeSeries latency{1.0};       // client retrieval latency (seconds)
+  util::TimeSeries tag_requests{1.0};  // Q events
+  util::TimeSeries tag_receives{1.0};  // R events
+
+  TrafficTotals clients;
+  TrafficTotals attackers;
+
+  RouterOps edge_ops;
+  RouterOps core_ops;
+
+  /// Completed inter-reset request counts (Fig. 8), by router class.
+  std::vector<std::uint64_t> edge_requests_per_reset;
+  std::vector<std::uint64_t> core_requests_per_reset;
+
+  /// Provider-side burden (Table II).
+  std::uint64_t provider_sig_verifications = 0;
+  std::uint64_t provider_tags_issued = 0;
+  std::uint64_t provider_content_served = 0;
+
+  /// Network totals.
+  std::uint64_t link_bytes_sent = 0;
+  std::uint64_t link_frames_dropped = 0;
+  std::uint64_t cs_hits = 0;
+  std::uint64_t cs_misses = 0;
+
+  double mean_latency() const { return latency.overall_mean(); }
+  double cache_hit_ratio() const {
+    const std::uint64_t total = cs_hits + cs_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cs_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// Mean over the per-reset request counts; 0 when no resets completed.
+  static double mean_requests_per_reset(
+      const std::vector<std::uint64_t>& samples);
+};
+
+/// Element-wise accumulation across seeds (divide by run count for means).
+struct MetricsAccumulator {
+  void add(const Metrics& metrics);
+
+  std::size_t runs = 0;
+  util::RunningStats mean_latency;
+  util::RunningStats client_delivery;
+  util::RunningStats attacker_delivery;
+  util::RunningStats client_requested, client_received;
+  util::RunningStats attacker_requested, attacker_received;
+  util::RunningStats tag_request_rate, tag_receive_rate;  // per second
+  util::RunningStats edge_lookups, edge_inserts, edge_verifies, edge_resets;
+  util::RunningStats core_lookups, core_inserts, core_verifies, core_resets;
+  util::RunningStats edge_reqs_per_reset, core_reqs_per_reset;
+  util::RunningStats provider_verifies;
+  util::RunningStats cache_hit_ratio;
+  util::RunningStats attacker_nacks, attacker_timeouts;
+};
+
+}  // namespace tactic::sim

@@ -1,0 +1,19 @@
+#include "tactic/access_path.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace tactic::core {
+
+std::uint64_t entity_id_hash(const std::string& label) {
+  return crypto::sha256_prefix64(label);
+}
+
+std::uint64_t access_path_of(const std::vector<std::string>& entity_labels) {
+  std::uint64_t rolling = 0;
+  for (const auto& label : entity_labels) {
+    rolling = accumulate_access_path(rolling, entity_id_hash(label));
+  }
+  return rolling;
+}
+
+}  // namespace tactic::core

@@ -1,0 +1,33 @@
+#pragma once
+// Access-path authentication (paper Section 4.A).
+//
+// "Client u's access path (AP_u) is the XOR of the hashed identity of all
+// network entities between u and r_E (excluding r_E).  Each intermediate
+// entity adds its identity to the rolling hash."  The edge router compares
+// the AP accumulated in the request with the AP signed into the tag; a
+// mismatch means the tag is being used from a different location (shared
+// or replayed), and the request is NACKed.
+//
+// The paper left this feature's evaluation to future work; we implement
+// and evaluate it (see bench/ablation_access_path).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tactic::core {
+
+/// 64-bit identity hash of a network entity (SHA-256 prefix of its label).
+std::uint64_t entity_id_hash(const std::string& label);
+
+/// Folds one entity into a rolling access path.
+constexpr std::uint64_t accumulate_access_path(std::uint64_t rolling,
+                                               std::uint64_t entity_hash) {
+  return rolling ^ entity_hash;
+}
+
+/// Access path for a full path of entity labels (client and edge router
+/// excluded by the caller).
+std::uint64_t access_path_of(const std::vector<std::string>& entity_labels);
+
+}  // namespace tactic::core

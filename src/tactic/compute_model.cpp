@@ -1,0 +1,38 @@
+#include "tactic/compute_model.hpp"
+
+namespace tactic::core {
+
+ComputeModel ComputeModel::deterministic() {
+  Params p;
+  p.bf_lookup = util::NormalDist{9.14e-7, 0.0};
+  p.bf_insert = util::NormalDist{3.35e-7, 0.0};
+  p.sig_verify = util::NormalDist{1.12e-5, 0.0};
+  return ComputeModel{p};
+}
+
+ComputeModel ComputeModel::zero() {
+  Params p;
+  p.bf_lookup = util::NormalDist{0.0, 0.0};
+  p.bf_insert = util::NormalDist{0.0, 0.0};
+  p.sig_verify = util::NormalDist{0.0, 0.0};
+  return ComputeModel{p};
+}
+
+event::Time ComputeModel::clamp_to_time(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return event::from_seconds(seconds);
+}
+
+event::Time ComputeModel::bf_lookup_cost(util::Rng& rng) {
+  return clamp_to_time(params_.bf_lookup.sample(rng));
+}
+
+event::Time ComputeModel::bf_insert_cost(util::Rng& rng) {
+  return clamp_to_time(params_.bf_insert.sample(rng));
+}
+
+event::Time ComputeModel::sig_verify_cost(util::Rng& rng) {
+  return clamp_to_time(params_.sig_verify.sample(rng));
+}
+
+}  // namespace tactic::core

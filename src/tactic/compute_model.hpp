@@ -1,0 +1,58 @@
+#pragma once
+// Compute-latency charging (paper Section 8.B).
+//
+// "The ns-3 (and hence ndnSIM) simulator does not take the time of the
+// computational operations into account.  Thus, we benchmarked the latency
+// distribution (normal distribution) of our computation-based events ...
+// This allowed us to apply the delays, for computation-based operations,
+// as random variables according to our benchmarks."
+//
+// The paper's published distributions (seconds):
+//   BF look up            ~ N(9.14e-7, 6.51e-9)
+//   BF insertion          ~ N(3.35e-7, 1.73e-3)
+//   signature verification ~ N(1.12e-5, 6.49e-3)
+//
+// Note the printed insertion/verification sigmas exceed their means by
+// orders of magnitude; sampled that way, roughly half the draws are
+// negative (clamped to zero here) and the rest form a millisecond-scale
+// tail.  That tail is precisely what makes Bloom-filter resets visible in
+// the paper's latency plots, so `paper_defaults()` keeps the values as
+// printed (with clamping).  `deterministic()` uses the means only, and
+// `zero()` disables charging (unit tests).
+
+#include "event/time.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace tactic::core {
+
+class ComputeModel {
+ public:
+  struct Params {
+    util::NormalDist bf_lookup{9.14e-7, 6.51e-9};
+    util::NormalDist bf_insert{3.35e-7, 1.73e-3};
+    util::NormalDist sig_verify{1.12e-5, 6.49e-3};
+  };
+
+  ComputeModel() : ComputeModel(Params{}) {}
+  explicit ComputeModel(Params params) : params_(params) {}
+
+  /// The paper's benchmarked distributions, as printed, clamped at >= 0.
+  static ComputeModel paper_defaults() { return ComputeModel{}; }
+  /// Means only — no randomness in charged compute.
+  static ComputeModel deterministic();
+  /// All operations free (unit tests / pure-protocol checks).
+  static ComputeModel zero();
+
+  /// Sampled charge for one operation, as simulation time (>= 0).
+  event::Time bf_lookup_cost(util::Rng& rng);
+  event::Time bf_insert_cost(util::Rng& rng);
+  event::Time sig_verify_cost(util::Rng& rng);
+
+ private:
+  static event::Time clamp_to_time(double seconds);
+
+  Params params_;
+};
+
+}  // namespace tactic::core

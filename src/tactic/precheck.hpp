@@ -1,0 +1,45 @@
+#pragma once
+// Protocol 1: the low-cost tag pre-check.
+//
+// "Routers in R_E and R_C^c validate the received tag using the tag's
+// AL_u, expiry time (T_e), and provider's name prefix before the more
+// expensive BF lookup and signature verification operations."
+//
+// The edge-router half checks the provider name prefix against the
+// requested content name and the tag expiry; the content-router half
+// checks the content's access level and provider key locator against the
+// tag's.
+
+#include "event/time.hpp"
+#include "ndn/name.hpp"
+#include "ndn/packet.hpp"
+#include "tactic/tag.hpp"
+
+namespace tactic::core {
+
+enum class PrecheckResult {
+  kOk = 0,
+  kPrefixMismatch,       // N(Pub_p^T) != N(D)            (edge, lines 1-2)
+  kExpired,              // T_e < T_current               (edge, lines 3-4)
+  kAccessLevelTooLow,    // AL_D > AL_u^T                 (content, lines 8-9)
+  kProviderKeyMismatch,  // Pub_p^D != Pub_p^T            (content, lines 10-11)
+};
+
+const char* to_string(PrecheckResult result);
+
+/// Maps a pre-check failure to the NACK reason carried on the wire.
+ndn::NackReason to_nack_reason(PrecheckResult result);
+
+/// Edge-router pre-check (Protocol 1, lines 1-7): the tag must name the
+/// provider that owns the requested content, and must not be expired.
+PrecheckResult edge_precheck(const Tag& tag, const ndn::Name& content_name,
+                             event::Time now);
+
+/// Content-router pre-check (Protocol 1, lines 8-14): the tag's access
+/// level must satisfy the content's, and the provider key locators must
+/// match.  `data.access_level == kPublicAccessLevel` content passes
+/// unconditionally ("allows an r_C^c to return the requested content
+/// without tag verification").
+PrecheckResult content_precheck(const Tag& tag, const ndn::Data& data);
+
+}  // namespace tactic::core

@@ -1,0 +1,360 @@
+#include "tactic/tactic_policy.hpp"
+
+#include "tactic/access_path.hpp"
+
+namespace tactic::core {
+
+bool is_registration_name(const ndn::Name& name, const TacticConfig& config) {
+  return name.size() >= 2 && name.at(1) == config.registration_component;
+}
+
+void RevocationBlacklist::blacklist(const Tag& tag,
+                                    std::size_t router_count) {
+  keys.insert(util::to_hex(tag.bloom_key()));
+  push_messages += router_count;
+}
+
+bool RevocationBlacklist::contains(const Tag& tag) const {
+  return keys.count(util::to_hex(tag.bloom_key())) > 0;
+}
+
+TacticRouterPolicy::TacticRouterPolicy(TacticConfig config,
+                                       const TrustAnchors& anchors,
+                                       ComputeModel compute, util::Rng rng)
+    : config_(std::move(config)),
+      anchors_(anchors),
+      compute_(compute),
+      rng_(rng),
+      bloom_(config_.bloom) {}
+
+bool TacticRouterPolicy::bloom_contains(const Tag& tag,
+                                        event::Time& compute) {
+  ++counters_.bf_lookups;
+  const event::Time cost = compute_.bf_lookup_cost(rng_);
+  compute += cost;
+  counters_.compute_charged += cost;
+  return bloom_.contains(tag.bloom_key());
+}
+
+void TacticRouterPolicy::bloom_insert(const Tag& tag, event::Time& compute) {
+  ++counters_.bf_insertions;
+  const event::Time cost = compute_.bf_insert_cost(rng_);
+  compute += cost;
+  counters_.compute_charged += cost;
+  bloom_.insert(tag.bloom_key());
+  // "Each router automatically resets its BF when it is saturated (its
+  // FPP reaches the maximum FPP)."
+  if (bloom_.saturated()) {
+    counters_.requests_per_reset.push_back(counters_.requests_since_reset);
+    counters_.requests_since_reset = 0;
+    bloom_.reset();
+  }
+}
+
+bool TacticRouterPolicy::verify_signature(const Tag& tag,
+                                          event::Time& compute) {
+  ++counters_.sig_verifications;
+  const event::Time cost = compute_.sig_verify_cost(rng_);
+  compute += cost;
+  counters_.compute_charged += cost;
+  const bool ok = verify_tag_signature(tag, anchors_.pki);
+  if (!ok) ++counters_.sig_failures;
+  return ok;
+}
+
+void TacticRouterPolicy::count_request() {
+  ++counters_.tagged_requests;
+  ++counters_.requests_since_reset;
+}
+
+// ---------------------------------------------------------------------------
+// Access points
+// ---------------------------------------------------------------------------
+
+ApPolicy::ApPolicy(const std::string& entity_label)
+    : id_hash_(entity_id_hash(entity_label)) {}
+
+ndn::AccessControlPolicy::InterestDecision ApPolicy::on_interest(
+    ndn::Forwarder& /*node*/, ndn::FaceId /*in_face*/,
+    ndn::Interest& interest) {
+  interest.access_path =
+      accumulate_access_path(interest.access_path, id_hash_);
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Edge routers — Protocol 2
+// ---------------------------------------------------------------------------
+
+ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
+    ndn::Forwarder& node, ndn::FaceId /*in_face*/, ndn::Interest& interest) {
+  InterestDecision decision;
+
+  // Registration Interests carry no tag by definition; let them through to
+  // the provider.
+  if (is_registration_name(interest.name, config_)) return decision;
+
+  // Public prefixes need no access control at the edge.
+  if (!anchors_.is_protected(interest.name)) return decision;
+
+  if (!interest.tag) {
+    // Threat (a): private content requested without possessing a tag.
+    ++counters_.no_tag_rejections;
+    decision.action = InterestDecision::Action::kDropWithNack;
+    decision.nack_reason = ndn::NackReason::kNoTag;
+    return decision;
+  }
+
+  count_request();
+  const Tag& tag = *interest.tag;
+
+  // Protocol 1, edge half: name-prefix and expiry pre-check before any BF
+  // or signature work.  Failures are silent drops ("drops the request"),
+  // matching the paper; only the access-path check NACKs.
+  if (config_.precheck) {
+    const PrecheckResult pre =
+        edge_precheck(tag, interest.name, node.scheduler().now());
+    if (pre != PrecheckResult::kOk) {
+      ++counters_.precheck_rejections;
+      decision.action = InterestDecision::Action::kDrop;
+      decision.nack_reason = to_nack_reason(pre);
+      return decision;
+    }
+  }
+
+  // Eager-revocation extension: explicitly blacklisted tags die here no
+  // matter how much lifetime they have left.  Free when no revocation was
+  // ever pushed.
+  if (!anchors_.revocations.empty() && anchors_.revocations.contains(tag)) {
+    ++counters_.blacklist_rejections;
+    decision.action = InterestDecision::Action::kDropWithNack;
+    decision.nack_reason = ndn::NackReason::kExpiredTag;
+    return decision;
+  }
+
+  // Protocol 2, lines 1-2: access-path authentication ("drop the request
+  // and send NACK to u").
+  if (config_.enforce_access_path &&
+      tag.access_path() != interest.access_path) {
+    ++counters_.access_path_rejections;
+    if (tracer_ != nullptr) {
+      // Traitor tracing: the rejected tag names its owner (Pub_u).
+      tracer_->report(tag.client_key_locator(), tag.access_path(),
+                      interest.access_path, node.scheduler().now());
+    }
+    decision.action = InterestDecision::Action::kDropWithNack;
+    decision.nack_reason = ndn::NackReason::kAccessPathMismatch;
+    return decision;
+  }
+
+  // Protocol 2, lines 4-9: stamp the cooperation flag F from this BF.
+  // With cooperation ablated, F stays 0 and upstream routers always treat
+  // the tag as unvouched.
+  if (config_.flag_cooperation && bloom_contains(tag, decision.compute)) {
+    interest.flag_f = bloom_.current_fpp();
+  } else {
+    interest.flag_f = 0.0;
+  }
+  return decision;
+}
+
+event::Time EdgeTacticPolicy::on_data(ndn::Forwarder& /*node*/,
+                                      ndn::FaceId /*in_face*/,
+                                      const ndn::Data& data) {
+  event::Time compute = 0;
+  if (data.is_registration_response && data.tag) {
+    // Protocol 2, lines 11-12: a fresh tag from the producer is inserted
+    // into the edge BF as it passes by.
+    bloom_insert(*data.tag, compute);
+    return compute;
+  }
+  if (data.tag && !data.nack_attached && data.flag_f == 0.0) {
+    // Protocol 2, lines 14-15: F == 0 in the returning content means the
+    // tag was not in this BF at forwarding time and an upstream router
+    // (or the provider) vouched for it; insert without re-verifying.
+    bloom_insert(*data.tag, compute);
+  }
+  return compute;
+}
+
+ndn::AccessControlPolicy::DownstreamDecision
+EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
+                                        const ndn::PitInRecord& record,
+                                        const ndn::Data& incoming,
+                                        ndn::Data& outgoing) {
+  DownstreamDecision decision;
+  if (incoming.is_registration_response) return decision;  // forward as-is
+
+  // Untagged record (public content request): forward without the tag
+  // echo meant for someone else.
+  if (!record.tag) {
+    outgoing.tag.reset();
+    outgoing.tag_wire_size = 0;
+    outgoing.nack_attached = false;
+    outgoing.nack_reason = ndn::NackReason::kNone;
+    return decision;
+  }
+
+  const bool is_primary =
+      incoming.tag && incoming.tag->same_tag(*record.tag);
+  if (is_primary) {
+    if (incoming.nack_attached) {
+      // Protocol 2, lines 19-20: content arrived with a NACK for this
+      // tag; drop the request (the client times out).
+      decision.forward = false;
+    }
+    return decision;
+  }
+
+  // Protocol 2, lines 22-23: validate every other aggregated tag; forward
+  // if it is in the BF, otherwise verify the signature and insert.
+  outgoing.tag = record.tag;
+  outgoing.tag_wire_size = record.tag_wire_size;
+  outgoing.nack_attached = false;
+  outgoing.nack_reason = ndn::NackReason::kNone;
+  // With the content in hand, the Protocol 1 content half applies before
+  // any BF/signature work: an aggregated tag whose access level cannot
+  // satisfy AL_D (or whose provider key mismatches) is dropped even if
+  // its signature is genuine.
+  if (config_.precheck && incoming.access_level != ndn::kPublicAccessLevel) {
+    if (content_precheck(*record.tag, incoming) != PrecheckResult::kOk) {
+      ++counters_.precheck_rejections;
+      decision.forward = false;
+      return decision;
+    }
+  }
+  if (bloom_contains(*record.tag, decision.compute)) return decision;
+  if (verify_signature(*record.tag, decision.compute)) {
+    bloom_insert(*record.tag, decision.compute);
+    return decision;
+  }
+  decision.forward = false;  // "drop otherwise"
+  return decision;
+}
+
+// ---------------------------------------------------------------------------
+// Core routers — Protocols 3 and 4
+// ---------------------------------------------------------------------------
+
+ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
+    ndn::Forwarder& /*node*/, ndn::FaceId /*in_face*/,
+    const ndn::Interest& interest, ndn::Data& response) {
+  CacheHitDecision decision;
+
+  // Public data: "allows an r_C^c to return the requested content without
+  // tag verification."
+  if (response.access_level == ndn::kPublicAccessLevel) return decision;
+
+  if (!interest.tag) {
+    // Tagless request for protected content: the content still flows (to
+    // satisfy any valid aggregates downstream), marked invalid.
+    response.nack_attached = true;
+    response.nack_reason = ndn::NackReason::kNoTag;
+    return decision;
+  }
+
+  count_request();
+  const Tag& tag = *interest.tag;
+
+  // Protocol 1, content-router half.
+  if (config_.precheck) {
+    const PrecheckResult pre = content_precheck(tag, response);
+    if (pre != PrecheckResult::kOk) {
+      ++counters_.precheck_rejections;
+      response.nack_attached = true;
+      response.nack_reason = to_nack_reason(pre);
+      return decision;
+    }
+  }
+
+  const double flag_f = config_.flag_cooperation ? interest.flag_f : 0.0;
+  if (flag_f == 0.0) {
+    // Protocol 3, lines 1-10: the edge router could not vouch; check our
+    // own BF, then fall back to signature verification.
+    if (bloom_contains(tag, decision.compute)) {
+      response.flag_f = 0.0;
+      return decision;
+    }
+    if (verify_signature(tag, decision.compute)) {
+      bloom_insert(tag, decision.compute);
+      response.flag_f = 0.0;
+      return decision;
+    }
+    response.nack_attached = true;
+    response.nack_reason = ndn::NackReason::kInvalidSignature;
+    return decision;
+  }
+
+  // Protocol 3, lines 11-16: the edge router vouched with FPP `F`;
+  // re-validate with probability F to bound false-positive leakage.
+  response.flag_f = interest.flag_f;  // copy received F into the content
+  if (rng_.bernoulli(flag_f)) {
+    ++counters_.probabilistic_revalidations;
+    if (!verify_signature(tag, decision.compute)) {
+      response.nack_attached = true;
+      response.nack_reason = ndn::NackReason::kInvalidSignature;
+    }
+  }
+  return decision;
+}
+
+ndn::AccessControlPolicy::DownstreamDecision
+CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
+                                        const ndn::PitInRecord& record,
+                                        const ndn::Data& incoming,
+                                        ndn::Data& outgoing) {
+  DownstreamDecision decision;
+  if (incoming.is_registration_response) return decision;
+
+  // Protocol 4, lines 6-10: the record whose request fetched the content
+  // is forwarded as-is (with its NACK if one is attached).
+  const bool is_primary =
+      incoming.tag && record.tag && incoming.tag->same_tag(*record.tag);
+  if (is_primary) return decision;
+
+  // Aggregated requests (lines 11-26).
+  outgoing.tag = record.tag;
+  outgoing.tag_wire_size = record.tag_wire_size;
+  outgoing.nack_attached = false;
+  outgoing.nack_reason = ndn::NackReason::kNone;
+
+  if (!record.tag) {
+    if (incoming.access_level != ndn::kPublicAccessLevel) {
+      outgoing.nack_attached = true;
+      outgoing.nack_reason = ndn::NackReason::kNoTag;
+    }
+    return decision;
+  }
+  if (incoming.access_level == ndn::kPublicAccessLevel) return decision;
+
+  count_request();
+  const Tag& tag = *record.tag;
+
+  const double flag_f = config_.flag_cooperation ? record.flag_f : 0.0;
+  if (flag_f != 0.0 && !rng_.bernoulli(flag_f)) {
+    // Line 12-13: trust the edge router's vouching.
+    outgoing.flag_f = record.flag_f;
+    return decision;
+  }
+  if (flag_f != 0.0) ++counters_.probabilistic_revalidations;
+
+  // Lines 14-24: validate, insert on success, NACK on failure.
+  bool valid = config_.precheck
+                   ? content_precheck(tag, incoming) == PrecheckResult::kOk
+                   : true;
+  if (valid) {
+    valid = verify_signature(tag, decision.compute);
+  } else {
+    ++counters_.precheck_rejections;
+  }
+  if (valid) {
+    bloom_insert(tag, decision.compute);
+    outgoing.flag_f = 0.0;
+    return decision;
+  }
+  outgoing.nack_attached = true;
+  outgoing.nack_reason = ndn::NackReason::kInvalidSignature;
+  return decision;
+}
+
+}  // namespace tactic::core

@@ -1,0 +1,187 @@
+#pragma once
+// TACTIC's router-side protocols as AccessControlPolicy implementations.
+//
+//  - ApPolicy (access points): accumulates the rolling access path into
+//    each upstream Interest (Section 4.A).
+//  - EdgeTacticPolicy (R_E): Protocol 2 plus the edge half of Protocol 1.
+//  - CoreTacticPolicy (R_C): Protocol 3 when this node is a content
+//    router (cache hit) and Protocol 4 when it is an intermediate router
+//    (PIT aggregation, per-aggregate validation on the data path).
+//
+// Each router owns its Bloom filter of validated tags; validated state is
+// never shared between nodes except through the flag-F cooperation the
+// paper defines.  All crypto is real: signature verification runs the RSA
+// code in crypto/ and its *simulated* cost is charged through the
+// ComputeModel.
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "crypto/pki.hpp"
+#include "ndn/forwarder.hpp"
+#include "ndn/policy.hpp"
+#include "tactic/compute_model.hpp"
+#include "tactic/precheck.hpp"
+#include "tactic/tag.hpp"
+#include "tactic/traitor_tracing.hpp"
+#include "util/rng.hpp"
+
+namespace tactic::core {
+
+/// Network-distributed revocation blacklist — the *eager* revocation
+/// extension.  TACTIC's native revocation is tag expiry; the alternative
+/// class the paper compares against pushes per-revocation updates to
+/// every router.  This models such a push: the provider blacklists the
+/// revoked tag's Bloom key and pays one message per router (accounted in
+/// `push_messages`); edge routers then reject the tag immediately.
+struct RevocationBlacklist {
+  std::unordered_set<std::string> keys;  // hex of Tag::bloom_key()
+  std::uint64_t push_messages = 0;       // router-messages spent on pushes
+
+  /// Blacklists one tag, charging a push to `router_count` routers.
+  void blacklist(const Tag& tag, std::size_t router_count);
+  bool contains(const Tag& tag) const;
+  bool empty() const { return keys.empty(); }
+};
+
+/// Scenario-wide knowledge shared by all routers: the PKI, the set of
+/// access-controlled name prefixes (both written only at setup), and the
+/// eager-revocation blacklist (written by provider pushes at run time).
+struct TrustAnchors {
+  crypto::Pki pki;
+  /// URIs of name prefixes requiring tags (e.g. "/provider3").  Requests
+  /// under other prefixes are public and flow untouched.
+  std::unordered_set<std::string> protected_prefixes;
+  RevocationBlacklist revocations;
+
+  bool is_protected(const ndn::Name& name) const {
+    return protected_prefixes.count(name.prefix(1).to_uri()) > 0;
+  }
+};
+
+/// Per-router TACTIC configuration.
+struct TacticConfig {
+  bloom::BloomParams bloom;  // capacity, hashes = 5, max FPP = 1e-4
+  /// Enforce access-path authentication at edge routers (the paper's
+  /// future-work feature; off in paper-parity runs).
+  bool enforce_access_path = false;
+  /// Flag-F router cooperation (Protocols 2-3).  Disabling it is the
+  /// ablation: every router re-validates for itself.
+  bool flag_cooperation = true;
+  /// Protocol 1 pre-check before BF/signature work.  Disabling it is the
+  /// ablation: structurally invalid tags fall through to signature
+  /// verification.
+  bool precheck = true;
+  /// Name component marking registration Interests
+  /// ("/<provider>/register/...").
+  std::string registration_component = "register";
+};
+
+/// True when `name` is a registration Interest under the convention
+/// "/<provider>/<registration_component>/...".
+bool is_registration_name(const ndn::Name& name,
+                          const TacticConfig& config);
+
+/// Per-router TACTIC operation counters (Fig. 7 / Fig. 8 / Table V).
+struct TacticCounters {
+  std::uint64_t bf_lookups = 0;
+  std::uint64_t bf_insertions = 0;
+  std::uint64_t sig_verifications = 0;
+  std::uint64_t sig_failures = 0;
+  std::uint64_t precheck_rejections = 0;
+  std::uint64_t access_path_rejections = 0;
+  std::uint64_t no_tag_rejections = 0;
+  std::uint64_t blacklist_rejections = 0;  // eager-revocation hits
+  std::uint64_t probabilistic_revalidations = 0;
+  std::uint64_t tagged_requests = 0;
+  /// Total simulated compute time charged by this router's BF and
+  /// signature operations (the quantity the ComputeModel injects).
+  event::Time compute_charged = 0;
+  /// Requests handled since the router's last BF reset, and the completed
+  /// inter-reset request counts (Fig. 8's "# requests for a reset").
+  std::uint64_t requests_since_reset = 0;
+  std::vector<std::uint64_t> requests_per_reset;
+};
+
+/// Common state for TACTIC routers: the Bloom filter, counters, compute
+/// charging, and the validation helpers shared by Protocols 2-4.
+class TacticRouterPolicy : public ndn::AccessControlPolicy {
+ public:
+  TacticRouterPolicy(TacticConfig config, const TrustAnchors& anchors,
+                     ComputeModel compute, util::Rng rng);
+
+  const TacticConfig& config() const { return config_; }
+  const TacticCounters& counters() const { return counters_; }
+  const bloom::BloomFilter& bloom() const { return bloom_; }
+  std::uint64_t bf_resets() const { return bloom_.reset_count(); }
+
+  /// Optional traitor tracer (non-owning; may be null).  Edge routers
+  /// report access-path mismatches to it.
+  void set_traitor_tracer(TraitorTracer* tracer) { tracer_ = tracer; }
+
+ protected:
+  /// BF membership test with charging & counting.
+  bool bloom_contains(const Tag& tag, event::Time& compute);
+  /// BF insertion with charging, counting, and saturation-triggered reset
+  /// (records the inter-reset request count).
+  void bloom_insert(const Tag& tag, event::Time& compute);
+  /// Signature verification with charging & counting.
+  bool verify_signature(const Tag& tag, event::Time& compute);
+  /// Counts a tagged request against the inter-reset window.
+  void count_request();
+
+  TacticConfig config_;
+  const TrustAnchors& anchors_;
+  ComputeModel compute_;
+  util::Rng rng_;
+  bloom::BloomFilter bloom_;
+  TacticCounters counters_;
+  TraitorTracer* tracer_ = nullptr;
+};
+
+/// Access-point behaviour: fold this entity's identity hash into the
+/// Interest's rolling access path and forward.
+class ApPolicy : public ndn::AccessControlPolicy {
+ public:
+  explicit ApPolicy(const std::string& entity_label);
+
+  InterestDecision on_interest(ndn::Forwarder& node, ndn::FaceId in_face,
+                               ndn::Interest& interest) override;
+
+ private:
+  std::uint64_t id_hash_;
+};
+
+/// Protocol 2 (+ Protocol 1 edge half): the edge-router policy.
+class EdgeTacticPolicy : public TacticRouterPolicy {
+ public:
+  using TacticRouterPolicy::TacticRouterPolicy;
+
+  InterestDecision on_interest(ndn::Forwarder& node, ndn::FaceId in_face,
+                               ndn::Interest& interest) override;
+  event::Time on_data(ndn::Forwarder& node, ndn::FaceId in_face,
+                      const ndn::Data& data) override;
+  DownstreamDecision on_data_to_downstream(ndn::Forwarder& node,
+                                           const ndn::PitInRecord& record,
+                                           const ndn::Data& incoming,
+                                           ndn::Data& outgoing) override;
+};
+
+/// Protocols 3 & 4: the core-router policy (content-router behaviour on
+/// cache hits, intermediate-router behaviour on aggregated data).
+class CoreTacticPolicy : public TacticRouterPolicy {
+ public:
+  using TacticRouterPolicy::TacticRouterPolicy;
+
+  CacheHitDecision on_cache_hit(ndn::Forwarder& node, ndn::FaceId in_face,
+                                const ndn::Interest& interest,
+                                ndn::Data& response) override;
+  DownstreamDecision on_data_to_downstream(ndn::Forwarder& node,
+                                           const ndn::PitInRecord& record,
+                                           const ndn::Data& incoming,
+                                           ndn::Data& outgoing) override;
+};
+
+}  // namespace tactic::core

@@ -1,0 +1,32 @@
+#include "tactic/traitor_tracing.hpp"
+
+namespace tactic::core {
+
+TraitorTracer::TraitorTracer() : TraitorTracer(Config{}) {}
+
+TraitorTracer::TraitorTracer(Config config, RevokeFn revoke)
+    : config_(config), revoke_(std::move(revoke)) {}
+
+void TraitorTracer::report(const std::string& client_locator,
+                           std::uint64_t /*tag_access_path*/,
+                           std::uint64_t /*observed_access_path*/,
+                           event::Time /*when*/) {
+  ++reports_;
+  if (flagged_set_.count(client_locator) > 0) return;  // already handled
+  if (++counts_[client_locator] < config_.report_threshold) return;
+  flagged_set_.insert(client_locator);
+  flagged_order_.push_back(client_locator);
+  if (revoke_) revoke_(client_locator);
+}
+
+bool TraitorTracer::is_flagged(const std::string& client_locator) const {
+  return flagged_set_.count(client_locator) > 0;
+}
+
+std::size_t TraitorTracer::report_count(
+    const std::string& client_locator) const {
+  const auto it = counts_.find(client_locator);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace tactic::core

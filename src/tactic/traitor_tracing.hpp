@@ -1,0 +1,68 @@
+#pragma once
+// Traitor tracing — the paper's first future-work item ("augment our
+// mechanism with a traitor tracing feature for preventing the clients
+// from sharing their tags with unauthorized users and thwarting replay
+// attack"), implemented here on top of access-path authentication.
+//
+// Every tag carries the client key locator of the client it was issued
+// to (Pub_u) and the access path of the location it was issued at.  When
+// an edge router rejects a request because the accumulated access path
+// does not match the tag's, that rejection names the *tag owner* — and a
+// tag owner whose credential keeps surfacing at foreign locations is
+// sharing it.  The tracer aggregates these edge reports and, past a
+// threshold, flags the owner and invokes a revocation callback (wired to
+// the providers' issuers by the scenario).
+//
+// Legitimate mobility produces a short burst of mismatches too (until the
+// client re-registers at its new location), so the threshold must exceed
+// one request window; the mobility + tracing integration tests pin this.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "event/time.hpp"
+
+namespace tactic::core {
+
+class TraitorTracer {
+ public:
+  struct Config {
+    /// Mismatch reports naming one client before it is flagged.  Must be
+    /// comfortably above the request window (a moving client emits up to
+    /// `window` mismatches before its re-registration lands).
+    std::size_t report_threshold = 10;
+  };
+
+  /// `revoke` runs once per newly flagged client (e.g. revoking it at
+  /// every provider).
+  using RevokeFn = std::function<void(const std::string& client_locator)>;
+
+  TraitorTracer();
+  explicit TraitorTracer(Config config, RevokeFn revoke = nullptr);
+
+  /// Edge-router report: a request carrying `client_locator`'s tag was
+  /// rejected because `observed_access_path` did not match the
+  /// `tag_access_path` signed into the tag.
+  void report(const std::string& client_locator,
+              std::uint64_t tag_access_path,
+              std::uint64_t observed_access_path, event::Time when);
+
+  bool is_flagged(const std::string& client_locator) const;
+  const std::vector<std::string>& flagged() const { return flagged_order_; }
+  std::uint64_t reports_received() const { return reports_; }
+  std::size_t report_count(const std::string& client_locator) const;
+
+ private:
+  Config config_;
+  RevokeFn revoke_;
+  std::unordered_map<std::string, std::size_t> counts_;
+  std::unordered_set<std::string> flagged_set_;
+  std::vector<std::string> flagged_order_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace tactic::core

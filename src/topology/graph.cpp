@@ -1,0 +1,105 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace tactic::topology {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+void Graph::add_edge(std::size_t a, std::size_t b) {
+  if (a >= node_count() || b >= node_count()) {
+    throw std::out_of_range("Graph: edge endpoint out of range");
+  }
+  if (a == b || has_edge(a, b)) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+}
+
+bool Graph::has_edge(std::size_t a, std::size_t b) const {
+  const auto& nbrs = adjacency_[a];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+bool Graph::connected() const {
+  if (node_count() == 0) return true;
+  const auto dist = bfs_distances(*this, 0);
+  return std::none_of(dist.begin(), dist.end(), [](std::size_t d) {
+    return d == std::numeric_limits<std::size_t>::max();
+  });
+}
+
+Graph barabasi_albert(util::Rng& rng, std::size_t n, std::size_t attach) {
+  if (attach < 1 || n < attach + 1) {
+    throw std::invalid_argument("barabasi_albert: need n >= attach+1 >= 2");
+  }
+  Graph graph(n);
+  // Seed: a clique over the first attach+1 nodes.
+  for (std::size_t a = 0; a <= attach; ++a) {
+    for (std::size_t b = a + 1; b <= attach; ++b) graph.add_edge(a, b);
+  }
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<std::size_t> endpoints;
+  for (std::size_t a = 0; a <= attach; ++a) {
+    for (std::size_t d = 0; d < graph.degree(a); ++d) endpoints.push_back(a);
+  }
+
+  for (std::size_t node = attach + 1; node < n; ++node) {
+    std::vector<std::size_t> targets;
+    while (targets.size() < attach) {
+      const std::size_t pick = endpoints[rng.uniform(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), pick) == targets.end()) {
+        targets.push_back(pick);
+      }
+    }
+    for (std::size_t target : targets) {
+      graph.add_edge(node, target);
+      endpoints.push_back(node);
+      endpoints.push_back(target);
+    }
+  }
+  return graph;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& graph,
+                                       std::size_t source) {
+  constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(graph.node_count(), kUnreached);
+  std::deque<std::size_t> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const std::size_t node = queue.front();
+    queue.pop_front();
+    for (std::size_t next : graph.neighbors(node)) {
+      if (dist[next] == kUnreached) {
+        dist[next] = dist[node] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> next_hop_toward(const Graph& graph,
+                                         std::size_t destination) {
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  const auto dist = bfs_distances(graph, destination);
+  std::vector<std::size_t> next(graph.node_count(), kNone);
+  for (std::size_t node = 0; node < graph.node_count(); ++node) {
+    if (node == destination || dist[node] == kNone) continue;
+    std::size_t best = kNone;
+    for (std::size_t nbr : graph.neighbors(node)) {
+      if (dist[nbr] == kNone || dist[nbr] + 1 != dist[node]) continue;
+      if (best == kNone || nbr < best) best = nbr;
+    }
+    next[node] = best;
+  }
+  return next;
+}
+
+}  // namespace tactic::topology

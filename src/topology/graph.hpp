@@ -1,0 +1,59 @@
+#pragma once
+// Undirected graphs, the Barabási–Albert scale-free generator used for the
+// paper's four evaluation topologies, and shortest-path computation for
+// FIB population.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tactic::topology {
+
+/// Simple undirected graph over nodes 0..n-1.
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count = 0);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds an undirected edge; parallel edges and self-loops are ignored.
+  void add_edge(std::size_t a, std::size_t b);
+  bool has_edge(std::size_t a, std::size_t b) const;
+
+  const std::vector<std::size_t>& neighbors(std::size_t node) const {
+    return adjacency_[node];
+  }
+  std::size_t degree(std::size_t node) const {
+    return adjacency_[node].size();
+  }
+
+  /// True when every node is reachable from node 0 (or the graph is empty).
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `attach` existing nodes with probability
+/// proportional to their degree.  Produces the connected scale-free
+/// topologies the paper evaluates on.  Requires n >= attach + 1, attach >= 1.
+Graph barabasi_albert(util::Rng& rng, std::size_t n, std::size_t attach);
+
+/// Breadth-first hop distances from `source`; unreachable nodes get
+/// SIZE_MAX.
+std::vector<std::size_t> bfs_distances(const Graph& graph,
+                                       std::size_t source);
+
+/// For every node, the neighbor to take toward `destination` along a
+/// shortest path (ties broken toward the lowest-id neighbor, so routing is
+/// deterministic).  destination itself and unreachable nodes map to
+/// SIZE_MAX.
+std::vector<std::size_t> next_hop_toward(const Graph& graph,
+                                         std::size_t destination);
+
+}  // namespace tactic::topology

@@ -1,0 +1,41 @@
+#include "topology/isp.hpp"
+
+#include <stdexcept>
+
+namespace tactic::topology {
+
+TopologyParams paper_topology(int index) {
+  TopologyParams params;
+  switch (index) {
+    case 1:
+      params.core_routers = 80;
+      params.edge_routers = 20;
+      params.clients = 35;
+      params.attackers = 15;
+      break;
+    case 2:
+      params.core_routers = 180;
+      params.edge_routers = 20;
+      params.clients = 71;
+      params.attackers = 29;
+      break;
+    case 3:
+      params.core_routers = 370;
+      params.edge_routers = 30;
+      params.clients = 143;
+      params.attackers = 57;
+      break;
+    case 4:
+      params.core_routers = 560;
+      params.edge_routers = 40;
+      params.clients = 213;
+      params.attackers = 87;
+      break;
+    default:
+      throw std::out_of_range("paper_topology: index must be 1..4");
+  }
+  params.providers = 10;
+  return params;
+}
+
+}  // namespace tactic::topology

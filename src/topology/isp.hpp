@@ -1,0 +1,41 @@
+#pragma once
+// ISP topology parameters and the paper's four presets (Table III).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/link.hpp"
+
+namespace tactic::topology {
+
+/// Everything needed to build one hierarchical ISP network: a scale-free
+/// router backbone (core + edge routers), providers attached to the core,
+/// and wireless users behind APs behind edge routers.
+struct TopologyParams {
+  std::size_t core_routers = 80;
+  std::size_t edge_routers = 20;
+  std::size_t providers = 10;
+  std::size_t clients = 35;
+  std::size_t attackers = 15;
+  /// Wireless access points hanging off each edge router.  Users are
+  /// assigned to APs uniformly at random.
+  std::size_t aps_per_edge = 1;
+  /// Barabási–Albert attachment parameter for the router backbone.
+  std::size_t ba_attach = 2;
+
+  net::LinkParams core_link = net::core_link_params();  // 500 Mbps, 1 ms
+  net::LinkParams edge_link = net::edge_link_params();  // 10 Mbps, 2 ms
+
+  /// Content Store capacities (packets).  The paper leaves cache sizes
+  /// unspecified; defaults give core routers a working cache and keep the
+  /// edge cache-less, matching the protocol descriptions (content routers
+  /// are core routers).
+  std::size_t core_cs_capacity = 1000;
+  std::size_t edge_cs_capacity = 0;
+};
+
+/// The paper's Table III presets; `index` in {1, 2, 3, 4}.
+/// Throws std::out_of_range otherwise.
+TopologyParams paper_topology(int index);
+
+}  // namespace tactic::topology

@@ -1,0 +1,146 @@
+#pragma once
+// Instantiated network: forwarders, links, roles, and routing.
+//
+// `Network` turns TopologyParams into live simulation objects:
+//  1. a Barabási–Albert backbone over core + edge routers (edge routers
+//     are the lowest-degree backbone nodes, i.e. the periphery);
+//  2. wireless access points per edge router.  An AP is a link-layer
+//     entity, not an NDN forwarder: users behind it attach to the edge
+//     router over 10 Mbps wireless-edge links (one face per user, as an
+//     edge router sees each wireless station), while the AP itself exists
+//     as the identified wireless segment whose identity hash the access
+//     path accumulates (paper Section 4.A).  Running NDN aggregation on
+//     APs would let a co-located attacker piggyback on a client's PIT
+//     entry below the enforcement point — exactly what TACTIC's router
+//     protocols preclude;
+//  3. providers attached to random core routers;
+//  4. shortest-path FIB routes installed per provider prefix.
+//
+// The Network owns all forwarders and links.  Policies and applications
+// are installed on top by the sim layer (or by hand in the examples).
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "event/scheduler.hpp"
+#include "ndn/forwarder.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "topology/graph.hpp"
+#include "topology/isp.hpp"
+#include "util/rng.hpp"
+
+namespace tactic::topology {
+
+class Network {
+ public:
+  /// Builds the full network.  All randomness (graph shape, attachment
+  /// choices) is drawn from `rng`.
+  Network(event::Scheduler& scheduler, const TopologyParams& params,
+          util::Rng& rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const TopologyParams& params() const { return params_; }
+  std::size_t node_count() const { return forwarders_.size(); }
+
+  ndn::Forwarder& node(net::NodeId id) { return *forwarders_.at(id); }
+  const ndn::Forwarder& node(net::NodeId id) const {
+    return *forwarders_.at(id);
+  }
+
+  // Role lists (node ids).
+  const std::vector<net::NodeId>& core_routers() const { return core_; }
+  const std::vector<net::NodeId>& edge_routers() const { return edge_; }
+  const std::vector<net::NodeId>& clients() const { return clients_; }
+  const std::vector<net::NodeId>& attackers() const { return attackers_; }
+  const std::vector<net::NodeId>& providers() const { return providers_; }
+
+  /// A wireless access point: an L2 segment identity under one edge
+  /// router.  Its label feeds the access-path hash.
+  struct AccessPoint {
+    std::string label;
+    net::NodeId edge_router = net::kInvalidNode;
+  };
+  const std::vector<AccessPoint>& access_points() const { return aps_; }
+
+  /// Index (into access_points()) of the AP a user is attached to.
+  std::size_t ap_index_of(net::NodeId user) const {
+    return user_ap_.at(user);
+  }
+  /// The AP a user (client/attacker) is attached to.
+  const AccessPoint& ap_of(net::NodeId user) const {
+    return aps_.at(user_ap_.at(user));
+  }
+  /// The edge router above a user.
+  net::NodeId edge_router_of(net::NodeId user) const {
+    return parent_.at(user);
+  }
+  /// The core router a provider hangs off.
+  net::NodeId gateway_of(net::NodeId provider) const {
+    return parent_.at(provider);
+  }
+
+  /// Face on `from` that transmits toward adjacent node `to`; throws when
+  /// not adjacent.
+  ndn::FaceId face_between(net::NodeId from, net::NodeId to) const;
+
+  /// Installs shortest-path FIB entries for `prefix` on every node,
+  /// pointing toward `producer_node` — with every equal-cost next hop, so
+  /// forwarders can fail over when a link goes down.  Adjacencies marked
+  /// down are excluded.  (The producer's own route to its app face is
+  /// installed by the app when it attaches.)
+  void install_routes(const ndn::Name& prefix, net::NodeId producer_node);
+
+  /// Administrative/failure state of the a<->b adjacency (both
+  /// directions).  Frames already in flight still arrive.  Routing does
+  /// NOT react until routes are recomputed (install_routes again /
+  /// sim::Scenario::set_adjacency_up) — until then forwarders rely on
+  /// equal-cost failover.
+  void set_adjacency_up(net::NodeId a, net::NodeId b, bool up);
+  bool adjacency_up(net::NodeId a, net::NodeId b) const;
+
+  /// Connects two nodes with a duplex link (two unidirectional links).
+  /// Exposed for hand-built example topologies.
+  void connect(net::NodeId a, net::NodeId b, const net::LinkParams& params);
+
+  /// Wireless mobility: re-attaches a user behind the AP at `ap_index`,
+  /// connecting it to that AP's edge router (if not already adjacent)
+  /// and updating the attachment maps.  The old link stays (an abandoned
+  /// association); the caller re-points the user's default route and AP
+  /// egress policy — sim::Scenario::move_user does all of it.
+  void reattach_user(net::NodeId user, std::size_t ap_index);
+
+  /// Creates an extra node of the given kind (for hand-built scenarios).
+  net::NodeId add_node(net::NodeKind kind, const std::string& label,
+                       std::size_t cs_capacity);
+
+  /// Aggregate link counters over all link directions.
+  net::LinkCounters total_link_counters() const;
+
+ private:
+  explicit Network(event::Scheduler& scheduler);  // empty shell
+
+  event::Scheduler& scheduler_;
+  TopologyParams params_;
+  std::vector<std::unique_ptr<ndn::Forwarder>> forwarders_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unordered_map<net::NodeId, ndn::FaceId>> neighbor_face_;
+  std::vector<std::vector<net::NodeId>> neighbors_;
+  /// Per-direction links, keyed (from << 32 | to), for up/down control.
+  std::unordered_map<std::uint64_t, net::Link*> directed_link_;
+  std::vector<net::NodeId> parent_;  // user->edge, provider->core
+
+  std::vector<net::NodeId> core_, edge_, clients_, attackers_, providers_;
+  std::vector<AccessPoint> aps_;
+  std::unordered_map<net::NodeId, std::size_t> user_ap_;
+
+ public:
+  /// Builds an empty network to assemble by hand with add_node/connect
+  /// (used by unit tests and the quickstart example).
+  static Network empty(event::Scheduler& scheduler);
+};
+
+}  // namespace tactic::topology

@@ -1,0 +1,113 @@
+#include "util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace tactic::util {
+
+void append_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void append_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  append_u32(out, static_cast<std::uint32_t>(v >> 32));
+  append_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void append_bytes(Bytes& out, BytesView data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+void append_string(Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void append_lv(Bytes& out, BytesView data) {
+  append_u32(out, static_cast<std::uint32_t>(data.size()));
+  append_bytes(out, data);
+}
+
+void append_lv(Bytes& out, std::string_view s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  append_string(out, s);
+}
+
+namespace {
+void require(BytesView in, std::size_t offset, std::size_t n) {
+  if (offset + n > in.size()) {
+    throw std::out_of_range("bytes: read past end of buffer");
+  }
+}
+}  // namespace
+
+std::uint16_t read_u16(BytesView in, std::size_t offset) {
+  require(in, offset, 2);
+  return static_cast<std::uint16_t>((in[offset] << 8) | in[offset + 1]);
+}
+
+std::uint32_t read_u32(BytesView in, std::size_t offset) {
+  require(in, offset, 4);
+  return (static_cast<std::uint32_t>(in[offset]) << 24) |
+         (static_cast<std::uint32_t>(in[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(in[offset + 3]);
+}
+
+std::uint64_t read_u64(BytesView in, std::size_t offset) {
+  require(in, offset, 8);
+  return (static_cast<std::uint64_t>(read_u32(in, offset)) << 32) |
+         read_u32(in, offset + 4);
+}
+
+std::string to_hex(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("bytes: invalid hex character");
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("bytes: odd-length hex string");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_nibble(hex[i]) << 4) |
+                                            hex_nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace tactic::util

@@ -1,0 +1,32 @@
+#pragma once
+// Minimal RFC-4180-style CSV writer for experiment output.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tactic::util {
+
+/// Writes rows to a CSV file.  Fields containing commas, quotes, or
+/// newlines are quoted and inner quotes doubled.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row of string fields.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string_view> fields);
+
+  /// Formats a double with enough precision to round-trip.
+  static std::string num(double v);
+  static std::string num(std::uint64_t v);
+
+ private:
+  static std::string escape(std::string_view field);
+  std::ofstream out_;
+};
+
+}  // namespace tactic::util

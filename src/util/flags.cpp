@@ -1,0 +1,136 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tactic::util {
+
+namespace {
+
+bool looks_like_flag(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+std::int64_t parse_int(const std::string& name, const std::string& v) {
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  }
+  return out;
+}
+
+double parse_double(const std::string& name, const std::string& v) {
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (arg.rfind("no-", 0) == 0) {
+      values_[arg.substr(3)] = "false";
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; else a bare
+    // boolean `--name`.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  return raw(name).value_or(def);
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const auto v = raw(name);
+  return v ? parse_int(name, *v) : def;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto v = raw(name);
+  return v ? parse_double(name, *v) : def;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + *v);
+}
+
+std::vector<std::int64_t> Flags::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  std::vector<std::int64_t> out;
+  for (const auto& part : split_commas(*v)) out.push_back(parse_int(name, part));
+  return out;
+}
+
+std::vector<double> Flags::get_double_list(
+    const std::string& name, const std::vector<double>& def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  std::vector<double> out;
+  for (const auto& part : split_commas(*v)) {
+    out.push_back(parse_double(name, part));
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace tactic::util

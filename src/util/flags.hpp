@@ -1,0 +1,51 @@
+#pragma once
+// Tiny command-line flag parser for the benchmark harnesses and examples.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`.  Unknown flags are an error so typos do not silently run
+// the default configuration.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tactic::util {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  /// Positional (non `--`) arguments are collected in `positional()`.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters with defaults.  Throw std::invalid_argument when the
+  /// value does not parse as the requested type.
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Comma-separated list of integers, e.g. `--topologies=1,2,4`.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+  /// Comma-separated list of doubles, e.g. `--fpp=1e-4,1e-2`.
+  std::vector<double> get_double_list(const std::string& name,
+                                      const std::vector<double>& def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line (for usage/error reporting).
+  std::vector<std::string> names() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tactic::util

@@ -1,0 +1,48 @@
+#pragma once
+// Leveled logging.  Default level is Warn so simulations stay quiet; the
+// examples raise it to Info to narrate what the network is doing.
+
+#include <sstream>
+#include <string>
+
+namespace tactic::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log level (process-wide; the simulator is single-threaded).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tactic::util
+
+#define TACTIC_LOG(level)                                          \
+  if (::tactic::util::log_level() <= (level))                      \
+  ::tactic::util::detail::LogStream(level)
+
+#define TACTIC_LOG_DEBUG TACTIC_LOG(::tactic::util::LogLevel::kDebug)
+#define TACTIC_LOG_INFO TACTIC_LOG(::tactic::util::LogLevel::kInfo)
+#define TACTIC_LOG_WARN TACTIC_LOG(::tactic::util::LogLevel::kWarn)
+#define TACTIC_LOG_ERROR TACTIC_LOG(::tactic::util::LogLevel::kError)

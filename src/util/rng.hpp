@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the simulator flows from one seeded root `Rng`; child
+// streams are derived with `fork()` so that adding a consumer of randomness
+// in one subsystem does not perturb the stream seen by another (a classic
+// reproducibility hazard in discrete-event simulators).
+//
+// The generator is xoshiro256** (Blackman & Vigna) seeded via splitmix64,
+// which is the recommended seeding procedure for the xoshiro family.
+
+#include <array>
+#include <cstdint>
+
+namespace tactic::util {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator so
+/// it can also drive <random> distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 uniformly random bits.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound); bound must be > 0.  Uses Lemire's
+  /// nearly-divisionless rejection method (no modulo bias).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator.  The child's seed mixes this
+  /// generator's next output, so consecutive forks yield distinct streams.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace tactic::util

@@ -1,0 +1,79 @@
+#pragma once
+// Streaming and batch statistics used by the metrics collector.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tactic::util {
+
+/// Constant-memory streaming statistics (Welford's online algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Mean of the samples; 0 when empty.
+  double mean() const;
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Min/max; 0 when empty.
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch sample set with percentile queries.  Keeps all samples; use for
+/// result reporting, not per-packet hot paths.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  /// Percentile in [0, 100] by linear interpolation between closest ranks;
+  /// 0 when empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range samples clamped to
+/// the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  /// Lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tactic::util

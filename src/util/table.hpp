@@ -1,0 +1,33 @@
+#pragma once
+// Console table printer used by the benchmark harnesses to render the
+// paper's tables (Table II, IV, V) and figure series in a readable form.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tactic::util {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Prints with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Formats helpers for numeric cells.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt_ratio(double v);     // e.g. 0.9999
+  static std::string fmt_percent(double v);   // e.g. 94.08%
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tactic::util

@@ -1,0 +1,61 @@
+#include "util/timeseries.hpp"
+
+#include <stdexcept>
+
+namespace tactic::util {
+
+TimeSeries::TimeSeries(double bucket_seconds)
+    : bucket_seconds_(bucket_seconds) {
+  if (bucket_seconds <= 0.0) {
+    throw std::invalid_argument("TimeSeries: bucket width must be > 0");
+  }
+}
+
+void TimeSeries::add(double t_seconds, double value) {
+  if (t_seconds < 0.0) {
+    throw std::invalid_argument("TimeSeries: negative timestamp");
+  }
+  const auto idx = static_cast<std::size_t>(t_seconds / bucket_seconds_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+  buckets_[idx].add(value);
+}
+
+std::size_t TimeSeries::count(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket].count() : 0;
+}
+
+double TimeSeries::mean(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket].mean() : 0.0;
+}
+
+double TimeSeries::sum(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket].sum() : 0.0;
+}
+
+double TimeSeries::overall_mean() const {
+  RunningStats all;
+  for (const auto& b : buckets_) all.merge(b);
+  return all.mean();
+}
+
+std::size_t TimeSeries::total_count() const {
+  std::size_t n = 0;
+  for (const auto& b : buckets_) n += b.count();
+  return n;
+}
+
+std::vector<double> TimeSeries::means() const {
+  std::vector<double> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) out[i] = buckets_[i].mean();
+  return out;
+}
+
+std::vector<std::uint64_t> TimeSeries::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].count();
+  }
+  return out;
+}
+
+}  // namespace tactic::util

@@ -1,0 +1,51 @@
+#pragma once
+// Per-second (or arbitrary-bucket) time series, as used by the paper's
+// figures: Fig. 5 plots per-second average latency, Fig. 6 per-second tag
+// request/receive rates.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace tactic::util {
+
+/// Accumulates (time, value) samples into fixed-width time buckets and
+/// reports per-bucket mean / count / sum.
+class TimeSeries {
+ public:
+  /// `bucket_seconds` must be > 0.
+  explicit TimeSeries(double bucket_seconds = 1.0);
+
+  /// Adds a sample with timestamp `t_seconds` (>= 0).
+  void add(double t_seconds, double value);
+
+  /// Adds an occurrence (value 1) — for rate series.
+  void add_event(double t_seconds) { add(t_seconds, 1.0); }
+
+  double bucket_seconds() const { return bucket_seconds_; }
+  /// Number of buckets touched so far (index of last + 1).
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Per-bucket statistics; buckets with no samples report count 0.
+  std::size_t count(std::size_t bucket) const;
+  double mean(std::size_t bucket) const;
+  double sum(std::size_t bucket) const;
+
+  /// Mean across all samples in all buckets.
+  double overall_mean() const;
+  /// Total number of samples.
+  std::size_t total_count() const;
+
+  /// Per-bucket means vector (0 for empty buckets) — convenient for CSV.
+  std::vector<double> means() const;
+  /// Per-bucket counts vector — convenient for rate plots.
+  std::vector<std::uint64_t> counts() const;
+
+ private:
+  double bucket_seconds_;
+  std::vector<RunningStats> buckets_;
+};
+
+}  // namespace tactic::util

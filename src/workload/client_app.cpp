@@ -1,0 +1,242 @@
+#include "workload/client_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tactic::workload {
+
+namespace {
+std::size_t total_ranks(const std::vector<ProviderApp*>& providers) {
+  std::size_t n = 0;
+  for (const ProviderApp* p : providers) n += p->catalog().object_count();
+  return n == 0 ? 1 : n;
+}
+}  // namespace
+
+ClientApp::ClientApp(ndn::Forwarder& node,
+                     std::vector<ProviderApp*> providers,
+                     ClientConfig config, util::Rng rng)
+    : node_(node),
+      providers_(std::move(providers)),
+      config_(config),
+      rng_(rng),
+      popularity_(total_ranks(providers_), config.zipf_alpha),
+      tags_(providers_.size()) {
+  face_ = node_.add_app_face(ndn::AppSink{
+      nullptr,
+      [this](const ndn::Data& data) { on_data(data); },
+      [this](const ndn::Nack& nack) { on_nack(nack); }});
+}
+
+void ClientApp::start() {
+  running_ = true;
+  advance_stream();  // choose the first (provider, object)
+  next_chunk_ = 0;
+  const event::Time jitter =
+      config_.start_jitter > 0
+          ? static_cast<event::Time>(rng_.uniform(
+                static_cast<std::uint64_t>(config_.start_jitter)))
+          : 0;
+  for (std::size_t slot = 0; slot < config_.window; ++slot) {
+    node_.scheduler().schedule(jitter + think_sample(),
+                               [this] { fill_one_slot(); });
+  }
+}
+
+event::Time ClientApp::think_sample() {
+  if (config_.think_time_mean <= 0) return 0;
+  // Exponential via inverse transform.
+  const double u = rng_.uniform_double();
+  const double mean = static_cast<double>(config_.think_time_mean);
+  return static_cast<event::Time>(-mean * std::log1p(-u));
+}
+
+void ClientApp::schedule_slot_fill() {
+  if (!running_) return;
+  node_.scheduler().schedule(think_sample(), [this] { fill_one_slot(); });
+}
+
+void ClientApp::release_parked_slots(std::size_t count, event::Time delay) {
+  count = std::min(count, parked_slots_);
+  parked_slots_ -= count;
+  for (std::size_t i = 0; i < count; ++i) {
+    node_.scheduler().schedule(delay + think_sample(),
+                               [this] { fill_one_slot(); });
+  }
+}
+
+std::size_t ClientApp::provider_of_rank(std::size_t rank) const {
+  // Ranks interleave across providers so every provider owns content at
+  // all popularity strata: rank r -> provider r % P, object r / P.
+  return rank % providers_.size();
+}
+
+void ClientApp::advance_stream() {
+  const std::size_t rank = popularity_.sample(rng_);
+  current_provider_ = provider_of_rank(rank);
+  current_object_ = rank / providers_.size();
+  next_chunk_ = 0;
+}
+
+void ClientApp::fill_one_slot() {
+  if (!running_) return;
+  if (outstanding_.size() >= config_.window) return;  // window full
+
+  if (next_chunk_ >=
+      providers_[current_provider_]->catalog().params().chunks_per_object) {
+    advance_stream();
+  }
+
+  // Registration gate: protected objects need a valid (unexpired) tag for
+  // the current provider; public objects (AL 0) are fetched tag-free.
+  const bool is_protected =
+      providers_[current_provider_]->catalog().access_level(
+          current_object_) != ndn::kPublicAccessLevel;
+  const core::TagPtr& tag = tags_[current_provider_];
+  const bool tag_valid =
+      tag && tag->expiry() > node_.scheduler().now();
+  if (is_protected && !tag_valid) {
+    if (!registration_pending_) send_registration(current_provider_);
+    // Park the slot; it resumes when the tag arrives or the registration
+    // fails (see on_data / the registration-timeout handler).
+    ++parked_slots_;
+    return;
+  }
+  send_chunk_interest();
+}
+
+void ClientApp::send_chunk_interest() {
+  ProviderApp& provider = *providers_[current_provider_];
+  const ndn::Name name =
+      provider.catalog().chunk_name(current_object_, next_chunk_);
+  ++next_chunk_;
+
+  if (outstanding_.count(name) > 0) {
+    // Already in flight (stream wrapped onto the same object); just move
+    // on next time.
+    schedule_slot_fill();
+    return;
+  }
+
+  ndn::Interest interest;
+  interest.name = name;
+  interest.nonce = rng_();
+  interest.lifetime = config_.interest_lifetime;
+  interest.tag = tags_[current_provider_];
+  interest.tag_wire_size = interest.tag ? interest.tag->wire_size() : 0;
+
+  Outstanding out;
+  out.sent_at = node_.scheduler().now();
+  out.timeout = node_.scheduler().schedule(
+      config_.interest_lifetime, [this, name] { on_timeout(name); });
+  outstanding_[name] = out;
+  ++counters_.chunks_requested;
+  node_.inject_from_app(face_, interest);
+}
+
+void ClientApp::send_registration(std::size_t provider_index) {
+  ProviderApp& provider = *providers_[provider_index];
+  const ndn::Name name = provider.registration_name(label(), rng_());
+  registration_pending_ = provider_index;
+  pending_registration_name_ = name;
+
+  ndn::Interest interest;
+  interest.name = name;
+  interest.nonce = rng_();
+  interest.lifetime = config_.interest_lifetime;
+  interest.payload_size = 64;  // modeled credential blob
+
+  ++counters_.tags_requested;
+  if (on_tag_request) on_tag_request(node_.scheduler().now());
+  node_.scheduler().schedule(config_.interest_lifetime, [this, name] {
+    // Registration timeout: clear the pending marker and release one
+    // parked slot after the backoff; that slot will retry registration.
+    if (registration_pending_ && pending_registration_name_ == name) {
+      registration_pending_.reset();
+      release_parked_slots(1, config_.registration_backoff);
+    }
+  });
+  node_.inject_from_app(face_, interest);
+}
+
+void ClientApp::on_data(const ndn::Data& data) {
+  if (data.is_registration_response) {
+    if (registration_pending_ && pending_registration_name_ == data.name) {
+      const std::size_t provider_index = *registration_pending_;
+      registration_pending_.reset();
+      if (data.nack_attached || !data.tag) {
+        ++counters_.registrations_refused;
+        // Release one parked slot to retry later.
+        release_parked_slots(1, config_.registration_backoff);
+        return;
+      }
+      tags_[provider_index] = data.tag;
+      ++counters_.tags_received;
+      if (on_tag_receive) on_tag_receive(node_.scheduler().now());
+      // Wake every parked slot (with think-time jitter).
+      release_parked_slots(parked_slots_, 0);
+    }
+    return;
+  }
+
+  const auto it = outstanding_.find(data.name);
+  if (it == outstanding_.end()) return;  // late duplicate
+  node_.scheduler().cancel(it->second.timeout);
+  const event::Time now = node_.scheduler().now();
+
+  if (data.nack_attached) {
+    ++counters_.nacks_received;
+  } else if (config_.verify_content && config_.verify_pki != nullptr &&
+             !verify_content_signature(data)) {
+    // Fake content (paper Section 6.B): "the client can validate the
+    // content by verifying its signature" and drop it.
+    ++counters_.content_verification_failures;
+  } else {
+    ++counters_.chunks_received;
+    if (on_latency_sample) {
+      on_latency_sample(now, event::to_seconds(now - it->second.sent_at));
+    }
+  }
+  outstanding_.erase(it);
+  schedule_slot_fill();
+}
+
+bool ClientApp::verify_content_signature(const ndn::Data& data) const {
+  if (!data.signature) return false;
+  const crypto::RsaPublicKey* key =
+      config_.verify_pki->find(data.provider_key_locator);
+  if (key == nullptr) return false;
+  return key->verify_pkcs1_sha256(data.signed_portion(), *data.signature);
+}
+
+void ClientApp::on_nack(const ndn::Nack& nack) {
+  if (registration_pending_ && pending_registration_name_ == nack.name) {
+    registration_pending_.reset();
+    ++counters_.registrations_refused;
+    release_parked_slots(1, config_.registration_backoff);
+    return;
+  }
+  const auto it = outstanding_.find(nack.name);
+  if (it == outstanding_.end()) return;
+  node_.scheduler().cancel(it->second.timeout);
+  outstanding_.erase(it);
+  ++counters_.nacks_received;
+  if (nack.reason == ndn::NackReason::kAccessPathMismatch) {
+    // Mobility: the edge router no longer recognizes our location, so
+    // every held tag is bound to the old one.  Drop them all; the next
+    // window slot re-registers ("a mobile client needs to request a new
+    // tag every time she moves to a new location", paper Section 4.A).
+    for (auto& tag : tags_) tag.reset();
+  }
+  schedule_slot_fill();
+}
+
+void ClientApp::on_timeout(const ndn::Name& name) {
+  const auto it = outstanding_.find(name);
+  if (it == outstanding_.end()) return;
+  outstanding_.erase(it);
+  ++counters_.timeouts;
+  schedule_slot_fill();
+}
+
+}  // namespace tactic::workload

@@ -1,0 +1,129 @@
+#pragma once
+// The paper's "Zipf-window client" (Section 8.A).
+//
+// Each client keeps a fixed-size window of outstanding Interests (5),
+// selects content objects by Zipf(alpha = 0.7) popularity across the
+// global catalog, registers with a provider whenever it lacks a valid tag
+// for it, and then streams the object's chunks through its window.
+// Requests expire after the Interest lifetime (1 s), freeing the window
+// slot.  A think-time gap paces each slot (calibrated in EXPERIMENTS.md to
+// the paper's observed per-client request rates).
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ndn/forwarder.hpp"
+#include "tactic/tag.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "workload/provider_app.hpp"
+
+namespace tactic::workload {
+
+struct ClientConfig {
+  std::size_t window = 5;
+  event::Time interest_lifetime = event::kSecond;
+  /// Mean of the exponential per-slot think time between a slot freeing
+  /// and its next request.
+  event::Time think_time_mean = 200 * event::kMillisecond;
+  double zipf_alpha = 0.7;
+  /// Uniform random start delay (desynchronizes clients).
+  event::Time start_jitter = event::kSecond;
+  /// Backoff before retrying a refused/timed-out registration.
+  event::Time registration_backoff = 2 * event::kSecond;
+  /// Verify content signatures against `verify_pki` before counting a
+  /// chunk as received (paper Section 6.B: "the client can validate the
+  /// content by verifying its signature").  Requires the provider to
+  /// sign content.
+  bool verify_content = false;
+  const crypto::Pki* verify_pki = nullptr;
+};
+
+/// Per-user traffic counters (Table IV's rows; Fig. 6's tag rates).
+struct UserCounters {
+  std::uint64_t chunks_requested = 0;
+  std::uint64_t chunks_received = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t tags_requested = 0;
+  std::uint64_t tags_received = 0;
+  std::uint64_t registrations_refused = 0;
+  /// Content that failed client-side signature verification (fake or
+  /// unsigned content under a protected prefix with verification on).
+  std::uint64_t content_verification_failures = 0;
+};
+
+class ClientApp {
+ public:
+  /// `providers` must outlive the app.  The client's node FIB must
+  /// already default-route toward its access point.
+  ClientApp(ndn::Forwarder& node, std::vector<ProviderApp*> providers,
+            ClientConfig config, util::Rng rng);
+
+  /// Schedules the first requests (after the start jitter).
+  void start();
+  /// Stops issuing new requests (outstanding ones simply expire).
+  void stop() { running_ = false; }
+
+  const UserCounters& counters() const { return counters_; }
+  const std::string& label() const { return node_.info().label; }
+
+  /// The client's current tag for provider `index` (may be null or
+  /// expired).  Exposed for the tag-sharing threat scenarios and tests.
+  core::TagPtr current_tag(std::size_t index) const {
+    return index < tags_.size() ? tags_[index] : core::TagPtr{};
+  }
+
+  /// Metric hooks (wired by the experiment harness).
+  std::function<void(event::Time, double)> on_latency_sample;
+  std::function<void(event::Time)> on_tag_request;
+  std::function<void(event::Time)> on_tag_receive;
+
+ private:
+  struct Outstanding {
+    event::Time sent_at = 0;
+    event::EventId timeout;
+  };
+
+  void schedule_slot_fill();
+  void release_parked_slots(std::size_t count, event::Time delay);
+  void fill_one_slot();
+  std::size_t provider_of_rank(std::size_t rank) const;
+  void advance_stream();
+  void send_chunk_interest();
+  void send_registration(std::size_t provider_index);
+  bool verify_content_signature(const ndn::Data& data) const;
+  void on_data(const ndn::Data& data);
+  void on_nack(const ndn::Nack& nack);
+  void on_timeout(const ndn::Name& name);
+  event::Time think_sample();
+
+  ndn::Forwarder& node_;
+  std::vector<ProviderApp*> providers_;
+  ClientConfig config_;
+  util::Rng rng_;
+  util::ZipfDist popularity_;  // over provider x object ranks
+  ndn::FaceId face_ = ndn::kInvalidFace;
+  bool running_ = false;
+
+  // Stream position.
+  std::size_t current_provider_ = 0;
+  std::size_t current_object_ = 0;
+  std::size_t next_chunk_ = 0;
+
+  // Tag state, per provider.
+  std::vector<core::TagPtr> tags_;
+  std::optional<std::size_t> registration_pending_;  // provider index
+  ndn::Name pending_registration_name_;
+  /// Window slots waiting for a tag.  Slot tokens are conserved: each
+  /// token is either an outstanding Interest, a scheduled fill event, or
+  /// parked here — so the request rate stays window-limited.
+  std::size_t parked_slots_ = 0;
+
+  std::unordered_map<ndn::Name, Outstanding> outstanding_;
+  UserCounters counters_;
+};
+
+}  // namespace tactic::workload

@@ -1,0 +1,110 @@
+#pragma once
+// Content-provider application.
+//
+// Serves its catalog, runs the registration service (tag issuance,
+// revocation), and — being the authoritative origin — validates tags on
+// requests that miss every in-network cache, with the same flag-F
+// semantics as a content router so edge routers learn from provider
+// answers too.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/rsa.hpp"
+#include "ndn/forwarder.hpp"
+#include "tactic/registration.hpp"
+#include "tactic/tactic_policy.hpp"
+#include "workload/catalog.hpp"
+
+namespace tactic::workload {
+
+struct ProviderConfig {
+  CatalogParams catalog;
+  /// Tag validity T_e - T_now (paper default: 10 s).
+  event::Time tag_validity = 10 * event::kSecond;
+  /// Answer refused registrations with a NACK-marked Data instead of the
+  /// paper's silent drop (useful in examples; off for paper parity).
+  bool refuse_with_nack = false;
+  /// RSA modulus bits for the provider key.
+  std::size_t key_bits = 1024;
+  /// Validate tags on requests that reach the provider.  Off for the
+  /// client-side-enforcement baselines, where the network and provider
+  /// serve everyone and only decryption ability protects the content.
+  bool enforce_access_control = true;
+  /// Attach a real RSA signature to every content Data (over
+  /// Data::signed_portion()).  Lets clients detect fake content from a
+  /// prefix-hijacking provider (paper Section 6.B).  Signatures are
+  /// computed lazily, once per chunk.
+  bool sign_content = false;
+};
+
+/// Per-provider operation counters (Table II's provider burden column).
+struct ProviderCounters {
+  std::uint64_t registrations_received = 0;
+  std::uint64_t tags_issued = 0;
+  std::uint64_t registrations_refused = 0;
+  std::uint64_t content_served = 0;
+  std::uint64_t content_nacked = 0;
+  std::uint64_t sig_verifications = 0;
+  std::uint64_t key_encryptions = 0;
+};
+
+class ProviderApp {
+ public:
+  /// Creates the provider on `node`: generates its RSA key, registers it
+  /// (and its protected prefix, unless the catalog is fully public) in
+  /// `anchors`, builds the catalog, and attaches an app face with a FIB
+  /// route for the prefix.
+  ProviderApp(ndn::Forwarder& node, const std::string& prefix_uri,
+              ProviderConfig config, core::TrustAnchors& anchors,
+              util::Rng rng);
+
+  const ndn::Name& prefix() const { return catalog_.prefix(); }
+  const Catalog& catalog() const { return catalog_; }
+  const std::string& key_locator() const { return issuer_.key_locator(); }
+  const crypto::RsaPublicKey& public_key() const {
+    return keypair_.public_key;
+  }
+  core::TagIssuer& issuer() { return issuer_; }
+  const ProviderCounters& counters() const { return counters_; }
+  ndn::Forwarder& node() { return node_; }
+
+  /// Optional: resolve a client label to its real public key so the
+  /// content-decryption key is RSA-encrypted for real (examples).  When
+  /// unset the encrypted-key blob is size-modeled only.
+  void set_client_key_lookup(
+      std::function<const crypto::RsaPublicKey*(const std::string&)> fn) {
+    client_key_lookup_ = std::move(fn);
+  }
+
+  /// Name a client uses to register: "/<prefix>/register/<label>/<nonce>".
+  ndn::Name registration_name(const std::string& client_label,
+                              std::uint64_t nonce) const;
+
+  /// The client key locator convention used in issued tags.
+  static std::string client_key_locator(const std::string& client_label);
+
+ private:
+  void on_interest(ndn::FaceId face, const ndn::Interest& interest);
+  void handle_registration(ndn::FaceId face, const ndn::Interest& interest);
+  void handle_content(ndn::FaceId face, const ndn::Interest& interest);
+
+  ndn::Forwarder& node_;
+  ProviderConfig config_;
+  util::Rng rng_;
+  crypto::RsaKeyPair keypair_;
+  Catalog catalog_;
+  core::TagIssuer issuer_;
+  const core::TrustAnchors& anchors_;
+  ndn::FaceId face_ = ndn::kInvalidFace;
+  ProviderCounters counters_;
+  /// Lazily-computed per-chunk content signatures (sign_content).
+  std::unordered_map<ndn::Name, std::shared_ptr<const util::Bytes>>
+      signature_cache_;
+  std::function<const crypto::RsaPublicKey*(const std::string&)>
+      client_key_lookup_;
+};
+
+}  // namespace tactic::workload

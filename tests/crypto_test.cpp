@@ -1,0 +1,529 @@
+// Known-answer and property tests for the from-scratch crypto substrate.
+//
+// SHA-256 / HMAC / AES are pinned to published vectors (FIPS 180-4,
+// RFC 4231, FIPS 197, SP 800-38A); bignum and RSA are checked by algebraic
+// properties and round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes.hpp"
+#include "crypto/bignum.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/pki.hpp"
+#include "crypto/prime.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace tactic::crypto {
+namespace {
+
+using util::Bytes;
+using util::from_hex;
+using util::to_bytes;
+using util::to_hex;
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4 / NIST examples)
+// ---------------------------------------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::digest(std::string_view(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::digest(std::string_view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::digest(std::string_view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 ctx;
+  for (char c : msg) ctx.update(std::string_view(&c, 1));
+  EXPECT_EQ(ctx.finish(), Sha256::digest(msg));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise padding around the 55/56/63/64-byte boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    Sha256 b;
+    b.update(msg.substr(0, len / 2));
+    b.update(msg.substr(len / 2));
+    EXPECT_EQ(a.finish(), b.finish()) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  Sha256 ctx;
+  ctx.update(std::string_view("x"));
+  ctx.finish();
+  EXPECT_THROW(ctx.update(std::string_view("y")), std::logic_error);
+  EXPECT_THROW(ctx.finish(), std::logic_error);
+  ctx.reset();
+  EXPECT_EQ(ctx.finish(), Sha256::digest(std::string_view("")));
+}
+
+TEST(Sha256, Prefix64MatchesDigest) {
+  const Bytes digest = Sha256::digest(std::string_view("node7"));
+  EXPECT_EQ(sha256_prefix64("node7"), util::read_u64(digest, 0));
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA-256 (RFC 4231)
+// ---------------------------------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, std::string_view("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(to_bytes("Jefe"),
+                               std::string_view(
+                                   "what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  const Bytes long_key(200, 0x42);
+  const Bytes direct = hmac_sha256(long_key, std::string_view("msg"));
+  const Bytes hashed_key = Sha256::digest(long_key);
+  EXPECT_EQ(direct, hmac_sha256(hashed_key, std::string_view("msg")));
+}
+
+TEST(Hmac, VerifyDetectsTamper) {
+  const Bytes key = to_bytes("k");
+  Bytes mac = hmac_sha256(key, std::string_view("payload"));
+  EXPECT_TRUE(hmac_sha256_verify(key, to_bytes("payload"), mac));
+  mac[0] ^= 1;
+  EXPECT_FALSE(hmac_sha256_verify(key, to_bytes("payload"), mac));
+}
+
+// ---------------------------------------------------------------------------
+// AES-128 (FIPS 197 appendix C, SP 800-38A)
+// ---------------------------------------------------------------------------
+
+TEST(Aes128, Fips197Vector) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  Bytes block = from_hex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  aes.encrypt_block(block.data());
+  EXPECT_EQ(to_hex(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.decrypt_block(block.data());
+  EXPECT_EQ(to_hex(block), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes128, Sp80038aEcbVector) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes block = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes(key);
+  aes.encrypt_block(block.data());
+  EXPECT_EQ(to_hex(block), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128, WrongKeySizeThrows) {
+  EXPECT_THROW(Aes128(Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes128(Bytes(17, 0)), std::invalid_argument);
+}
+
+TEST(AesCtr, RoundTripAllSizes) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  for (std::size_t size : {0u, 1u, 15u, 16u, 17u, 100u, 1024u}) {
+    Bytes plaintext(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      plaintext[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    }
+    const Bytes ciphertext = aes128_ctr(key, 0x1234, plaintext);
+    EXPECT_EQ(ciphertext.size(), size);
+    if (size > 0) EXPECT_NE(ciphertext, plaintext);
+    EXPECT_EQ(aes128_ctr(key, 0x1234, ciphertext), plaintext);
+  }
+}
+
+TEST(AesCtr, DifferentNoncesDiffer) {
+  const Bytes key(16, 0x11);
+  const Bytes msg(64, 0x22);
+  EXPECT_NE(aes128_ctr(key, 1, msg), aes128_ctr(key, 2, msg));
+}
+
+// ---------------------------------------------------------------------------
+// BigUInt
+// ---------------------------------------------------------------------------
+
+TEST(BigUInt, ConstructionAndHex) {
+  EXPECT_EQ(BigUInt{0}.to_hex(), "0");
+  EXPECT_EQ(BigUInt{255}.to_hex(), "ff");
+  EXPECT_EQ(BigUInt{0x123456789ABCDEFULL}.to_hex(), "123456789abcdef");
+  EXPECT_EQ(BigUInt::from_hex("deadbeefcafebabe").to_u64(),
+            0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(BigUInt::from_hex("abc").to_u64(), 0xABCu);  // odd-length hex
+}
+
+TEST(BigUInt, BytesRoundTrip) {
+  const Bytes bytes = from_hex("0102030405060708090a0b0c0d0e0f10");
+  const BigUInt v = BigUInt::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_bytes_be(), bytes);
+  EXPECT_EQ(v.to_bytes_be(20).size(), 20u);  // left-padded
+  EXPECT_EQ(BigUInt::from_bytes_be(v.to_bytes_be(20)), v);
+}
+
+TEST(BigUInt, BitLengthAndBits) {
+  EXPECT_EQ(BigUInt{0}.bit_length(), 0u);
+  EXPECT_EQ(BigUInt{1}.bit_length(), 1u);
+  EXPECT_EQ(BigUInt{255}.bit_length(), 8u);
+  EXPECT_EQ(BigUInt{256}.bit_length(), 9u);
+  const BigUInt v = BigUInt::from_hex("8000000000000001");
+  EXPECT_EQ(v.bit_length(), 64u);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(64));
+}
+
+TEST(BigUInt, Comparisons) {
+  const BigUInt a = BigUInt::from_hex("ffffffffffffffff");
+  const BigUInt b = BigUInt::from_hex("10000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, a);
+  EXPECT_LE(a, a);
+  EXPECT_NE(a, b);
+}
+
+TEST(BigUInt, AddSubCarryChains) {
+  const BigUInt a = BigUInt::from_hex("ffffffffffffffffffffffff");
+  const BigUInt one{1};
+  const BigUInt sum = a + one;
+  EXPECT_EQ(sum.to_hex(), "1000000000000000000000000");
+  EXPECT_EQ(sum - one, a);
+  EXPECT_EQ(a - a, BigUInt{0});
+}
+
+TEST(BigUInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUInt{1} - BigUInt{2}, std::underflow_error);
+}
+
+TEST(BigUInt, MultiplicationKnown) {
+  EXPECT_EQ((BigUInt::from_hex("ffffffff") * BigUInt::from_hex("ffffffff"))
+                .to_hex(),
+            "fffffffe00000001");
+  EXPECT_EQ(BigUInt{0} * BigUInt{123}, BigUInt{0});
+}
+
+TEST(BigUInt, Shifts) {
+  const BigUInt v = BigUInt::from_hex("1234567890abcdef");
+  EXPECT_EQ((v << 4).to_hex(), "1234567890abcdef0");
+  EXPECT_EQ((v >> 4).to_hex(), "1234567890abcde");
+  EXPECT_EQ((v << 64) >> 64, v);
+  EXPECT_EQ(v >> 100, BigUInt{0});
+  EXPECT_EQ((BigUInt{1} << 128).bit_length(), 129u);
+}
+
+TEST(BigUInt, DivmodProperty) {
+  util::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const BigUInt a = BigUInt::random_bits(rng, 64 + rng.uniform(192));
+    const BigUInt b = BigUInt::random_bits(rng, 16 + rng.uniform(128));
+    const auto [q, r] = BigUInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigUInt, DivmodEdgeCases) {
+  EXPECT_THROW(BigUInt::divmod(BigUInt{1}, BigUInt{0}), std::domain_error);
+  const auto [q1, r1] = BigUInt::divmod(BigUInt{5}, BigUInt{7});
+  EXPECT_EQ(q1, BigUInt{0});
+  EXPECT_EQ(r1, BigUInt{5});
+  const auto [q2, r2] = BigUInt::divmod(BigUInt{7}, BigUInt{7});
+  EXPECT_EQ(q2, BigUInt{1});
+  EXPECT_EQ(r2, BigUInt{0});
+}
+
+TEST(BigUInt, KnuthD6AddBackCase) {
+  // A divisor/dividend pair engineered to hit the rare "add back" branch:
+  // top limbs equal, forcing q_hat overestimation.
+  const BigUInt num = BigUInt::from_hex("80000000000000000000000000000000");
+  const BigUInt den = BigUInt::from_hex("800000000000000000000001");
+  const auto [q, r] = BigUInt::divmod(num, den);
+  EXPECT_EQ(q * den + r, num);
+  EXPECT_LT(r, den);
+}
+
+TEST(BigUInt, ModexpSmallAgainstNaive) {
+  for (std::uint64_t base : {2ull, 5ull, 7ull}) {
+    for (std::uint64_t mod : {19ull, 97ull, 65537ull, 1000000007ull}) {
+      std::uint64_t expected = 1;
+      for (int i = 0; i < 117; ++i) expected = expected * base % mod;
+      EXPECT_EQ(BigUInt::modexp(base, BigUInt{117}, BigUInt{mod}).to_u64(),
+                expected)
+          << base << "^117 mod " << mod;
+    }
+  }
+}
+
+TEST(BigUInt, ModexpEvenModulus) {
+  // Even modulus exercises the non-Montgomery path.
+  std::uint64_t expected = 1;
+  for (int i = 0; i < 50; ++i) expected = expected * 3 % 1000000ull;
+  EXPECT_EQ(BigUInt::modexp(BigUInt{3}, BigUInt{50}, BigUInt{1000000})
+                .to_u64(),
+            expected);
+}
+
+TEST(BigUInt, ModexpFermat) {
+  // Fermat's little theorem: a^(p-1) = 1 mod p for prime p, a not
+  // divisible by p — with a large Montgomery modulus.
+  util::Rng rng(55);
+  const BigUInt p = random_prime(rng, 256);
+  for (int i = 0; i < 5; ++i) {
+    const BigUInt a = BigUInt{2} + BigUInt::random_below(rng, p - BigUInt{3});
+    EXPECT_EQ(BigUInt::modexp(a, p - BigUInt{1}, p), BigUInt{1});
+  }
+}
+
+TEST(BigUInt, ModexpMatchesNaiveBigOperands) {
+  // Cross-check Montgomery against multiply-divide reduction.
+  util::Rng rng(77);
+  for (int i = 0; i < 20; ++i) {
+    BigUInt mod = BigUInt::random_bits(rng, 128);
+    if (!mod.is_odd()) mod += BigUInt{1};
+    const BigUInt base = BigUInt::random_bits(rng, 120);
+    const BigUInt exp = BigUInt::random_bits(rng, 24);
+    // Naive square-and-multiply with divide-based reduction.
+    BigUInt naive{1};
+    const BigUInt b = base % mod;
+    for (std::size_t bit = exp.bit_length(); bit-- > 0;) {
+      naive = (naive * naive) % mod;
+      if (exp.bit(bit)) naive = (naive * b) % mod;
+    }
+    EXPECT_EQ(BigUInt::modexp(base, exp, mod), naive);
+  }
+}
+
+TEST(BigUInt, GcdAndInverse) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt{48}, BigUInt{18}), BigUInt{6});
+  EXPECT_EQ(BigUInt::gcd(BigUInt{17}, BigUInt{0}), BigUInt{17});
+  const auto inv = BigUInt::mod_inverse(BigUInt{3}, BigUInt{40});
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((*inv * BigUInt{3}) % BigUInt{40}, BigUInt{1});
+  EXPECT_FALSE(BigUInt::mod_inverse(BigUInt{6}, BigUInt{40}).has_value());
+}
+
+TEST(BigUInt, ModInverseProperty) {
+  util::Rng rng(88);
+  const BigUInt m = random_prime(rng, 128);
+  for (int i = 0; i < 20; ++i) {
+    const BigUInt a = BigUInt{1} + BigUInt::random_below(rng, m - BigUInt{1});
+    const auto inv = BigUInt::mod_inverse(a, m);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ((*inv * a) % m, BigUInt{1});
+  }
+}
+
+TEST(BigUInt, RandomBitsExactLength) {
+  util::Rng rng(12);
+  for (std::size_t bits : {1u, 8u, 31u, 32u, 33u, 64u, 100u, 512u}) {
+    EXPECT_EQ(BigUInt::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(BigUInt, RandomBelowRespectsBound) {
+  util::Rng rng(13);
+  const BigUInt bound = BigUInt::from_hex("1000");
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(BigUInt::random_below(rng, bound), bound);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// primality
+// ---------------------------------------------------------------------------
+
+TEST(Prime, KnownSmallPrimes) {
+  util::Rng rng(1);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7919ull, 65537ull}) {
+    EXPECT_TRUE(is_probable_prime(BigUInt{p}, rng)) << p;
+  }
+}
+
+TEST(Prime, KnownComposites) {
+  util::Rng rng(2);
+  for (std::uint64_t c : {1ull, 4ull, 561ull /*Carmichael*/, 65536ull,
+                          7917ull, 1000000016000000063ull /*p*q*/}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt{c}, rng)) << c;
+  }
+}
+
+TEST(Prime, LargeKnownPrime) {
+  util::Rng rng(3);
+  // 2^89 - 1 is a Mersenne prime.
+  const BigUInt m89 = (BigUInt{1} << 89) - BigUInt{1};
+  EXPECT_TRUE(is_probable_prime(m89, rng));
+  // 2^67 - 1 is famously composite (193707721 * 761838257287).
+  const BigUInt m67 = (BigUInt{1} << 67) - BigUInt{1};
+  EXPECT_FALSE(is_probable_prime(m67, rng));
+}
+
+TEST(Prime, RandomPrimeHasRequestedShape) {
+  util::Rng rng(4);
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigUInt p = random_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(p.bit(bits - 2));  // second-highest bit forced
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RSA
+// ---------------------------------------------------------------------------
+
+class RsaKeySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaKeySizes, SignVerifyRoundTrip) {
+  util::Rng rng(GetParam());
+  const RsaKeyPair pair = generate_rsa_keypair(rng, GetParam());
+  EXPECT_EQ(pair.public_key.n().bit_length(), GetParam());
+  const Bytes msg = to_bytes("tag fields to protect");
+  const Bytes sig = pair.private_key.sign_pkcs1_sha256(msg);
+  EXPECT_EQ(sig.size(), pair.public_key.modulus_size());
+  EXPECT_TRUE(pair.public_key.verify_pkcs1_sha256(msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RsaKeySizes, ::testing::Values(512, 768, 1024));
+
+TEST(Rsa, VerifyRejectsTamperedMessage) {
+  util::Rng rng(123);
+  const RsaKeyPair pair = generate_rsa_keypair(rng, 512);
+  const Bytes sig = pair.private_key.sign_pkcs1_sha256(to_bytes("hello"));
+  EXPECT_FALSE(pair.public_key.verify_pkcs1_sha256(to_bytes("hellp"), sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedSignature) {
+  util::Rng rng(124);
+  const RsaKeyPair pair = generate_rsa_keypair(rng, 512);
+  Bytes sig = pair.private_key.sign_pkcs1_sha256(to_bytes("hello"));
+  for (std::size_t i = 0; i < sig.size(); i += 13) {
+    Bytes bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(pair.public_key.verify_pkcs1_sha256(to_bytes("hello"), bad));
+  }
+}
+
+TEST(Rsa, VerifyRejectsWrongKey) {
+  util::Rng rng(125);
+  const RsaKeyPair a = generate_rsa_keypair(rng, 512);
+  const RsaKeyPair b = generate_rsa_keypair(rng, 512);
+  const Bytes sig = a.private_key.sign_pkcs1_sha256(to_bytes("msg"));
+  EXPECT_FALSE(b.public_key.verify_pkcs1_sha256(to_bytes("msg"), sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongLengthSignature) {
+  util::Rng rng(126);
+  const RsaKeyPair pair = generate_rsa_keypair(rng, 512);
+  Bytes sig = pair.private_key.sign_pkcs1_sha256(to_bytes("msg"));
+  sig.push_back(0);
+  EXPECT_FALSE(pair.public_key.verify_pkcs1_sha256(to_bytes("msg"), sig));
+}
+
+TEST(Rsa, DeterministicKeygenForSeed) {
+  util::Rng a(7), b(7);
+  const RsaKeyPair ka = generate_rsa_keypair(a, 512);
+  const RsaKeyPair kb = generate_rsa_keypair(b, 512);
+  EXPECT_EQ(ka.public_key.n(), kb.public_key.n());
+}
+
+TEST(Rsa, EncryptDecryptRoundTrip) {
+  util::Rng rng(127);
+  const RsaKeyPair pair = generate_rsa_keypair(rng, 512);
+  const Bytes secret = to_bytes("aes-content-key!");
+  const Bytes ct = pair.public_key.encrypt_pkcs1(rng, secret);
+  EXPECT_EQ(ct.size(), pair.public_key.modulus_size());
+  EXPECT_EQ(pair.private_key.decrypt_pkcs1(ct), secret);
+}
+
+TEST(Rsa, EncryptIsRandomized) {
+  util::Rng rng(128);
+  const RsaKeyPair pair = generate_rsa_keypair(rng, 512);
+  const Bytes secret = to_bytes("k");
+  EXPECT_NE(pair.public_key.encrypt_pkcs1(rng, secret),
+            pair.public_key.encrypt_pkcs1(rng, secret));
+}
+
+TEST(Rsa, DecryptRejectsGarbage) {
+  util::Rng rng(129);
+  const RsaKeyPair pair = generate_rsa_keypair(rng, 512);
+  Bytes garbage(pair.public_key.modulus_size(), 0x01);
+  EXPECT_TRUE(pair.private_key.decrypt_pkcs1(garbage).empty());
+  EXPECT_TRUE(pair.private_key.decrypt_pkcs1(Bytes(3, 0)).empty());
+}
+
+TEST(Rsa, MessageTooLongThrows) {
+  util::Rng rng(130);
+  const RsaKeyPair pair = generate_rsa_keypair(rng, 512);
+  const Bytes big(pair.public_key.modulus_size() - 10, 0xAA);
+  EXPECT_THROW(pair.public_key.encrypt_pkcs1(rng, big),
+               std::invalid_argument);
+}
+
+TEST(Rsa, FingerprintIdentifiesKey) {
+  util::Rng rng(131);
+  const RsaKeyPair a = generate_rsa_keypair(rng, 512);
+  const RsaKeyPair b = generate_rsa_keypair(rng, 512);
+  EXPECT_EQ(a.public_key.fingerprint().size(), 32u);
+  EXPECT_NE(a.public_key.fingerprint(), b.public_key.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// PKI
+// ---------------------------------------------------------------------------
+
+TEST(Pki, RegisterAndFind) {
+  util::Rng rng(140);
+  const RsaKeyPair pair = generate_rsa_keypair(rng, 512);
+  Pki pki;
+  EXPECT_EQ(pki.find("/provider0/KEY/1"), nullptr);
+  pki.add_key("/provider0/KEY/1", pair.public_key);
+  ASSERT_NE(pki.find("/provider0/KEY/1"), nullptr);
+  EXPECT_EQ(pki.find("/provider0/KEY/1")->n(), pair.public_key.n());
+  EXPECT_TRUE(pki.contains("/provider0/KEY/1"));
+  EXPECT_EQ(pki.size(), 1u);
+  pki.clear();
+  EXPECT_EQ(pki.size(), 0u);
+}
+
+TEST(Pki, ReplaceKey) {
+  util::Rng rng(141);
+  const RsaKeyPair a = generate_rsa_keypair(rng, 512);
+  const RsaKeyPair b = generate_rsa_keypair(rng, 512);
+  Pki pki;
+  pki.add_key("/p/KEY/1", a.public_key);
+  pki.add_key("/p/KEY/1", b.public_key);
+  EXPECT_EQ(pki.size(), 1u);
+  EXPECT_EQ(pki.find("/p/KEY/1")->n(), b.public_key.n());
+}
+
+}  // namespace
+}  // namespace tactic::crypto

@@ -1,0 +1,167 @@
+// Tests for the discrete-event scheduler: ordering guarantees, FIFO
+// tie-breaking, cancellation, and reentrancy.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/scheduler.hpp"
+
+namespace tactic::event {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond + 500 * kMillisecond), 2.5);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+}
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(3 * kSecond, [&] { order.push_back(3); });
+  sched.schedule(1 * kSecond, [&] { order.push_back(1); });
+  sched.schedule(2 * kSecond, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 3 * kSecond);
+}
+
+TEST(Scheduler, FifoWithinSameInstant) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule(kSecond, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, NowAdvancesDuringRun) {
+  Scheduler sched;
+  Time seen = -1;
+  sched.schedule(5 * kMillisecond, [&] { seen = sched.now(); });
+  sched.run();
+  EXPECT_EQ(seen, 5 * kMillisecond);
+}
+
+TEST(Scheduler, ZeroDelayRunsAfterCurrentInstantQueue) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(0, [&] {
+    order.push_back(1);
+    sched.schedule(0, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, HandlersCanScheduleMore) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sched.schedule(kMillisecond, chain);
+  };
+  sched.schedule(0, chain);
+  sched.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sched.now(), 99 * kMillisecond);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool ran = false;
+  const EventId id = sched.schedule(kSecond, [&] { ran = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  sched.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelTwiceFails) {
+  Scheduler sched;
+  const EventId id = sched.schedule(kSecond, [] {});
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, CancelAfterExecutionFails) {
+  Scheduler sched;
+  const EventId id = sched.schedule(kMillisecond, [] {});
+  sched.run();
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, CancelInvalidIdFails) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.cancel(EventId{}));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(1 * kSecond, [&] { order.push_back(1); });
+  sched.schedule(2 * kSecond, [&] { order.push_back(2); });
+  sched.schedule(3 * kSecond, [&] { order.push_back(3); });
+  sched.run_until(2 * kSecond);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sched.now(), 2 * kSecond);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeEvenWhenIdle) {
+  Scheduler sched;
+  sched.run_until(10 * kSecond);
+  EXPECT_EQ(sched.now(), 10 * kSecond);
+}
+
+TEST(Scheduler, NegativeDelayThrows) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, ScheduleAtPastThrows) {
+  Scheduler sched;
+  sched.schedule(kSecond, [] {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(0, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, Counters) {
+  Scheduler sched;
+  sched.schedule(kSecond, [] {});
+  const EventId cancelled = sched.schedule(kSecond, [] {});
+  sched.schedule(2 * kSecond, [] {});
+  EXPECT_EQ(sched.pending_count(), 3u);
+  sched.cancel(cancelled);
+  EXPECT_EQ(sched.pending_count(), 2u);
+  sched.run();
+  EXPECT_EQ(sched.executed_count(), 2u);
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler sched;
+  Time last = -1;
+  int executed = 0;
+  // Pseudo-random delays; verify global non-decreasing execution times.
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const Time when = static_cast<Time>(state % (1000 * kMillisecond));
+    sched.schedule_at(when, [&, when] {
+      EXPECT_GE(when, last);
+      last = when;
+      ++executed;
+    });
+  }
+  sched.run();
+  EXPECT_EQ(executed, 10000);
+}
+
+}  // namespace
+}  // namespace tactic::event

@@ -1,0 +1,206 @@
+// Tests for the sim metrics layer: traffic totals, router-op aggregation,
+// the multi-seed accumulator, and the compute-charge bookkeeping that
+// feeds Fig. 5's analysis.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trace.hpp"
+
+namespace tactic::sim {
+namespace {
+
+TEST(TrafficTotals, DeliveryRatio) {
+  TrafficTotals totals;
+  EXPECT_EQ(totals.delivery_ratio(), 0.0);  // no requests -> 0, not NaN
+  totals.requested = 200;
+  totals.received = 150;
+  EXPECT_DOUBLE_EQ(totals.delivery_ratio(), 0.75);
+}
+
+TEST(TrafficTotals, Accumulation) {
+  TrafficTotals a, b;
+  a.requested = 10;
+  a.received = 9;
+  a.tags_requested = 2;
+  b.requested = 5;
+  b.received = 5;
+  b.nacks = 1;
+  a += b;
+  EXPECT_EQ(a.requested, 15u);
+  EXPECT_EQ(a.received, 14u);
+  EXPECT_EQ(a.nacks, 1u);
+  EXPECT_EQ(a.tags_requested, 2u);
+}
+
+TEST(RouterOps, AccumulationIncludesCompute) {
+  RouterOps a, b;
+  a.bf_lookups = 100;
+  a.compute_charged_s = 0.5;
+  b.bf_lookups = 50;
+  b.sig_verifications = 3;
+  b.compute_charged_s = 0.25;
+  a += b;
+  EXPECT_EQ(a.bf_lookups, 150u);
+  EXPECT_EQ(a.sig_verifications, 3u);
+  EXPECT_DOUBLE_EQ(a.compute_charged_s, 0.75);
+}
+
+TEST(Metrics, MeanRequestsPerReset) {
+  EXPECT_EQ(Metrics::mean_requests_per_reset({}), 0.0);
+  EXPECT_DOUBLE_EQ(Metrics::mean_requests_per_reset({100, 200, 300}),
+                   200.0);
+}
+
+TEST(Metrics, CacheHitRatioHandlesZero) {
+  Metrics metrics;
+  EXPECT_EQ(metrics.cache_hit_ratio(), 0.0);
+  metrics.cs_hits = 1;
+  metrics.cs_misses = 3;
+  EXPECT_DOUBLE_EQ(metrics.cache_hit_ratio(), 0.25);
+}
+
+TEST(MetricsAccumulator, AveragesAcrossRuns) {
+  Metrics run1, run2;
+  run1.clients.requested = 100;
+  run1.clients.received = 100;
+  run2.clients.requested = 200;
+  run2.clients.received = 100;
+  run1.edge_ops.bf_lookups = 10;
+  run2.edge_ops.bf_lookups = 30;
+  MetricsAccumulator acc;
+  acc.add(run1);
+  acc.add(run2);
+  EXPECT_EQ(acc.runs, 2u);
+  EXPECT_DOUBLE_EQ(acc.client_requested.mean(), 150.0);
+  EXPECT_DOUBLE_EQ(acc.client_delivery.mean(), 0.75);  // (1.0 + 0.5)/2
+  EXPECT_DOUBLE_EQ(acc.edge_lookups.mean(), 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Compute-charge accounting against a live run
+// ---------------------------------------------------------------------------
+
+ScenarioConfig small_config(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.topology.core_routers = 8;
+  config.topology.edge_routers = 3;
+  config.topology.providers = 2;
+  config.topology.clients = 4;
+  config.topology.attackers = 2;
+  config.provider.key_bits = 512;
+  config.provider.catalog.objects = 10;
+  config.provider.catalog.chunks_per_object = 5;
+  config.client.think_time_mean = 20 * event::kMillisecond;
+  config.duration = 20 * event::kSecond;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ComputeCharge, ZeroModelChargesNothing) {
+  ScenarioConfig config = small_config(81);
+  config.compute = core::ComputeModel::zero();
+  Scenario scenario(config);
+  const Metrics& metrics = scenario.run();
+  EXPECT_EQ(metrics.edge_ops.compute_charged_s, 0.0);
+  EXPECT_EQ(metrics.core_ops.compute_charged_s, 0.0);
+  EXPECT_GT(metrics.edge_ops.bf_lookups, 0u);  // ops still happened
+}
+
+TEST(ComputeCharge, DeterministicModelMatchesOpCounts) {
+  ScenarioConfig config = small_config(82);
+  config.compute = core::ComputeModel::deterministic();
+  Scenario scenario(config);
+  const Metrics& metrics = scenario.run();
+  // With the deterministic model every op charges exactly its mean, so
+  // total charge is a linear combination of the op counts.
+  const double expected_edge =
+      9.14e-7 * static_cast<double>(metrics.edge_ops.bf_lookups) +
+      3.35e-7 * static_cast<double>(metrics.edge_ops.bf_insertions) +
+      1.12e-5 * static_cast<double>(metrics.edge_ops.sig_verifications);
+  EXPECT_NEAR(metrics.edge_ops.compute_charged_s, expected_edge,
+              expected_edge * 0.01 + 1e-6);
+}
+
+TEST(ComputeCharge, PaperModelChargesMoreThanDeterministic) {
+  // The paper's printed sigmas create a heavy non-negative tail, so the
+  // charged total exceeds the mean-only model on the same op volume.
+  ScenarioConfig deterministic = small_config(83);
+  deterministic.compute = core::ComputeModel::deterministic();
+  ScenarioConfig paper = small_config(83);
+  paper.compute = core::ComputeModel::paper_defaults();
+  const Metrics det = Scenario(deterministic).run();
+  const Metrics pap = Scenario(paper).run();
+  EXPECT_GT(pap.edge_ops.compute_charged_s + pap.core_ops.compute_charged_s,
+            det.edge_ops.compute_charged_s + det.core_ops.compute_charged_s);
+}
+
+TEST(PacketTrace, RecordsFilteredRows) {
+  const std::string path = ::testing::TempDir() + "/tactic_trace_test.csv";
+  ScenarioConfig config = small_config(85);
+  config.duration = 5 * event::kSecond;
+  Scenario scenario(config);
+  {
+    PacketTrace trace(path);
+    trace.set_name_filter(ndn::Name("/provider0"));
+    trace.attach(scenario.network());
+    scenario.run();
+    EXPECT_GT(trace.rows_written(), 100u);
+  }
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("time_s"), std::string::npos);
+  EXPECT_NE(header.find("flag_f"), std::string::npos);
+  std::size_t rows = 0;
+  while (std::getline(in, row)) {
+    ++rows;
+    // The filter held: every traced name is under /provider0.
+    EXPECT_NE(row.find("/provider0"), std::string::npos) << row;
+  }
+  EXPECT_GT(rows, 100u);
+  std::remove(path.c_str());
+}
+
+TEST(PacketTrace, SingleNodeAttachment) {
+  const std::string path = ::testing::TempDir() + "/tactic_trace_one.csv";
+  ScenarioConfig config = small_config(86);
+  config.duration = 5 * event::kSecond;
+  Scenario scenario(config);
+  {
+    PacketTrace trace(path);
+    const net::NodeId edge = scenario.network().edge_routers()[0];
+    trace.attach(scenario.network().node(edge));
+    scenario.run();
+    // Only one node traced; far fewer rows than a full-network trace,
+    // and every row names that node.
+    EXPECT_GT(trace.rows_written(), 0u);
+  }
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  while (std::getline(in, row)) {
+    EXPECT_NE(row.find("edge"), std::string::npos) << row;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, LatencySeriesCoversRun) {
+  ScenarioConfig config = small_config(84);
+  Scenario scenario(config);
+  const Metrics& metrics = scenario.run();
+  // Samples in (almost) every second of the 20 s run.
+  std::size_t busy_seconds = 0;
+  for (std::size_t s = 0; s < metrics.latency.bucket_count(); ++s) {
+    busy_seconds += metrics.latency.count(s) > 0;
+  }
+  EXPECT_GE(busy_seconds, 18u);
+  EXPECT_LE(metrics.latency.bucket_count(), 21u);
+}
+
+}  // namespace
+}  // namespace tactic::sim

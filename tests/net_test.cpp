@@ -1,0 +1,145 @@
+// Tests for the link layer: serialization delay, propagation, FIFO
+// queueing, and drop-tail behaviour.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/scheduler.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace tactic::net {
+namespace {
+
+using event::kMillisecond;
+using event::kSecond;
+using event::Time;
+
+TEST(NodeKind, Names) {
+  EXPECT_STREQ(to_string(NodeKind::kClient), "client");
+  EXPECT_STREQ(to_string(NodeKind::kEdgeRouter), "edge");
+  EXPECT_STREQ(to_string(NodeKind::kCoreRouter), "core");
+  EXPECT_STREQ(to_string(NodeKind::kProvider), "provider");
+  EXPECT_TRUE(is_router(NodeKind::kEdgeRouter));
+  EXPECT_TRUE(is_router(NodeKind::kCoreRouter));
+  EXPECT_FALSE(is_router(NodeKind::kClient));
+  EXPECT_FALSE(is_router(NodeKind::kAccessPoint));
+}
+
+TEST(LinkParams, PaperPresets) {
+  const LinkParams core = core_link_params();
+  EXPECT_DOUBLE_EQ(core.bits_per_second, 500e6);
+  EXPECT_EQ(core.propagation_delay, kMillisecond);
+  const LinkParams edge = edge_link_params();
+  EXPECT_DOUBLE_EQ(edge.bits_per_second, 10e6);
+  EXPECT_EQ(edge.propagation_delay, 2 * kMillisecond);
+}
+
+TEST(Link, SingleFrameDelay) {
+  event::Scheduler sched;
+  // 1 Mbps, 10 ms propagation: a 1000-byte frame serializes in 8 ms.
+  Link link(sched, {1e6, 10 * kMillisecond, 10});
+  Time arrival = -1;
+  link.send(1000, [&] { arrival = sched.now(); });
+  sched.run();
+  EXPECT_EQ(arrival, 18 * kMillisecond);
+  EXPECT_EQ(link.counters().frames_sent, 1u);
+  EXPECT_EQ(link.counters().bytes_sent, 1000u);
+}
+
+TEST(Link, BackToBackFramesSerialize) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 0, 10});
+  std::vector<Time> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.send(1000, [&] { arrivals.push_back(sched.now()); });
+  }
+  sched.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Each 1000-byte frame takes 8 ms on the wire; they queue FIFO.
+  EXPECT_EQ(arrivals[0], 8 * kMillisecond);
+  EXPECT_EQ(arrivals[1], 16 * kMillisecond);
+  EXPECT_EQ(arrivals[2], 24 * kMillisecond);
+}
+
+TEST(Link, IdleGapsDoNotAccumulate) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 0, 10});
+  std::vector<Time> arrivals;
+  link.send(1000, [&] { arrivals.push_back(sched.now()); });
+  sched.schedule(100 * kMillisecond, [&] {
+    link.send(1000, [&] { arrivals.push_back(sched.now()); });
+  });
+  sched.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1], 108 * kMillisecond);  // restarts from idle
+}
+
+TEST(Link, DropTailWhenQueueFull) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 0, 2});
+  int delivered = 0;
+  EXPECT_TRUE(link.send(1000, [&] { ++delivered; }));
+  EXPECT_TRUE(link.send(1000, [&] { ++delivered; }));
+  EXPECT_FALSE(link.send(1000, [&] { ++delivered; }));  // queue full
+  EXPECT_EQ(link.counters().frames_dropped, 1u);
+  sched.run();
+  EXPECT_EQ(delivered, 2);
+  // Queue drained: sending works again.
+  EXPECT_TRUE(link.send(1000, [&] { ++delivered; }));
+  sched.run();
+  EXPECT_EQ(delivered, 3);
+}
+
+TEST(Link, QueueDepthTracksInFlight) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 0, 10});
+  EXPECT_EQ(link.queue_depth(), 0u);
+  link.send(1000, [] {});
+  link.send(1000, [] {});
+  EXPECT_EQ(link.queue_depth(), 2u);
+  sched.run();
+  EXPECT_EQ(link.queue_depth(), 0u);
+}
+
+TEST(Link, TinyFrameStillTakesNonzeroTime) {
+  event::Scheduler sched;
+  Link link(sched, {500e6, 0, 10});
+  Time arrival = -1;
+  link.send(0, [&] { arrival = sched.now(); });
+  sched.run();
+  EXPECT_GE(arrival, 1);  // at least one nanosecond of serialization
+}
+
+TEST(Link, DownLinkRefusesButInFlightArrives) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 10 * kMillisecond, 10});
+  int delivered = 0;
+  EXPECT_TRUE(link.up());
+  EXPECT_TRUE(link.send(1000, [&] { ++delivered; }));
+  link.set_up(false);
+  EXPECT_FALSE(link.up());
+  EXPECT_FALSE(link.send(1000, [&] { ++delivered; }));
+  EXPECT_EQ(link.counters().frames_dropped, 1u);
+  sched.run();
+  EXPECT_EQ(delivered, 1);  // the frame already on the wire still arrives
+  link.set_up(true);
+  EXPECT_TRUE(link.send(1000, [&] { ++delivered; }));
+  sched.run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(Link, FastLinkDeliversQuickly) {
+  event::Scheduler sched;
+  Link link(sched, core_link_params());
+  Time arrival = -1;
+  link.send(1024, [&] { arrival = sched.now(); });
+  sched.run();
+  // 1024 bytes at 500 Mbps ~= 16.4 us, plus 1 ms propagation.
+  EXPECT_GT(arrival, kMillisecond);
+  EXPECT_LT(arrival, kMillisecond + 30 * event::kMicrosecond);
+}
+
+}  // namespace
+}  // namespace tactic::net
