@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_access_path.cpp" "bench/CMakeFiles/ablation_access_path.dir/ablation_access_path.cpp.o" "gcc" "bench/CMakeFiles/ablation_access_path.dir/ablation_access_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tactic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tactic_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tactic_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tactic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tactic/CMakeFiles/tactic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tactic_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tactic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndn/CMakeFiles/tactic_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tactic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/tactic_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tactic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

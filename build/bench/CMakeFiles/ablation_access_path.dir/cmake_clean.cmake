@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_access_path.dir/ablation_access_path.cpp.o"
+  "CMakeFiles/ablation_access_path.dir/ablation_access_path.cpp.o.d"
+  "ablation_access_path"
+  "ablation_access_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_access_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

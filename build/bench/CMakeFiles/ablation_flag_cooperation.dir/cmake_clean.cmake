@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flag_cooperation.dir/ablation_flag_cooperation.cpp.o"
+  "CMakeFiles/ablation_flag_cooperation.dir/ablation_flag_cooperation.cpp.o.d"
+  "ablation_flag_cooperation"
+  "ablation_flag_cooperation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flag_cooperation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

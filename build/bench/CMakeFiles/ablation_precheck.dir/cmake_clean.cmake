@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precheck.dir/ablation_precheck.cpp.o"
+  "CMakeFiles/ablation_precheck.dir/ablation_precheck.cpp.o.d"
+  "ablation_precheck"
+  "ablation_precheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

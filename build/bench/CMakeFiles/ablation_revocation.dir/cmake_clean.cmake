@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_revocation.dir/ablation_revocation.cpp.o"
+  "CMakeFiles/ablation_revocation.dir/ablation_revocation.cpp.o.d"
+  "ablation_revocation"
+  "ablation_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_latency_bf_size.dir/fig5_latency_bf_size.cpp.o"
+  "CMakeFiles/fig5_latency_bf_size.dir/fig5_latency_bf_size.cpp.o.d"
+  "fig5_latency_bf_size"
+  "fig5_latency_bf_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency_bf_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

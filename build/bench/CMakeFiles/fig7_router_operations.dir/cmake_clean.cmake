@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_router_operations.dir/fig7_router_operations.cpp.o"
+  "CMakeFiles/fig7_router_operations.dir/fig7_router_operations.cpp.o.d"
+  "fig7_router_operations"
+  "fig7_router_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_router_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bf_reset_threshold.dir/fig8_bf_reset_threshold.cpp.o"
+  "CMakeFiles/fig8_bf_reset_threshold.dir/fig8_bf_reset_threshold.cpp.o.d"
+  "fig8_bf_reset_threshold"
+  "fig8_bf_reset_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bf_reset_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_calibration.dir/micro_calibration.cpp.o"
+  "CMakeFiles/micro_calibration.dir/micro_calibration.cpp.o.d"
+  "micro_calibration"
+  "micro_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_provider_outage.dir/resilience_provider_outage.cpp.o"
+  "CMakeFiles/resilience_provider_outage.dir/resilience_provider_outage.cpp.o.d"
+  "resilience_provider_outage"
+  "resilience_provider_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_provider_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

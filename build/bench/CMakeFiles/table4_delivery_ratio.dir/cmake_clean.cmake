@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_delivery_ratio.dir/table4_delivery_ratio.cpp.o"
+  "CMakeFiles/table4_delivery_ratio.dir/table4_delivery_ratio.cpp.o.d"
+  "table4_delivery_ratio"
+  "table4_delivery_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_delivery_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_bf_resets.dir/table5_bf_resets.cpp.o"
+  "CMakeFiles/table5_bf_resets.dir/table5_bf_resets.cpp.o.d"
+  "table5_bf_resets"
+  "table5_bf_resets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_bf_resets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_roaming.dir/mobile_roaming.cpp.o"
+  "CMakeFiles/mobile_roaming.dir/mobile_roaming.cpp.o.d"
+  "mobile_roaming"
+  "mobile_roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_edge_cdn.dir/video_edge_cdn.cpp.o"
+  "CMakeFiles/video_edge_cdn.dir/video_edge_cdn.cpp.o.d"
+  "video_edge_cdn"
+  "video_edge_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_edge_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/tactic_baselines.dir/baselines.cpp.o.d"
+  "libtactic_baselines.a"
+  "libtactic_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

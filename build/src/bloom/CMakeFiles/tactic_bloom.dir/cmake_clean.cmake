@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_bloom.dir/bloom_filter.cpp.o"
+  "CMakeFiles/tactic_bloom.dir/bloom_filter.cpp.o.d"
+  "libtactic_bloom.a"
+  "libtactic_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_crypto.dir/aes.cpp.o"
+  "CMakeFiles/tactic_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/tactic_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/tactic_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/tactic_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/tactic_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/tactic_crypto.dir/pki.cpp.o"
+  "CMakeFiles/tactic_crypto.dir/pki.cpp.o.d"
+  "CMakeFiles/tactic_crypto.dir/prime.cpp.o"
+  "CMakeFiles/tactic_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/tactic_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/tactic_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/tactic_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/tactic_crypto.dir/sha256.cpp.o.d"
+  "libtactic_crypto.a"
+  "libtactic_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_event.dir/scheduler.cpp.o"
+  "CMakeFiles/tactic_event.dir/scheduler.cpp.o.d"
+  "libtactic_event.a"
+  "libtactic_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndn/cs.cpp" "src/ndn/CMakeFiles/tactic_ndn.dir/cs.cpp.o" "gcc" "src/ndn/CMakeFiles/tactic_ndn.dir/cs.cpp.o.d"
+  "/root/repo/src/ndn/fib.cpp" "src/ndn/CMakeFiles/tactic_ndn.dir/fib.cpp.o" "gcc" "src/ndn/CMakeFiles/tactic_ndn.dir/fib.cpp.o.d"
+  "/root/repo/src/ndn/forwarder.cpp" "src/ndn/CMakeFiles/tactic_ndn.dir/forwarder.cpp.o" "gcc" "src/ndn/CMakeFiles/tactic_ndn.dir/forwarder.cpp.o.d"
+  "/root/repo/src/ndn/name.cpp" "src/ndn/CMakeFiles/tactic_ndn.dir/name.cpp.o" "gcc" "src/ndn/CMakeFiles/tactic_ndn.dir/name.cpp.o.d"
+  "/root/repo/src/ndn/packet.cpp" "src/ndn/CMakeFiles/tactic_ndn.dir/packet.cpp.o" "gcc" "src/ndn/CMakeFiles/tactic_ndn.dir/packet.cpp.o.d"
+  "/root/repo/src/ndn/pit.cpp" "src/ndn/CMakeFiles/tactic_ndn.dir/pit.cpp.o" "gcc" "src/ndn/CMakeFiles/tactic_ndn.dir/pit.cpp.o.d"
+  "/root/repo/src/ndn/policy.cpp" "src/ndn/CMakeFiles/tactic_ndn.dir/policy.cpp.o" "gcc" "src/ndn/CMakeFiles/tactic_ndn.dir/policy.cpp.o.d"
+  "/root/repo/src/ndn/tlv.cpp" "src/ndn/CMakeFiles/tactic_ndn.dir/tlv.cpp.o" "gcc" "src/ndn/CMakeFiles/tactic_ndn.dir/tlv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tactic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/tactic_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tactic_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_ndn.dir/cs.cpp.o"
+  "CMakeFiles/tactic_ndn.dir/cs.cpp.o.d"
+  "CMakeFiles/tactic_ndn.dir/fib.cpp.o"
+  "CMakeFiles/tactic_ndn.dir/fib.cpp.o.d"
+  "CMakeFiles/tactic_ndn.dir/forwarder.cpp.o"
+  "CMakeFiles/tactic_ndn.dir/forwarder.cpp.o.d"
+  "CMakeFiles/tactic_ndn.dir/name.cpp.o"
+  "CMakeFiles/tactic_ndn.dir/name.cpp.o.d"
+  "CMakeFiles/tactic_ndn.dir/packet.cpp.o"
+  "CMakeFiles/tactic_ndn.dir/packet.cpp.o.d"
+  "CMakeFiles/tactic_ndn.dir/pit.cpp.o"
+  "CMakeFiles/tactic_ndn.dir/pit.cpp.o.d"
+  "CMakeFiles/tactic_ndn.dir/policy.cpp.o"
+  "CMakeFiles/tactic_ndn.dir/policy.cpp.o.d"
+  "CMakeFiles/tactic_ndn.dir/tlv.cpp.o"
+  "CMakeFiles/tactic_ndn.dir/tlv.cpp.o.d"
+  "libtactic_ndn.a"
+  "libtactic_ndn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_ndn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

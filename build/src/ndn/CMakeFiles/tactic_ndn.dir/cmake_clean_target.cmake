@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtactic_ndn.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_net.dir/link.cpp.o"
+  "CMakeFiles/tactic_net.dir/link.cpp.o.d"
+  "CMakeFiles/tactic_net.dir/node.cpp.o"
+  "CMakeFiles/tactic_net.dir/node.cpp.o.d"
+  "libtactic_net.a"
+  "libtactic_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

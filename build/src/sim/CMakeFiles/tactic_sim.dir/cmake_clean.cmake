@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_sim.dir/metrics.cpp.o"
+  "CMakeFiles/tactic_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/tactic_sim.dir/scenario.cpp.o"
+  "CMakeFiles/tactic_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/tactic_sim.dir/trace.cpp.o"
+  "CMakeFiles/tactic_sim.dir/trace.cpp.o.d"
+  "libtactic_sim.a"
+  "libtactic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

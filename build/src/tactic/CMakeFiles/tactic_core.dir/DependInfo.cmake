@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tactic/access_path.cpp" "src/tactic/CMakeFiles/tactic_core.dir/access_path.cpp.o" "gcc" "src/tactic/CMakeFiles/tactic_core.dir/access_path.cpp.o.d"
+  "/root/repo/src/tactic/compute_model.cpp" "src/tactic/CMakeFiles/tactic_core.dir/compute_model.cpp.o" "gcc" "src/tactic/CMakeFiles/tactic_core.dir/compute_model.cpp.o.d"
+  "/root/repo/src/tactic/precheck.cpp" "src/tactic/CMakeFiles/tactic_core.dir/precheck.cpp.o" "gcc" "src/tactic/CMakeFiles/tactic_core.dir/precheck.cpp.o.d"
+  "/root/repo/src/tactic/registration.cpp" "src/tactic/CMakeFiles/tactic_core.dir/registration.cpp.o" "gcc" "src/tactic/CMakeFiles/tactic_core.dir/registration.cpp.o.d"
+  "/root/repo/src/tactic/tactic_policy.cpp" "src/tactic/CMakeFiles/tactic_core.dir/tactic_policy.cpp.o" "gcc" "src/tactic/CMakeFiles/tactic_core.dir/tactic_policy.cpp.o.d"
+  "/root/repo/src/tactic/tag.cpp" "src/tactic/CMakeFiles/tactic_core.dir/tag.cpp.o" "gcc" "src/tactic/CMakeFiles/tactic_core.dir/tag.cpp.o.d"
+  "/root/repo/src/tactic/traitor_tracing.cpp" "src/tactic/CMakeFiles/tactic_core.dir/traitor_tracing.cpp.o" "gcc" "src/tactic/CMakeFiles/tactic_core.dir/traitor_tracing.cpp.o.d"
+  "/root/repo/src/tactic/wire.cpp" "src/tactic/CMakeFiles/tactic_core.dir/wire.cpp.o" "gcc" "src/tactic/CMakeFiles/tactic_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndn/CMakeFiles/tactic_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tactic_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tactic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tactic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/tactic_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tactic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_core.dir/access_path.cpp.o"
+  "CMakeFiles/tactic_core.dir/access_path.cpp.o.d"
+  "CMakeFiles/tactic_core.dir/compute_model.cpp.o"
+  "CMakeFiles/tactic_core.dir/compute_model.cpp.o.d"
+  "CMakeFiles/tactic_core.dir/precheck.cpp.o"
+  "CMakeFiles/tactic_core.dir/precheck.cpp.o.d"
+  "CMakeFiles/tactic_core.dir/registration.cpp.o"
+  "CMakeFiles/tactic_core.dir/registration.cpp.o.d"
+  "CMakeFiles/tactic_core.dir/tactic_policy.cpp.o"
+  "CMakeFiles/tactic_core.dir/tactic_policy.cpp.o.d"
+  "CMakeFiles/tactic_core.dir/tag.cpp.o"
+  "CMakeFiles/tactic_core.dir/tag.cpp.o.d"
+  "CMakeFiles/tactic_core.dir/traitor_tracing.cpp.o"
+  "CMakeFiles/tactic_core.dir/traitor_tracing.cpp.o.d"
+  "CMakeFiles/tactic_core.dir/wire.cpp.o"
+  "CMakeFiles/tactic_core.dir/wire.cpp.o.d"
+  "libtactic_core.a"
+  "libtactic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

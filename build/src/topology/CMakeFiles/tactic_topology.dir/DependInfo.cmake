@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/tactic_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/tactic_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/isp.cpp" "src/topology/CMakeFiles/tactic_topology.dir/isp.cpp.o" "gcc" "src/topology/CMakeFiles/tactic_topology.dir/isp.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/tactic_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/tactic_topology.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndn/CMakeFiles/tactic_ndn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tactic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/tactic_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tactic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_topology.dir/graph.cpp.o"
+  "CMakeFiles/tactic_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/tactic_topology.dir/isp.cpp.o"
+  "CMakeFiles/tactic_topology.dir/isp.cpp.o.d"
+  "CMakeFiles/tactic_topology.dir/network.cpp.o"
+  "CMakeFiles/tactic_topology.dir/network.cpp.o.d"
+  "libtactic_topology.a"
+  "libtactic_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_util.dir/bytes.cpp.o"
+  "CMakeFiles/tactic_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/tactic_util.dir/csv.cpp.o"
+  "CMakeFiles/tactic_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tactic_util.dir/distributions.cpp.o"
+  "CMakeFiles/tactic_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/tactic_util.dir/flags.cpp.o"
+  "CMakeFiles/tactic_util.dir/flags.cpp.o.d"
+  "CMakeFiles/tactic_util.dir/log.cpp.o"
+  "CMakeFiles/tactic_util.dir/log.cpp.o.d"
+  "CMakeFiles/tactic_util.dir/rng.cpp.o"
+  "CMakeFiles/tactic_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tactic_util.dir/stats.cpp.o"
+  "CMakeFiles/tactic_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tactic_util.dir/table.cpp.o"
+  "CMakeFiles/tactic_util.dir/table.cpp.o.d"
+  "CMakeFiles/tactic_util.dir/timeseries.cpp.o"
+  "CMakeFiles/tactic_util.dir/timeseries.cpp.o.d"
+  "libtactic_util.a"
+  "libtactic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

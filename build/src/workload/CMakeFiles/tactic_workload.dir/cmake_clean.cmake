@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_workload.dir/attacker_app.cpp.o"
+  "CMakeFiles/tactic_workload.dir/attacker_app.cpp.o.d"
+  "CMakeFiles/tactic_workload.dir/catalog.cpp.o"
+  "CMakeFiles/tactic_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/tactic_workload.dir/client_app.cpp.o"
+  "CMakeFiles/tactic_workload.dir/client_app.cpp.o.d"
+  "CMakeFiles/tactic_workload.dir/provider_app.cpp.o"
+  "CMakeFiles/tactic_workload.dir/provider_app.cpp.o.d"
+  "libtactic_workload.a"
+  "libtactic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

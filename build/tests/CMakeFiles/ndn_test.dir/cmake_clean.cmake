@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndn_test.dir/ndn_test.cpp.o"
+  "CMakeFiles/ndn_test.dir/ndn_test.cpp.o.d"
+  "ndn_test"
+  "ndn_test.pdb"
+  "ndn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

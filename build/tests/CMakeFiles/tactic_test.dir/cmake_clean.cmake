@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tactic_test.dir/tactic_test.cpp.o"
+  "CMakeFiles/tactic_test.dir/tactic_test.cpp.o.d"
+  "tactic_test"
+  "tactic_test.pdb"
+  "tactic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tactic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
