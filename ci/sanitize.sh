@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the whole tree with ASan+UBSan and runs the tier-1 test suite
+# plus a short scenario-fuzz sweep under the sanitizers.  Any sanitizer
+# report aborts the run (-fno-sanitize-recover=all) and fails the script.
+#
+# Usage: ci/sanitize.sh [build-dir]    (default: build-sanitize)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Short fuzz sweep: exercises the full simulator (crypto, Bloom filters,
+# forwarder, PIT, workloads) under the sanitizers with the runtime
+# invariant checker armed.
+"$BUILD_DIR/fuzz_scenarios" --runs 5 --duration 6
+
+echo "sanitize: OK"

@@ -21,6 +21,20 @@ void Forwarder::set_policy(std::unique_ptr<AccessControlPolicy> policy) {
   policy_ = policy ? std::move(policy) : std::make_unique<NullPolicy>();
 }
 
+void Forwarder::add_tracer(TraceFn tracer) {
+  if (!tracer) return;
+  if (!tracer_) {
+    tracer_ = std::move(tracer);
+    return;
+  }
+  tracer_ = [first = std::move(tracer_), second = std::move(tracer)](
+                const Forwarder& node, const PacketVariant& packet,
+                FaceId face, bool is_rx) {
+    first(node, packet, face, is_rx);
+    second(node, packet, face, is_rx);
+  };
+}
+
 FaceId Forwarder::add_link_face(
     net::Link* tx_link, std::function<void(PacketVariant&&)> deliver) {
   Face face;

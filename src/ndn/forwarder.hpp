@@ -107,6 +107,11 @@ class Forwarder {
                          bool /*is_rx*/)>;
   void set_tracer(TraceFn tracer) { tracer_ = std::move(tracer); }
 
+  /// Adds a tracer without displacing one already installed; all added
+  /// tracers run, in installation order.  Lets an invariant checker
+  /// observe the packet stream alongside a PacketTrace CSV sink.
+  void add_tracer(TraceFn tracer);
+
   /// Application transmit: treat `packet` as if it arrived on `app_face`.
   /// Used by clients to issue Interests and by producers to answer them.
   void inject_from_app(FaceId app_face, PacketVariant&& packet);

@@ -52,6 +52,12 @@ class Pit {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// Read-only view of all live entries — the invariant checker walks
+  /// this to assert no entry outlives its expiry.
+  const std::unordered_map<Name, PitEntry>& entries() const {
+    return entries_;
+  }
+
   /// Whether a downstream face already requested this name with this nonce
   /// (duplicate/looping Interest detection).
   static bool has_nonce(const PitEntry& entry, std::uint64_t nonce);

@@ -318,6 +318,16 @@ void Scenario::move_user(net::NodeId user, std::size_t new_ap_index) {
       network_->face_between(user, network_->edge_router_of(user)));
 }
 
+void Scenario::stop_workloads() {
+  for (auto& client : clients_) client->stop();
+  for (auto& attacker : attackers_) attacker->stop();
+}
+
+event::Time Scenario::drain(event::Time grace) {
+  stop_workloads();
+  return scheduler_.run_until(scheduler_.now() + grace);
+}
+
 const Metrics& Scenario::run() {
   if (ran_) throw std::logic_error("Scenario: run() called twice");
   ran_ = true;

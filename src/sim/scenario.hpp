@@ -75,6 +75,16 @@ class Scenario {
   /// Harvested after run() (or mid-run from examples).
   Metrics harvest();
 
+  /// Stops every client and attacker from issuing new requests
+  /// (outstanding ones expire naturally).
+  void stop_workloads();
+
+  /// Stops the workloads and keeps running the event loop for `grace`
+  /// more simulated time so in-flight packets land and PIT entries
+  /// expire.  After a drain, every router PIT should be empty — the
+  /// invariant the testing harness asserts.  Returns the new now().
+  event::Time drain(event::Time grace = 30 * event::kSecond);
+
   /// Wireless mobility: moves a user (client or attacker) behind another
   /// access point.  Per the paper, "a mobile client needs to request a
   /// new tag every time she moves to a new location": with access-path

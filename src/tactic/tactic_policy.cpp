@@ -114,7 +114,9 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
   if (config_.precheck) {
     const PrecheckResult pre =
         edge_precheck(tag, interest.name, node.scheduler().now());
-    if (pre != PrecheckResult::kOk) {
+    const bool injected_miss = pre == PrecheckResult::kExpired &&
+                               config_.fault_skip_expiry_precheck;
+    if (pre != PrecheckResult::kOk && !injected_miss) {
       ++counters_.precheck_rejections;
       decision.action = InterestDecision::Action::kDrop;
       decision.nack_reason = to_nack_reason(pre);

@@ -77,6 +77,11 @@ struct TacticConfig {
   /// Name component marking registration Interests
   /// ("/<provider>/register/...").
   std::string registration_component = "register";
+  /// Fault injection for the invariant harness (`fuzz_scenarios
+  /// --inject-expiry-bug`): edge routers skip Protocol 1's tag-expiry
+  /// check, the regression the runtime invariants must catch.  Never
+  /// enable outside testing.
+  bool fault_skip_expiry_precheck = false;
 };
 
 /// True when `name` is a registration Interest under the convention

@@ -1,0 +1,101 @@
+#include "testing/fingerprint.hpp"
+
+#include <cstdio>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace tactic::testing {
+
+namespace {
+
+void put(std::string& out, const char* key, std::uint64_t value) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "%s=%llu\n", key,
+                static_cast<unsigned long long>(value));
+  out += line;
+}
+
+void put(std::string& out, const char* key, double value) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "%s=%a\n", key, value);
+  out += line;
+}
+
+void put_series(std::string& out, const char* key,
+                const util::TimeSeries& series) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "%s.buckets=%zu\n", key,
+                series.bucket_count());
+  out += line;
+  for (std::size_t b = 0; b < series.bucket_count(); ++b) {
+    std::snprintf(line, sizeof(line), "%s[%zu]=%zu:%a\n", key, b,
+                  series.count(b), series.sum(b));
+    out += line;
+  }
+}
+
+void put_totals(std::string& out, const char* key,
+                const sim::TrafficTotals& totals) {
+  std::string prefix(key);
+  put(out, (prefix + ".requested").c_str(), totals.requested);
+  put(out, (prefix + ".received").c_str(), totals.received);
+  put(out, (prefix + ".nacks").c_str(), totals.nacks);
+  put(out, (prefix + ".timeouts").c_str(), totals.timeouts);
+  put(out, (prefix + ".tags_requested").c_str(), totals.tags_requested);
+  put(out, (prefix + ".tags_received").c_str(), totals.tags_received);
+}
+
+void put_ops(std::string& out, const char* key, const sim::RouterOps& ops) {
+  std::string prefix(key);
+  put(out, (prefix + ".bf_lookups").c_str(), ops.bf_lookups);
+  put(out, (prefix + ".bf_insertions").c_str(), ops.bf_insertions);
+  put(out, (prefix + ".sig_verifications").c_str(), ops.sig_verifications);
+  put(out, (prefix + ".bf_resets").c_str(), ops.bf_resets);
+  put(out, (prefix + ".compute_charged_s").c_str(), ops.compute_charged_s);
+}
+
+void put_vector(std::string& out, const char* key,
+                const std::vector<std::uint64_t>& values) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "%s.size=%zu\n", key, values.size());
+  out += line;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(line, sizeof(line), "%s[%zu]=%llu\n", key, i,
+                  static_cast<unsigned long long>(values[i]));
+    out += line;
+  }
+}
+
+}  // namespace
+
+std::string fingerprint(const sim::Metrics& metrics) {
+  std::string out;
+  out.reserve(4096);
+  put_series(out, "latency", metrics.latency);
+  put_series(out, "tag_requests", metrics.tag_requests);
+  put_series(out, "tag_receives", metrics.tag_receives);
+  put_totals(out, "clients", metrics.clients);
+  put_totals(out, "attackers", metrics.attackers);
+  put_ops(out, "edge_ops", metrics.edge_ops);
+  put_ops(out, "core_ops", metrics.core_ops);
+  put_vector(out, "edge_requests_per_reset",
+             metrics.edge_requests_per_reset);
+  put_vector(out, "core_requests_per_reset",
+             metrics.core_requests_per_reset);
+  put(out, "provider_sig_verifications",
+      metrics.provider_sig_verifications);
+  put(out, "provider_tags_issued", metrics.provider_tags_issued);
+  put(out, "provider_content_served", metrics.provider_content_served);
+  put(out, "link_bytes_sent", metrics.link_bytes_sent);
+  put(out, "link_frames_dropped", metrics.link_frames_dropped);
+  put(out, "cs_hits", metrics.cs_hits);
+  put(out, "cs_misses", metrics.cs_misses);
+  return out;
+}
+
+std::string fingerprint_digest(const sim::Metrics& metrics) {
+  return util::to_hex(crypto::Sha256::digest(fingerprint(metrics)));
+}
+
+}  // namespace tactic::testing

@@ -1,0 +1,21 @@
+#pragma once
+// Canonical, lossless textual fingerprint of a Metrics harvest.
+//
+// Two runs of the same ScenarioConfig must produce byte-identical
+// fingerprints — the metrics half of the fuzz harness's reproducibility
+// check.  Doubles are rendered as C99 hexfloats so the comparison is
+// exact, not rounded.
+
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace tactic::testing {
+
+/// Every counter, series bucket, and vector element, one per line.
+std::string fingerprint(const sim::Metrics& metrics);
+
+/// SHA-256 hex of fingerprint() — compact form for logs.
+std::string fingerprint_digest(const sim::Metrics& metrics);
+
+}  // namespace tactic::testing

@@ -1,0 +1,116 @@
+#include "testing/generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace tactic::testing {
+
+namespace {
+
+sim::PolicyKind sample_policy(util::Rng& rng) {
+  constexpr sim::PolicyKind kAll[] = {
+      sim::PolicyKind::kTactic,        sim::PolicyKind::kNoAccessControl,
+      sim::PolicyKind::kClientSideAc,  sim::PolicyKind::kPerRequestAuth,
+      sim::PolicyKind::kProbBf,
+  };
+  return kAll[rng.uniform(std::size(kAll))];
+}
+
+}  // namespace
+
+sim::ScenarioConfig random_config(std::uint64_t seed,
+                                  const GeneratorOptions& options) {
+  util::Rng rng(seed);
+  sim::ScenarioConfig config;
+
+  config.topology.core_routers = 6 + rng.uniform(10);
+  config.topology.edge_routers = 2 + rng.uniform(3);
+  config.topology.providers = 1 + rng.uniform(3);
+  config.topology.clients = 2 + rng.uniform(5);
+  config.topology.attackers = 1 + rng.uniform(3);
+  config.topology.aps_per_edge = 1 + rng.uniform(2);
+  config.topology.core_cs_capacity = 200 + rng.uniform(800);
+  config.topology.edge_cs_capacity = 0;
+
+  config.policy =
+      options.forced_policy ? *options.forced_policy : sample_policy(rng);
+
+  config.tactic.bloom.capacity = 50 + rng.uniform(450);
+  config.tactic.bloom.hashes = 5;
+  config.tactic.bloom.design_fpp = 1e-4;
+  config.tactic.bloom.max_fpp = rng.bernoulli(0.5) ? 1e-4 : 1e-3;
+  config.tactic.flag_cooperation = rng.bernoulli(0.75);
+  // Protocol 1 stays on: its ablation legitimately leaks structurally
+  // invalid tags, which would void the delivery invariant.
+  config.tactic.precheck = true;
+  config.tactic.enforce_access_path = rng.bernoulli(0.3);
+  config.tactic.fault_skip_expiry_precheck = options.inject_expiry_bug;
+
+  config.provider.tag_validity = (3 + rng.uniform(27)) * event::kSecond;
+  config.provider.key_bits = 512;  // fast; strength is irrelevant here
+  config.provider.catalog.objects = 5 + rng.uniform(15);
+  config.provider.catalog.chunks_per_object = 3 + rng.uniform(6);
+  config.provider.catalog.chunk_size = 1024;
+  config.provider.catalog.high_al_fraction =
+      rng.bernoulli(0.5) ? 0.25 : 0.0;
+  // No public objects: the end-of-run attacker accounting assumes every
+  // delivery to an attacker crossed an access-control decision.
+  config.provider.catalog.public_fraction = 0.0;
+
+  config.client.window = 3 + rng.uniform(4);
+  config.client.think_time_mean =
+      (10 + rng.uniform(90)) * event::kMillisecond;
+
+  // Attackers probe far faster than the paper's 90 s tempo so short fuzz
+  // runs actually exercise the rejection paths.
+  config.attacker.window = 2 + rng.uniform(4);
+  config.attacker.think_time_mean =
+      (100 + rng.uniform(900)) * event::kMillisecond;
+
+  // All five default threat modes, in a seed-dependent assignment order.
+  // kSharedTag stays out: its fallback victim selection can legitimately
+  // hand an attacker a same-AP tag, which no invariant can condemn.
+  for (std::size_t i = config.attacker_mix.size(); i > 1; --i) {
+    std::swap(config.attacker_mix[i - 1],
+              config.attacker_mix[rng.uniform(i)]);
+  }
+
+  config.compute = rng.bernoulli(0.5) ? core::ComputeModel::paper_defaults()
+                                      : core::ComputeModel::zero();
+
+  config.duration =
+      options.duration +
+      static_cast<event::Time>(rng.uniform(
+          static_cast<std::uint64_t>(options.duration / 2) + 1));
+  config.seed = seed;
+  config.enable_traitor_tracing = false;
+  return config;
+}
+
+std::string describe(const sim::ScenarioConfig& config) {
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "seed=%llu policy=%s topo=c%zu/e%zu/p%zu users=%zu+%zu ap%zu "
+      "bloom=%zu@%.0e flagF=%d appath=%d validity=%.0fs catalog=%zux%zu "
+      "dur=%.1fs%s",
+      static_cast<unsigned long long>(config.seed),
+      sim::to_string(config.policy), config.topology.core_routers,
+      config.topology.edge_routers, config.topology.providers,
+      config.topology.clients, config.topology.attackers,
+      config.topology.aps_per_edge, config.tactic.bloom.capacity,
+      config.tactic.bloom.max_fpp,
+      config.tactic.flag_cooperation ? 1 : 0,
+      config.tactic.enforce_access_path ? 1 : 0,
+      event::to_seconds(config.provider.tag_validity),
+      config.provider.catalog.objects,
+      config.provider.catalog.chunks_per_object,
+      event::to_seconds(config.duration),
+      config.tactic.fault_skip_expiry_precheck ? " FAULT=expiry-precheck"
+                                               : "");
+  return buffer;
+}
+
+}  // namespace tactic::testing

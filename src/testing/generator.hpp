@@ -1,0 +1,38 @@
+#pragma once
+// Deterministic scenario generator for the fuzz / invariant harness.
+//
+// Every sampled configuration derives entirely from one 64-bit seed, so
+// a failing seed printed by `fuzz_scenarios` is a complete reproduction
+// recipe (`fuzz_scenarios --seed N --repro`).  The sampled space covers
+// topology sizes, user mixes and tempos, tag validity windows, Bloom
+// sizing, catalog shape, compute charging, and the policy kind.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+namespace tactic::testing {
+
+struct GeneratorOptions {
+  /// Base simulated duration; each sample adds up to 50% jitter.
+  event::Time duration = 10 * event::kSecond;
+  /// When set, every sample uses this policy; otherwise the kind is
+  /// drawn uniformly over all five.
+  std::optional<sim::PolicyKind> forced_policy;
+  /// Inject the Protocol-1 expiry-check fault into TACTIC edge routers
+  /// (core::TacticConfig::fault_skip_expiry_precheck) — the regression
+  /// the runtime invariants must catch.
+  bool inject_expiry_bug = false;
+};
+
+/// Deterministically samples one scenario configuration from `seed`.
+/// Same seed + same options => identical configuration, always.
+sim::ScenarioConfig random_config(std::uint64_t seed,
+                                  const GeneratorOptions& options = {});
+
+/// One-line human-readable summary of a sampled configuration.
+std::string describe(const sim::ScenarioConfig& config);
+
+}  // namespace tactic::testing

@@ -1,0 +1,278 @@
+#include "testing/invariants.hpp"
+
+#include <cstdio>
+
+#include "crypto/sha256.hpp"
+#include "tactic/tactic_policy.hpp"
+#include "tactic/tag.hpp"
+#include "tactic/wire.hpp"
+
+namespace tactic::testing {
+
+namespace {
+
+void append_u64(util::Bytes& out, std::uint64_t value) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+std::string format_seconds(event::Time t) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3fs", event::to_seconds(t));
+  return buffer;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(sim::Scenario& scenario,
+                                   InvariantOptions options)
+    : scenario_(scenario),
+      options_(options),
+      chain_(crypto::Sha256::kDigestSize, 0) {}
+
+void InvariantChecker::arm() {
+  if (armed_) return;
+  armed_ = true;
+  auto& network = scenario_.network();
+  for (std::size_t id = 0; id < network.node_count(); ++id) {
+    network.node(static_cast<net::NodeId>(id))
+        .add_tracer([this](const ndn::Forwarder& node,
+                           const ndn::PacketVariant& packet,
+                           ndn::FaceId face, bool is_rx) {
+          on_packet(node, packet, face, is_rx);
+        });
+  }
+  schedule_sample();
+}
+
+void InvariantChecker::schedule_sample() {
+  scenario_.scheduler().schedule(options_.sample_interval, [this] {
+    sample();
+    const event::Time horizon =
+        scenario_.config().duration + options_.drain_grace;
+    if (scenario_.scheduler().now() < horizon) schedule_sample();
+  });
+}
+
+void InvariantChecker::on_packet(const ndn::Forwarder& node,
+                                 const ndn::PacketVariant& packet,
+                                 ndn::FaceId face, bool is_rx) {
+  ++packets_observed_;
+
+  // Fold the event into the trace hash chain.
+  util::Bytes record;
+  record.reserve(25);
+  append_u64(record, node.info().id);
+  append_u64(record, static_cast<std::uint64_t>(face));
+  record.push_back(is_rx ? 1 : 0);
+  append_u64(record,
+             static_cast<std::uint64_t>(scenario_.scheduler().now()));
+  crypto::Sha256 hash;
+  hash.update(chain_);
+  hash.update(record);
+  hash.update(wire::encode(packet));
+  chain_ = hash.finish();
+
+  if (!is_rx) {
+    if (const auto* data = std::get_if<ndn::Data>(&packet)) {
+      check_delivery(node, *data);
+    }
+  }
+}
+
+void InvariantChecker::check_delivery(const ndn::Forwarder& node,
+                                      const ndn::Data& data) {
+  if (scenario_.config().policy != sim::PolicyKind::kTactic) return;
+  if (!net::is_router(node.info().kind)) return;
+  if (data.is_registration_response || data.nack_attached) return;
+  if (data.access_level == ndn::kPublicAccessLevel) return;
+  ++deliveries_checked_;
+
+  const event::Time now = scenario_.scheduler().now();
+  const std::string& label = node.info().label;
+  if (!data.tag) {
+    add_violation(label, "protected Data sent without tag or NACK: " +
+                             data.name.to_uri());
+    return;
+  }
+  const core::Tag& tag = *data.tag;
+  bool structurally_invalid = false;
+  if (tag.expiry() + options_.expiry_slack < now) {
+    structurally_invalid = true;
+    add_violation(label, "expired tag honoured for " + data.name.to_uri() +
+                             " (expiry " + format_seconds(tag.expiry()) +
+                             ", now " + format_seconds(now) + ")");
+  }
+  if (data.access_level > tag.access_level()) {
+    structurally_invalid = true;
+    add_violation(label,
+                  "insufficient access level honoured for " +
+                      data.name.to_uri());
+  }
+  if (!data.provider_key_locator.empty() &&
+      data.provider_key_locator != tag.provider_key_locator()) {
+    structurally_invalid = true;
+    add_violation(label, "wrong-provider tag honoured for " +
+                             data.name.to_uri());
+  }
+  if (!structurally_invalid && !signature_valid(tag)) {
+    // Possibly a designed Bloom false positive — budgeted at finalize().
+    ++fp_leaks_;
+  }
+}
+
+bool InvariantChecker::signature_valid(const core::Tag& tag) {
+  const std::string key = util::to_hex(tag.bloom_key());
+  auto it = signature_cache_.find(key);
+  if (it != signature_cache_.end()) return it->second;
+  const bool valid = core::verify_tag_signature(tag, scenario_.anchors().pki);
+  signature_cache_.emplace(key, valid);
+  return valid;
+}
+
+void InvariantChecker::sample() {
+  const event::Time now = scenario_.scheduler().now();
+  auto& network = scenario_.network();
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    const net::NodeId id = static_cast<net::NodeId>(i);
+    auto& node = network.node(id);
+    for (const auto& [name, entry] : node.pit().entries()) {
+      if (entry.expiry_time < now) {
+        add_violation(node.info().label,
+                      "PIT entry outlived its expiry: " + name.to_uri() +
+                          " (expiry " + format_seconds(entry.expiry_time) +
+                          ", now " + format_seconds(now) + ")");
+      }
+    }
+    if (node.cs().capacity() > 0 &&
+        node.cs().size() > node.cs().capacity()) {
+      add_violation(node.info().label, "CS exceeded its capacity");
+    }
+    if (const auto* tactic =
+            dynamic_cast<const core::TacticRouterPolicy*>(&node.policy())) {
+      const bool over = tactic->bloom().current_fpp() >
+                        tactic->config().bloom.max_fpp;
+      int& streak = fpp_streak_[id];
+      if (over && ++streak > 1) {
+        add_violation(node.info().label,
+                      "BF estimated FPP above the reset threshold for more "
+                      "than one sampling interval");
+      }
+      if (!over) streak = 0;
+    }
+  }
+}
+
+void InvariantChecker::check_pits(const char* context) {
+  auto& network = scenario_.network();
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    auto& node = network.node(static_cast<net::NodeId>(i));
+    if (node.pit().size() != 0) {
+      char what[96];
+      std::snprintf(what, sizeof(what), "PIT holds %zu entries %s",
+                    node.pit().size(), context);
+      add_violation(node.info().label, what);
+    }
+  }
+}
+
+void InvariantChecker::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  scenario_.drain(options_.drain_grace);
+  check_pits("after drain");
+
+  const sim::Metrics metrics = scenario_.harvest();
+  const auto& config = scenario_.config();
+
+  const std::uint64_t resolved = metrics.clients.received +
+                                 metrics.clients.nacks +
+                                 metrics.clients.timeouts;
+  if (resolved > metrics.clients.requested) {
+    add_violation("-", "client accounting: received+nacks+timeouts "
+                       "exceeds requests");
+  }
+  if (config.topology.clients > 0 &&
+      config.duration >= 5 * event::kSecond) {
+    if (metrics.clients.requested == 0) {
+      add_violation("-", "liveness: clients issued no requests");
+    } else if (metrics.clients.received == 0) {
+      add_violation("-", "liveness: no client received any content");
+    }
+  }
+
+  switch (config.policy) {
+    case sim::PolicyKind::kTactic: {
+      if (fp_leaks_ > options_.fp_leak_budget) {
+        char what[128];
+        std::snprintf(what, sizeof(what),
+                      "signature-invalid tags honoured %llu times "
+                      "(Bloom false-positive budget %llu)",
+                      static_cast<unsigned long long>(fp_leaks_),
+                      static_cast<unsigned long long>(
+                          options_.fp_leak_budget));
+        add_violation("-", what);
+      }
+      if (metrics.attackers.received > fp_leaks_) {
+        char what[128];
+        std::snprintf(what, sizeof(what),
+                      "attackers received %llu chunks under kTactic "
+                      "(only %llu Bloom false-positive leaks observed)",
+                      static_cast<unsigned long long>(
+                          metrics.attackers.received),
+                      static_cast<unsigned long long>(fp_leaks_));
+        add_violation("-", what);
+      }
+      break;
+    }
+    case sim::PolicyKind::kPerRequestAuth:
+    case sim::PolicyKind::kProbBf:
+      if (metrics.attackers.received != 0) {
+        add_violation("-", std::string("attackers received content under ") +
+                               sim::to_string(config.policy));
+      }
+      break;
+    case sim::PolicyKind::kNoAccessControl:
+    case sim::PolicyKind::kClientSideAc:
+      break;  // attackers are expected to receive content
+  }
+}
+
+void InvariantChecker::add_violation(const std::string& node,
+                                     std::string what) {
+  ++violation_count_;
+  if (violations_.size() < options_.max_recorded) {
+    violations_.push_back(
+        Violation{scenario_.scheduler().now(), node, std::move(what)});
+  }
+}
+
+std::string InvariantChecker::trace_digest() const {
+  return util::to_hex(chain_);
+}
+
+std::string InvariantChecker::report() const {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "packets=%llu deliveries_checked=%llu fp_leaks=%llu "
+                "violations=%llu\n",
+                static_cast<unsigned long long>(packets_observed_),
+                static_cast<unsigned long long>(deliveries_checked_),
+                static_cast<unsigned long long>(fp_leaks_),
+                static_cast<unsigned long long>(violation_count_));
+  std::string out = line;
+  for (const auto& violation : violations_) {
+    out += "  [" + format_seconds(violation.when) + "] " + violation.node +
+           ": " + violation.what + "\n";
+  }
+  if (violation_count_ > violations_.size()) {
+    std::snprintf(line, sizeof(line), "  ... and %llu more\n",
+                  static_cast<unsigned long long>(violation_count_ -
+                                                  violations_.size()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tactic::testing

@@ -144,6 +144,119 @@ TEST(Scheduler, Counters) {
   EXPECT_EQ(sched.pending_count(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Regression pins for same-instant FIFO and cancellation semantics under
+// adversarial patterns.  These nail down behaviour the deterministic
+// fuzzer's bit-reproducibility check depends on: a scheduler that
+// reorders ties or resurrects cancelled events would change packet
+// traces between otherwise identical runs.
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, SameInstantFifoSurvivesInterleavedSchedules) {
+  // Ties broken by sequence number even when the same instant is reached
+  // via different (delay, schedule_at) combinations and interleaved with
+  // events at other times.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(2 * kSecond, [&] { order.push_back(20); });
+  sched.schedule_at(kSecond, [&] { order.push_back(0); });
+  sched.schedule(kSecond, [&] { order.push_back(1); });
+  sched.schedule(3 * kSecond, [&] { order.push_back(30); });
+  sched.schedule_at(kSecond, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 20, 30}));
+}
+
+TEST(Scheduler, CancelSameInstantSiblingDuringDispatch) {
+  // A handler cancels a later event scheduled for the SAME instant: the
+  // cancel must succeed and the sibling must be skipped, even though it
+  // already sits in the dispatch queue for the current time.
+  Scheduler sched;
+  std::vector<int> order;
+  EventId sibling;
+  sched.schedule(kSecond, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(sched.cancel(sibling));
+  });
+  sibling = sched.schedule(kSecond, [&] { order.push_back(2); });
+  sched.schedule(kSecond, [&] { order.push_back(3); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sched.executed_count(), 2u);
+}
+
+TEST(Scheduler, CancelSelfDuringExecutionFails) {
+  // By the time a handler runs its own id is no longer pending, so a
+  // self-cancel reports false and has no effect.
+  Scheduler sched;
+  EventId self;
+  bool ran = false;
+  self = sched.schedule(kSecond, [&] {
+    ran = true;
+    EXPECT_FALSE(sched.cancel(self));
+  });
+  sched.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.executed_count(), 1u);
+}
+
+TEST(Scheduler, ZeroDelayReschedulesKeepFifoAcrossHandlers) {
+  // Two handlers at the same instant each reschedule themselves with zero
+  // delay: the followers must run in the same relative order as their
+  // parents (A, B, A', B'), not interleaved arbitrarily.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(kSecond, [&] {
+    order.push_back(1);
+    sched.schedule(0, [&] { order.push_back(3); });
+  });
+  sched.schedule(kSecond, [&] {
+    order.push_back(2);
+    sched.schedule(0, [&] { order.push_back(4); });
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sched.now(), kSecond);
+}
+
+TEST(Scheduler, CancelAndReplaceKeepsSurvivorOrder) {
+  // Timer-refresh pattern: cancel a pending event and schedule a
+  // replacement at the same instant.  The replacement is a NEW event and
+  // must run after every survivor scheduled before it.
+  Scheduler sched;
+  std::vector<int> order;
+  const EventId stale = sched.schedule(kSecond, [&] { order.push_back(1); });
+  sched.schedule(kSecond, [&] { order.push_back(2); });
+  EXPECT_TRUE(sched.cancel(stale));
+  sched.schedule(kSecond, [&] { order.push_back(3); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(Scheduler, AdversarialCancelStormCountsStayConsistent) {
+  // Dense same-instant bursts with every other event cancelled — some
+  // before run(), some from inside handlers — must never double-execute,
+  // resurrect, or lose events.
+  Scheduler sched;
+  std::vector<EventId> ids;
+  int executed = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sched.schedule(kSecond, [&] { ++executed; }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    cancelled += sched.cancel(ids[i]);
+  }
+  // A same-instant saboteur scheduled last cancels the tail survivor.
+  sched.schedule(kSecond, [&] { EXPECT_FALSE(sched.cancel(ids[99])); });
+  sched.run();
+  EXPECT_EQ(cancelled, 50);
+  EXPECT_EQ(executed, 50);
+  // 50 survivors + the saboteur.
+  EXPECT_EQ(sched.executed_count(), 51u);
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
 TEST(Scheduler, ManyEventsStressOrdering) {
   Scheduler sched;
   Time last = -1;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "bloom/bloom_filter.hpp"
@@ -23,20 +24,37 @@
 namespace tactic {
 namespace {
 
+/// Per-seed iteration count: `def` by default, overridable through the
+/// TACTIC_PROPERTY_ITERS environment variable (scaled proportionally, so
+/// e.g. TACTIC_PROPERTY_ITERS=500 runs a loop defaulting to 50 for 500
+/// iterations and one defaulting to 10 for 100).  Values <= 0 are
+/// ignored.  Lets CI soak the properties without touching the source.
+int property_iters(int def) {
+  static const long scale = [] {
+    const char* raw = std::getenv("TACTIC_PROPERTY_ITERS");
+    return raw == nullptr ? 0L : std::atol(raw);
+  }();
+  if (scale <= 0) return def;
+  const long scaled = (scale * def + 49) / 50;  // def=50 is the baseline
+  return static_cast<int>(std::max(1L, scaled));
+}
+
 class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {
  protected:
   util::Rng rng_{GetParam()};
 };
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
-                         ::testing::Values(11, 22, 33, 44));
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
+                                           99, 110, 121, 132, 143, 154,
+                                           165, 176));
 
 // ---------------------------------------------------------------------------
 // Crypto properties under random inputs
 // ---------------------------------------------------------------------------
 
 TEST_P(SeededProperty, Sha256IsDeterministicAndSensitive) {
-  for (int i = 0; i < 50; ++i) {
+  for (int i = 0; i < property_iters(50); ++i) {
     util::Bytes message(rng_.uniform(300));
     for (auto& b : message) b = static_cast<std::uint8_t>(rng_());
     const util::Bytes digest = crypto::Sha256::digest(message);
@@ -52,7 +70,7 @@ TEST_P(SeededProperty, Sha256IsDeterministicAndSensitive) {
 TEST_P(SeededProperty, AesCtrRoundTripsRandomPayloads) {
   util::Bytes key(16);
   for (auto& b : key) b = static_cast<std::uint8_t>(rng_());
-  for (int i = 0; i < 30; ++i) {
+  for (int i = 0; i < property_iters(30); ++i) {
     util::Bytes payload(rng_.uniform(600));
     for (auto& b : payload) b = static_cast<std::uint8_t>(rng_());
     const std::uint64_t nonce = rng_();
@@ -64,7 +82,7 @@ TEST_P(SeededProperty, AesCtrRoundTripsRandomPayloads) {
 
 TEST_P(SeededProperty, BignumRingAxiomsSample) {
   using crypto::BigUInt;
-  for (int i = 0; i < 30; ++i) {
+  for (int i = 0; i < property_iters(30); ++i) {
     const BigUInt a = BigUInt::random_bits(rng_, 16 + rng_.uniform(200));
     const BigUInt b = BigUInt::random_bits(rng_, 16 + rng_.uniform(200));
     const BigUInt c = BigUInt::random_bits(rng_, 16 + rng_.uniform(200));
@@ -82,7 +100,7 @@ TEST_P(SeededProperty, ModexpMultiplicativeHomomorphism) {
   BigUInt n = BigUInt::random_bits(rng_, 96);
   if (!n.is_odd()) n += BigUInt{1};
   const BigUInt e{65537};
-  for (int i = 0; i < 10; ++i) {
+  for (int i = 0; i < property_iters(10); ++i) {
     const BigUInt x = BigUInt::random_below(rng_, n);
     const BigUInt y = BigUInt::random_below(rng_, n);
     EXPECT_EQ(BigUInt::modexp((x * y) % n, e, n),
@@ -93,7 +111,7 @@ TEST_P(SeededProperty, ModexpMultiplicativeHomomorphism) {
 TEST_P(SeededProperty, TagSerializationBijectiveOverRandomFields) {
   const crypto::RsaKeyPair keys =
       crypto::generate_rsa_keypair(rng_, 512);
-  for (int i = 0; i < 10; ++i) {
+  for (int i = 0; i < property_iters(10); ++i) {
     core::Tag::Fields fields;
     fields.provider_key_locator =
         "/p" + std::to_string(rng_.uniform(100)) + "/KEY/1";
@@ -117,7 +135,7 @@ TEST_P(SeededProperty, TagSerializationBijectiveOverRandomFields) {
 TEST_P(SeededProperty, BloomNeverForgetsUnderRandomWorkload) {
   bloom::BloomFilter bf({200, 5, 1e-3, 1e-3});
   std::vector<util::Bytes> inserted;
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < property_iters(200); ++i) {
     util::Bytes element(8 + rng_.uniform(24));
     for (auto& b : element) b = static_cast<std::uint8_t>(rng_());
     bf.insert(element);
@@ -136,7 +154,7 @@ TEST_P(SeededProperty, BloomNeverForgetsUnderRandomWorkload) {
 // ---------------------------------------------------------------------------
 
 TEST_P(SeededProperty, NameUriParseIsInverse) {
-  for (int i = 0; i < 100; ++i) {
+  for (int i = 0; i < property_iters(100); ++i) {
     ndn::Name name;
     const std::size_t components = rng_.uniform(6);
     for (std::size_t c = 0; c < components; ++c) {
@@ -159,7 +177,8 @@ TEST_P(SeededProperty, SchedulerOrderWithRandomCancellations) {
   event::Time last = -1;
   int executed = 0;
   std::vector<event::EventId> ids;
-  for (int i = 0; i < 2000; ++i) {
+  const int total = property_iters(2000);
+  for (int i = 0; i < total; ++i) {
     const event::Time when =
         static_cast<event::Time>(rng_.uniform(1000000));
     ids.push_back(sched.schedule_at(when, [&, when] {
@@ -174,7 +193,7 @@ TEST_P(SeededProperty, SchedulerOrderWithRandomCancellations) {
     if (rng_.bernoulli(1.0 / 3.0)) cancelled += sched.cancel(id);
   }
   sched.run();
-  EXPECT_EQ(executed + cancelled, 2000);
+  EXPECT_EQ(executed + cancelled, total);
 }
 
 // ---------------------------------------------------------------------------

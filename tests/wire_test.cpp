@@ -337,6 +337,124 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PacketFuzz,
                          ::testing::Values(1, 2, 3, 4, 5));
 
 // ---------------------------------------------------------------------------
+// Adversarial wire fuzzing: random bytes into the raw TLV reader, and
+// bit-flipped / truncated / spliced variants of VALID packets into the
+// decoders.  Corruption must always be rejected cleanly (nullopt /
+// TlvError / nullptr) — never a crash, hang, or silently identical
+// packet.
+// ---------------------------------------------------------------------------
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// A fully-loaded valid packet of each kind (every optional TLV set).
+  std::vector<Bytes> valid_wires() {
+    ndn::Interest interest;
+    interest.name = ndn::Name("/provider0/obj1/c2");
+    interest.nonce = 0xDEADBEEF;
+    interest.lifetime = 750 * event::kMillisecond;
+    interest.tag = make_tag(GetParam());
+    interest.tag_wire_size = interest.tag->wire_size();
+    interest.flag_f = 0.125;
+    interest.access_path = 0xAABBCCDDEEFF0011ULL;
+    interest.payload_size = 64;
+    ndn::Data data;
+    data.name = ndn::Name("/provider0/obj9/c49");
+    data.content_size = 4096;
+    data.access_level = 3;
+    data.provider_key_locator = "/provider0/KEY/1";
+    data.signature_size = 128;
+    data.tag = interest.tag;
+    data.tag_wire_size = interest.tag_wire_size;
+    data.nack_attached = true;
+    data.nack_reason = ndn::NackReason::kInvalidSignature;
+    data.flag_f = 0.25;
+    data.from_cache = true;
+    ndn::Nack nack{ndn::Name("/provider0/obj1/c2"),
+                   ndn::NackReason::kExpiredTag};
+    return {encode(interest), encode(data), encode(nack)};
+  }
+};
+
+TEST_P(WireFuzz, RawTlvReaderRejectsRandomBytesCleanly) {
+  util::Rng rng(GetParam() * 7919);
+  for (int i = 0; i < 500; ++i) {
+    Bytes junk(rng.uniform(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    ndn::TlvReader reader(junk);
+    try {
+      while (!reader.at_end()) (void)reader.read_element();
+    } catch (const ndn::TlvError&) {
+      // The only acceptable failure mode.
+    }
+  }
+}
+
+TEST_P(WireFuzz, BitFlippedPacketsNeverCrashDecoders) {
+  util::Rng rng(GetParam() * 104729);
+  for (const Bytes& wire : valid_wires()) {
+    for (int i = 0; i < 300; ++i) {
+      Bytes mutated = wire;
+      const std::size_t flips = 1 + rng.uniform(3);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t bit = rng.uniform(mutated.size() * 8);
+        mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      // Decoders must reject or produce a re-encodable packet — never
+      // throw or crash.
+      if (const auto packet = decode(mutated)) (void)encode(*packet);
+      (void)decode_interest(mutated);
+      (void)decode_data(mutated);
+      (void)decode_nack(mutated);
+    }
+  }
+}
+
+TEST_P(WireFuzz, TruncatedAndSplicedPacketsRejected) {
+  util::Rng rng(GetParam() * 31337);
+  const std::vector<Bytes> wires = valid_wires();
+  for (const Bytes& wire : wires) {
+    for (int i = 0; i < 100; ++i) {
+      const std::size_t cut = rng.uniform(wire.size());
+      EXPECT_FALSE(
+          decode(util::BytesView(wire.data(), cut)).has_value());
+    }
+  }
+  // Two valid packets spliced back to back: trailing bytes => reject.
+  for (int i = 0; i < 50; ++i) {
+    Bytes spliced = wires[rng.uniform(wires.size())];
+    const Bytes& tail = wires[rng.uniform(wires.size())];
+    spliced.insert(spliced.end(), tail.begin(), tail.end());
+    EXPECT_FALSE(decode(spliced).has_value());
+    EXPECT_FALSE(decode_interest(spliced).has_value());
+    EXPECT_FALSE(decode_data(spliced).has_value());
+    EXPECT_FALSE(decode_nack(spliced).has_value());
+  }
+}
+
+TEST_P(WireFuzz, BitFlippedTagsNeverDecodeAsTheOriginal) {
+  util::Rng rng(GetParam() * 65537);
+  const core::TagPtr tag = make_tag(GetParam() + 100);
+  const Bytes wire = tag->serialize();
+  for (int i = 0; i < 300; ++i) {
+    Bytes mutated = wire;
+    const std::size_t bit = rng.uniform(mutated.size() * 8);
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const core::TagPtr back = core::Tag::deserialize(mutated);
+    // A flipped bit either breaks the framing (nullptr) or lands in a
+    // field/signature byte — in which case the tag must differ, and its
+    // Bloom key with it (no corrupted tag can impersonate the original
+    // in a router's filter).
+    if (back != nullptr) {
+      EXPECT_FALSE(back->same_tag(*tag));
+      EXPECT_NE(back->bloom_key(), tag->bloom_key());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
 // Wire fidelity: run the actual protocol machinery across links that
 // serialize and re-parse every packet.  Everything the TACTIC protocols
 // need (tag, signature, F, access path, NACK marks) must survive a real
