@@ -1,0 +1,119 @@
+// Resilience: delivery through wireless edge loss and an edge-router
+// crash-restart.
+//
+// The paper targets the *wireless* edge (Section 3), where frame loss is
+// the norm, not the exception.  This harness sweeps i.i.d. loss on every
+// client<->edge-router link across {0, 1, 5, 10}% while one edge router
+// crashes mid-run and restarts with its Bloom filter wiped (the TACTIC
+// worst case: every cached tag must be re-vouched through the F=0
+// fallback).  For TACTIC and the no-access-control baseline it reports
+// delivery ratio, p95 retrieval latency, and the client retransmission
+// machinery's work — showing what the access-control layer adds to (or
+// costs) loss recovery.
+//
+// Knobs beyond the shared harness set:
+//   --no-crash          sweep loss only (isolates the two fault sources)
+
+#include "harness.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace tactic;
+
+struct ChaosResult {
+  double delivery_ratio = 0;
+  double p95_latency = 0;  // seconds; 0 when no chunk was delivered
+  std::uint64_t retransmissions = 0;
+  std::uint64_t chunks_abandoned = 0;
+  std::uint64_t frames_lost = 0;
+};
+
+ChaosResult run_chaos(sim::PolicyKind policy, double edge_loss,
+                      bool with_crash, const bench::HarnessOptions& options) {
+  sim::ScenarioConfig config = bench::paper_scenario(
+      static_cast<int>(options.topologies.front()), options);
+  config.policy = policy;
+  config.faults.edge_links.loss = edge_loss;
+  if (with_crash) {
+    sim::CrashEvent crash;
+    crash.target = sim::CrashEvent::Target::kEdgeRouter;
+    crash.index = 0;
+    crash.at = config.duration / 2;
+    crash.down_for = event::kSecond;
+    config.faults.crashes.push_back(crash);
+  }
+  sim::Scenario scenario(config);
+
+  // TimeSeries only keeps per-bucket stats; tap the latency hook for the
+  // raw samples a percentile needs.
+  util::SampleSet latencies;
+  for (auto& client : scenario.clients()) {
+    client->on_latency_sample = [&latencies,
+                                 base = client->on_latency_sample](
+                                    event::Time when, double latency) {
+      if (base) base(when, latency);
+      latencies.add(latency);
+    };
+  }
+  const sim::Metrics& metrics = scenario.run();
+
+  ChaosResult result;
+  result.delivery_ratio = metrics.clients.delivery_ratio();
+  result.p95_latency = latencies.empty() ? 0.0 : latencies.percentile(95.0);
+  result.retransmissions = metrics.clients.retransmissions;
+  result.chunks_abandoned = metrics.clients.chunks_abandoned;
+  result.frames_lost = metrics.link_frames_lost;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tactic;
+  const bench::HarnessOptions options =
+      bench::HarnessOptions::parse(argc, argv, {1}, 80.0);
+  util::Flags flags(argc, argv);
+  const bool with_crash = !flags.get_bool("no-crash", false);
+  bench::print_header(
+      "Resilience: edge chaos (wireless loss sweep + edge-router "
+      "crash-restart)",
+      options);
+  std::printf("edge-router crash at duration/2: %s\n\n",
+              with_crash ? "yes (restarts after 1 s, Bloom filter wiped)"
+                         : "no (--no-crash)");
+
+  util::Table table({"Mechanism", "Edge loss", "Delivery", "p95 latency (s)",
+                     "Retransmits", "Abandoned", "Frames lost"});
+  bench::MaybeCsv csv(options.csv_path);
+  csv.row({"mechanism", "edge_loss", "delivery_ratio", "p95_latency_s",
+           "retransmissions", "chunks_abandoned", "frames_lost"});
+
+  for (const sim::PolicyKind policy :
+       {sim::PolicyKind::kTactic, sim::PolicyKind::kNoAccessControl}) {
+    for (const double loss : {0.0, 0.01, 0.05, 0.10}) {
+      const ChaosResult result =
+          run_chaos(policy, loss, with_crash, options);
+      table.add_row({to_string(policy), util::Table::fmt_percent(100 * loss),
+                     util::Table::fmt_percent(100 * result.delivery_ratio),
+                     util::Table::fmt(result.p95_latency, 6),
+                     std::to_string(result.retransmissions),
+                     std::to_string(result.chunks_abandoned),
+                     std::to_string(result.frames_lost)});
+      csv.row({to_string(policy), util::CsvWriter::num(loss),
+               util::CsvWriter::num(result.delivery_ratio),
+               util::CsvWriter::num(result.p95_latency),
+               std::to_string(result.retransmissions),
+               std::to_string(result.chunks_abandoned),
+               std::to_string(result.frames_lost)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected: with retransmission both mechanisms hold delivery near "
+      "100%% through 1%% loss and degrade together as loss grows — TACTIC "
+      "tracks the open network within a few percent (the tag layer adds "
+      "no loss amplification), paying only extra p95 latency after the "
+      "restart while the wiped Bloom filter forces F=0 re-validation\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Fixed-seed scenario-fuzz sweep WITH random fault plans (lossy/bursty/
+# corrupting links, router crash-restarts, link flaps) under ASan+UBSan.
+# Exercises the chaos layer end to end: the runtime invariant checker
+# stays armed — security invariants must hold under any fault plan, and
+# every scenario is run twice and byte-compared, so fault injection that
+# breaks determinism fails the sweep.  Any sanitizer report aborts the
+# run (-fno-sanitize-recover=all) and fails the script.
+#
+# Usage: ci/chaos.sh [build-dir]    (default: build-sanitize)
+#
+# Reuses the sanitizer build tree; run after (or instead of)
+# ci/sanitize.sh — the cmake step below is a no-op when it already ran.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_scenarios
+
+# Fixed base seed so CI failures reproduce locally with the printed
+# --seed/--repro line.  Longer scenarios than ci/sanitize.sh's sweep:
+# crash-restart and flap schedules need room to fire and recover.
+"$BUILD_DIR/fuzz_scenarios" --runs 16 --duration 12 --seed 7000 --faults
+
+echo "chaos: OK"

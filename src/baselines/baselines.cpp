@@ -101,4 +101,9 @@ ndn::AccessControlPolicy::InterestDecision ProbBfPolicy::on_interest(
   return decision;
 }
 
+void ProbBfPolicy::on_restart(ndn::Forwarder& /*node*/) {
+  bloom_.wipe();
+  bloom_loaded_ = false;
+}
+
 }  // namespace tactic::baselines

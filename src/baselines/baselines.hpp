@@ -84,6 +84,10 @@ class ProbBfPolicy : public ndn::AccessControlPolicy {
   const core::TacticCounters& counters() const { return counters_; }
   const bloom::BloomFilter& bloom() const { return bloom_; }
 
+  /// A restarted router loses its filter and lazily reloads it from the
+  /// publisher-distributed membership list on the next protected request.
+  void on_restart(ndn::Forwarder& node) override;
+
  private:
   std::shared_ptr<const Shared> shared_;
   core::ComputeModel compute_;

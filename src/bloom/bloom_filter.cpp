@@ -96,6 +96,11 @@ void BloomFilter::reset() {
   ++resets_;
 }
 
+void BloomFilter::wipe() {
+  bits_.assign(bits_.size(), 0);
+  items_ = 0;
+}
+
 CountingBloomFilter::CountingBloomFilter(BloomParams params)
     : params_(params) {
   counters_.assign(validated_bit_count(params_), 0);

@@ -74,6 +74,11 @@ class BloomFilter {
   /// Clears all bits and the item count, incrementing `reset_count()`.
   void reset();
 
+  /// Clears all bits and the item count WITHOUT counting a reset.  Used
+  /// when a router crashes: the state is lost, not maintained, so Table V
+  /// reset accounting must not credit it as a saturation reset.
+  void wipe();
+
   /// Number of resets since construction (paper Table V counts these).
   std::uint64_t reset_count() const { return resets_; }
 

@@ -30,6 +30,13 @@ class ContentStore {
 
   bool contains(const Name& name) const { return index_.count(name) > 0; }
 
+  /// Drops every cached object (crash semantics).  Hit/miss counters are
+  /// cumulative and survive — they describe the run, not the store.
+  void clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 

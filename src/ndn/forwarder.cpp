@@ -55,6 +55,11 @@ FaceId Forwarder::add_app_face(AppSink sink) {
 }
 
 void Forwarder::receive(FaceId in_face, PacketVariant&& packet) {
+  if (!alive_) {
+    // A crashed node neither observes nor processes traffic.
+    ++counters_.dropped_while_down;
+    return;
+  }
   if (tracer_) tracer_(*this, packet, in_face, /*is_rx=*/true);
   std::visit(
       [&](auto&& p) {
@@ -74,13 +79,31 @@ void Forwarder::inject_from_app(FaceId app_face, PacketVariant&& packet) {
   receive(app_face, std::move(packet));
 }
 
+net::Link::DeliverFn Forwarder::make_link_deliver(
+    std::function<void(PacketVariant&&)> deliver, PacketVariant packet) {
+  return [this, deliver = std::move(deliver),
+          pkt = std::move(packet)](const net::FrameFate& fate) mutable {
+    if (fate.corrupted) {
+      // The frame arrived mangled.  Give the probe a chance to push the
+      // flipped wire bytes through the real decoders, then drop: the L2
+      // checksum rejects the frame before any payload handler runs.
+      if (corruption_probe_) corruption_probe_(pkt, fate.corruption_seed);
+      ++counters_.corrupt_frames_rejected;
+      return;
+    }
+    deliver(std::move(pkt));
+  };
+}
+
 void Forwarder::send(FaceId face_id, PacketVariant packet,
                      event::Time delay) {
   if (tracer_) tracer_(*this, packet, face_id, /*is_rx=*/false);
   Face& face = faces_.at(face_id);
   if (face.is_app) {
     // Local delivery to the application, after the compute delay.
-    scheduler_.schedule(delay, [this, face_id, p = std::move(packet)]() {
+    scheduler_.schedule(delay, [this, face_id, epoch = epoch_,
+                                p = std::move(packet)]() {
+      if (epoch != epoch_) return;  // node crashed since scheduling
       const Face& face = faces_.at(face_id);
       std::visit(
           [&](const auto& pkt) {
@@ -98,13 +121,12 @@ void Forwarder::send(FaceId face_id, PacketVariant packet,
     return;
   }
 
-  auto transmit = [this, face_id, p = std::move(packet)]() mutable {
+  auto transmit = [this, face_id, epoch = epoch_, p = std::move(packet)]() mutable {
+    if (epoch != epoch_) return;  // node crashed since scheduling
     Face& face = faces_.at(face_id);
     const std::size_t size = wire_size(p);
-    const bool sent = face.tx->send(
-        size, [deliver = face.deliver, pkt = std::move(p)]() mutable {
-          deliver(std::move(pkt));
-        });
+    const bool sent =
+        face.tx->send(size, make_link_deliver(face.deliver, std::move(p)));
     if (!sent) ++counters_.link_send_failures;
   };
   if (delay == 0) {
@@ -120,7 +142,9 @@ void Forwarder::send_interest(const std::vector<Fib::NextHop>& next_hops,
     tracer_(*this, PacketVariant(interest), next_hops.front().face,
             /*is_rx=*/false);
   }
-  auto transmit = [this, next_hops, p = std::move(interest)]() mutable {
+  auto transmit = [this, next_hops, epoch = epoch_,
+                   p = std::move(interest)]() mutable {
+    if (epoch != epoch_) return;  // node crashed since scheduling
     for (std::size_t i = 0; i < next_hops.size(); ++i) {
       Face& face = faces_.at(next_hops[i].face);
       if (face.is_app) {
@@ -128,7 +152,8 @@ void Forwarder::send_interest(const std::vector<Fib::NextHop>& next_hops,
         // the scheduler so handlers never reenter the pipeline.
         if (i > 0) ++counters_.interest_failovers;
         const FaceId face_id = face.id;
-        scheduler_.schedule(0, [this, face_id, pkt = std::move(p)]() {
+        scheduler_.schedule(0, [this, face_id, epoch, pkt = std::move(p)]() {
+          if (epoch != epoch_) return;
           const Face& app_face = faces_.at(face_id);
           if (app_face.sink.on_interest) {
             app_face.sink.on_interest(face_id, pkt);
@@ -139,9 +164,7 @@ void Forwarder::send_interest(const std::vector<Fib::NextHop>& next_hops,
       const std::size_t size = p.wire_size();
       PacketVariant copy{p};
       const bool sent = face.tx->send(
-          size, [deliver = face.deliver, pkt = std::move(copy)]() mutable {
-            deliver(std::move(pkt));
-          });
+          size, make_link_deliver(face.deliver, std::move(copy)));
       if (sent) {
         if (i > 0) ++counters_.interest_failovers;
         return;
@@ -271,6 +294,27 @@ void Forwarder::on_data(FaceId in_face, Data&& data) {
   }
   if (entry->expiry_event.valid()) scheduler_.cancel(entry->expiry_event);
   pit_.erase(data.name);
+}
+
+void Forwarder::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++epoch_;  // deferred sends scheduled before this instant die silently
+  ++counters_.crashes;
+  // Volatile forwarding state is lost: every PIT entry (with its expiry
+  // timer) and the whole Content Store.
+  for (const auto& [name, entry] : pit_.entries()) {
+    if (entry.expiry_event.valid()) scheduler_.cancel(entry.expiry_event);
+  }
+  pit_.clear();
+  cs_.clear();
+}
+
+void Forwarder::restart() {
+  if (alive_) return;
+  alive_ = true;
+  ++counters_.restarts;
+  policy_->on_restart(*this);
 }
 
 void Forwarder::on_nack(FaceId /*in_face*/, Nack&& nack) {

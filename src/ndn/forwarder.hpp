@@ -63,6 +63,14 @@ struct ForwarderCounters {
   std::uint64_t interest_failovers = 0;
   /// Interests dropped because every candidate next hop refused.
   std::uint64_t interests_unsent = 0;
+  /// Crash/restart bookkeeping (fault injection).
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  /// Packets that arrived (or were injected) while the node was crashed.
+  std::uint64_t dropped_while_down = 0;
+  /// Corrupted frames rejected at this node's outgoing faces (the L2 CRC
+  /// stand-in; the receiver never sees the payload).
+  std::uint64_t corrupt_frames_rejected = 0;
 };
 
 class Forwarder {
@@ -116,6 +124,27 @@ class Forwarder {
   /// Used by clients to issue Interests and by producers to answer them.
   void inject_from_app(FaceId app_face, PacketVariant&& packet);
 
+  /// Crash semantics: a crashed node drops all in-flight deferred work,
+  /// refuses arriving packets, and loses its volatile state (PIT with all
+  /// expiry timers, Content Store).  Policy state is wiped on restart via
+  /// AccessControlPolicy::on_restart — for TACTIC that means the Bloom
+  /// filter, forcing the F=0 "cannot vouch" fallback until it refills.
+  bool alive() const { return alive_; }
+  void crash();
+  void restart();
+
+  /// Hook for the corruption path: called with the would-be-delivered
+  /// packet and the frame's deterministic corruption seed whenever a link
+  /// delivers a corrupted frame from this node.  The sim layer installs a
+  /// probe that encodes the packet, flips real wire bytes, and feeds the
+  /// result to the wire decoders; the frame is then dropped regardless
+  /// (L2 CRC detects the damage before the payload handler runs).
+  using CorruptionProbe =
+      std::function<void(const PacketVariant&, std::uint64_t /*seed*/)>;
+  void set_corruption_probe(CorruptionProbe probe) {
+    corruption_probe_ = std::move(probe);
+  }
+
  private:
   struct Face {
     FaceId id = kInvalidFace;
@@ -139,6 +168,11 @@ class Forwarder {
 
   void schedule_pit_expiry(PitEntry& entry, event::Time expiry);
 
+  /// Wraps `deliver` so corrupted frames run the corruption probe and are
+  /// dropped instead of reaching the receiver's pipeline.
+  net::Link::DeliverFn make_link_deliver(
+      std::function<void(PacketVariant&&)> deliver, PacketVariant packet);
+
   event::Scheduler& scheduler_;
   net::NodeInfo info_;
   Fib fib_;
@@ -148,6 +182,12 @@ class Forwarder {
   std::vector<Face> faces_;
   ForwarderCounters counters_;
   TraceFn tracer_;
+  CorruptionProbe corruption_probe_;
+  bool alive_ = true;
+  /// Bumped on every crash; deferred send closures capture the epoch at
+  /// scheduling time and die silently if it moved (in-flight work is lost
+  /// with the node).
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace tactic::ndn

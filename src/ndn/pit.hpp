@@ -50,6 +50,10 @@ class Pit {
 
   void erase(const Name& name);
 
+  /// Drops every entry.  Callers owning scheduler events (expiry timers)
+  /// must cancel them first — the PIT does not know the scheduler.
+  void clear() { entries_.clear(); }
+
   std::size_t size() const { return entries_.size(); }
 
   /// Read-only view of all live entries — the invariant checker walks

@@ -32,4 +32,6 @@ bool AccessControlPolicy::may_cache(const Forwarder& /*node*/,
   return !data.is_registration_response;
 }
 
+void AccessControlPolicy::on_restart(Forwarder& /*node*/) {}
+
 }  // namespace tactic::ndn

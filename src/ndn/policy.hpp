@@ -88,6 +88,12 @@ class AccessControlPolicy {
   /// Whether this node may cache `data`.  Default: cache everything except
   /// registration responses.
   virtual bool may_cache(const Forwarder& node, const Data& data);
+
+  /// Called when the node restarts after a crash.  Volatile policy state
+  /// (a TACTIC router's Bloom filter, cached validations) must be wiped —
+  /// crash-surviving tag caches would let a rebooted router vouch for
+  /// tags it can no longer prove it validated.  Default: no-op.
+  virtual void on_restart(Forwarder& node);
 };
 
 /// The no-op policy: plain NDN with no access control.

@@ -22,9 +22,39 @@ event::Time Link::serialization_delay(std::size_t size_bytes) const {
   return std::max<event::Time>(1, event::from_seconds(seconds));
 }
 
-bool Link::send(std::size_t size_bytes, std::function<void()> on_delivered) {
-  if (!up_ || in_flight_ >= params_.max_queue) {
-    ++counters_.frames_dropped;
+void Link::set_fault_model(const LinkFaultParams& faults, util::Rng rng) {
+  faults_ = faults;
+  fault_rng_ = rng;
+  in_burst_ = false;
+}
+
+bool Link::draw_fate(FrameFate& fate) {
+  if (!faults_.any()) return true;
+  // One GE step per transmitted frame, then the loss and corruption draws.
+  // Fixed draw order keeps the stream identical across runs.
+  if (in_burst_) {
+    if (fault_rng_.bernoulli(faults_.p_exit_burst)) in_burst_ = false;
+  } else if (faults_.p_enter_burst > 0.0) {
+    if (fault_rng_.bernoulli(faults_.p_enter_burst)) in_burst_ = true;
+  }
+  bool lost = false;
+  if (faults_.loss > 0.0 && fault_rng_.bernoulli(faults_.loss)) lost = true;
+  if (in_burst_ && fault_rng_.bernoulli(faults_.burst_loss)) lost = true;
+  if (lost) return false;
+  if (faults_.corruption > 0.0 && fault_rng_.bernoulli(faults_.corruption)) {
+    fate.corrupted = true;
+    fate.corruption_seed = fault_rng_();
+  }
+  return true;
+}
+
+bool Link::send(std::size_t size_bytes, DeliverFn on_delivered) {
+  if (!up_) {
+    ++counters_.refused_link_down;
+    return false;
+  }
+  if (in_flight_ >= params_.max_queue) {
+    ++counters_.dropped_queue_full;
     return false;
   }
   const event::Time now = scheduler_.now();
@@ -35,13 +65,29 @@ bool Link::send(std::size_t size_bytes, std::function<void()> on_delivered) {
   ++counters_.frames_sent;
   counters_.bytes_sent += size_bytes;
 
+  FrameFate fate;
+  const bool arrives = draw_fate(fate);
+  if (!arrives) {
+    ++counters_.frames_lost;
+  } else if (fate.corrupted) {
+    ++counters_.frames_corrupted;
+  }
+
   scheduler_.schedule_at(
       tx_done + params_.propagation_delay,
-      [this, deliver = std::move(on_delivered)]() mutable {
+      [this, arrives, fate, deliver = std::move(on_delivered)]() mutable {
         --in_flight_;
-        deliver();
+        if (arrives) deliver(fate);
       });
   return true;
+}
+
+bool Link::send(std::size_t size_bytes, std::function<void()> on_delivered) {
+  return send(size_bytes,
+              DeliverFn([deliver = std::move(on_delivered)](
+                            const FrameFate& fate) mutable {
+                if (!fate.corrupted) deliver();
+              }));
 }
 
 }  // namespace tactic::net

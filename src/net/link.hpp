@@ -9,6 +9,13 @@
 // the frame propagates for `propagation_delay` and is handed to the
 // receiver callback.
 //
+// An optional seeded `LinkFaultParams` model makes the wire lossy: i.i.d.
+// frame loss, Gilbert–Elliott two-state burst loss, and per-frame bit
+// corruption.  Loss is silent — the transmitter still spends the airtime
+// and the sender gets no failure signal, matching wireless semantics.
+// Corrupted frames still arrive; the receiver learns the fate and a
+// deterministic corruption seed so upper layers can flip real wire bytes.
+//
 // The layer is payload-agnostic: a frame is a byte count plus a delivery
 // closure, so `net` has no dependency on the NDN packet types.
 
@@ -18,6 +25,7 @@
 
 #include "event/scheduler.hpp"
 #include "event/time.hpp"
+#include "util/rng.hpp"
 
 namespace tactic::net {
 
@@ -32,16 +40,52 @@ struct LinkParams {
 LinkParams core_link_params();  // 500 Mbps, 1 ms
 LinkParams edge_link_params();  // 10 Mbps, 2 ms
 
-/// Traffic counters for one link direction.
+/// Stochastic fault model for one link direction.  All probabilities are
+/// per-frame; the Gilbert–Elliott chain advances once per transmitted
+/// frame (good --p_enter_burst--> bad, bad --p_exit_burst--> good) and
+/// frames sent in the bad state are lost with probability `burst_loss`.
+struct LinkFaultParams {
+  double loss = 0.0;           // i.i.d. frame loss probability
+  double corruption = 0.0;     // per-frame bit-corruption probability
+  double p_enter_burst = 0.0;  // GE chain: good -> bad
+  double p_exit_burst = 0.0;   // GE chain: bad -> good
+  double burst_loss = 1.0;     // loss probability while in the bad state
+
+  bool any() const {
+    return loss > 0.0 || corruption > 0.0 || p_enter_burst > 0.0;
+  }
+};
+
+/// Traffic counters for one link direction.  `dropped_queue_full` and
+/// `refused_link_down` are refusals visible to the sender (send() returned
+/// false); `frames_lost` and `frames_corrupted` are fault-model fates of
+/// frames the sender believes it transmitted.
 struct LinkCounters {
   std::uint64_t frames_sent = 0;
-  std::uint64_t frames_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t refused_link_down = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t frames_corrupted = 0;
+
+  /// Combined refusal count (the pre-split `frames_dropped` semantics).
+  std::uint64_t frames_dropped() const {
+    return dropped_queue_full + refused_link_down;
+  }
+};
+
+/// Fate of one delivered frame, as decided by the fault model.
+struct FrameFate {
+  bool corrupted = false;
+  std::uint64_t corruption_seed = 0;  // deterministic per-frame flip seed
 };
 
 /// One direction of a point-to-point channel.
 class Link {
  public:
+  /// Delivery callback; receives the frame's fault-model fate.
+  using DeliverFn = std::function<void(const FrameFate&)>;
+
   /// `deliver` runs at the receiver when a frame arrives; it receives the
   /// same opaque cookie passed to `send` (the serialized packet stand-in).
   Link(event::Scheduler& scheduler, LinkParams params);
@@ -51,8 +95,20 @@ class Link {
 
   /// Enqueues a frame of `size_bytes` whose arrival at the receiver runs
   /// `on_delivered`.  Returns false (and drops) when the link is down or
-  /// the queue is full — the sender may fail over to another face.
+  /// the queue is full — the sender may fail over to another face.  A
+  /// frame the fault model loses still returns true: wireless loss is
+  /// silent at the sender.
+  bool send(std::size_t size_bytes, DeliverFn on_delivered);
+
+  /// Convenience overload for fate-oblivious callers: the closure only
+  /// runs for intact frames (corrupted frames are dropped at this shim,
+  /// as if L2 CRC rejected them before the payload handler).
   bool send(std::size_t size_bytes, std::function<void()> on_delivered);
+
+  /// Installs (or replaces) the fault model.  `rng` should be a dedicated
+  /// fork so fault draws never perturb other subsystems' streams.
+  void set_fault_model(const LinkFaultParams& faults, util::Rng rng);
+  const LinkFaultParams& fault_params() const { return faults_; }
 
   /// Administrative / failure state.  A down link refuses frames; frames
   /// already in flight still arrive (they are on the wire).
@@ -62,15 +118,25 @@ class Link {
   /// Instantaneous queue depth in frames (including the one in service).
   std::size_t queue_depth() const { return in_flight_; }
 
+  /// Gilbert–Elliott chain state (true while in the bursty/bad state).
+  bool in_burst() const { return in_burst_; }
+
  private:
   event::Time serialization_delay(std::size_t size_bytes) const;
+
+  /// Advances the GE chain and draws this frame's fate.  Returns false if
+  /// the frame is lost on the wire.
+  bool draw_fate(FrameFate& fate);
 
   event::Scheduler& scheduler_;
   LinkParams params_;
   LinkCounters counters_;
+  LinkFaultParams faults_;
+  util::Rng fault_rng_{0};
   event::Time busy_until_ = 0;
   std::size_t in_flight_ = 0;
   bool up_ = true;
+  bool in_burst_ = false;
 };
 
 }  // namespace tactic::net

@@ -1,0 +1,78 @@
+#pragma once
+// Declarative fault injection for scenarios.
+//
+// A FaultPlan describes, independently of any concrete topology, the
+// chaos a scenario runs under: stochastic link faults by role (wireless
+// access links vs. backbone), scripted router crash-restart events, and
+// scripted link flaps.  sim::Scenario resolves the plan against the
+// built network at construction time and schedules everything up front,
+// so a run with a plan is exactly as deterministic as one without — the
+// fault draws come from a dedicated RNG stream derived from the scenario
+// seed and the plan's fault_seed, and a default-constructed (empty) plan
+// leaves the simulation bit-identical to a build without faults.
+//
+// See docs/FAULTS.md for the full model and determinism guarantees.
+
+#include <cstdint>
+#include <vector>
+
+#include "event/time.hpp"
+#include "net/link.hpp"
+
+namespace tactic::sim {
+
+/// One scheduled crash-restart of a router.  The node loses PIT, CS, and
+/// policy state (a TACTIC router's Bloom filter) — see Forwarder::crash.
+struct CrashEvent {
+  enum class Target { kEdgeRouter, kCoreRouter };
+  Target target = Target::kEdgeRouter;
+  /// Index into the role list (taken modulo the list size, so plans stay
+  /// valid across topologies of any shape).
+  std::size_t index = 0;
+  event::Time at = 0;
+  /// The node restarts at `at + down_for`; 0 keeps it down forever.
+  event::Time down_for = event::kSecond;
+};
+
+/// One scripted down/up flap of an adjacency (both directions).
+struct LinkFlap {
+  enum class Where {
+    kClientAccess,  // the index-th client's wireless access link
+    kEdgeUplink,    // the index-th edge router's first backbone adjacency
+  };
+  Where where = Where::kClientAccess;
+  std::size_t index = 0;  // modulo the role list size
+  event::Time down_at = 0;
+  event::Time up_at = 0;  // must be > down_at; 0 keeps it down forever
+  /// Whether routing recomputes at each transition (reconvergence) or
+  /// forwarders must survive on equal-cost failover alone.
+  bool reconverge = false;
+};
+
+/// The whole plan.  Empty (default) plan == no faults, bit-identically.
+struct FaultPlan {
+  /// Stochastic fault parameters for the wireless access links (every
+  /// user<->edge-router link direction).
+  net::LinkFaultParams edge_links;
+  /// Same for backbone links (router<->router and provider<->core).
+  net::LinkFaultParams core_links;
+  std::vector<CrashEvent> crashes;
+  std::vector<LinkFlap> flaps;
+  /// Extra seed mixed with the scenario seed for the fault RNG stream;
+  /// lets one scenario be replayed under many fault draws.
+  std::uint64_t fault_seed = 1;
+
+  bool any() const {
+    return edge_links.any() || core_links.any() || !crashes.empty() ||
+           !flaps.empty();
+  }
+
+  /// Heuristic "this plan may starve delivery" classifier, used by the
+  /// invariant checker to budget its liveness checks: sustained effective
+  /// loss above ~25% on a link class, or scripted outages (crashes,
+  /// flaps) covering more than a quarter of the run.  Security
+  /// invariants are NEVER budgeted — only liveness is.
+  bool severe(event::Time duration) const;
+};
+
+}  // namespace tactic::sim

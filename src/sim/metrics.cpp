@@ -18,6 +18,9 @@ TrafficTotals& TrafficTotals::operator+=(const TrafficTotals& other) {
   timeouts += other.timeouts;
   tags_requested += other.tags_requested;
   tags_received += other.tags_received;
+  retransmissions += other.retransmissions;
+  chunks_abandoned += other.chunks_abandoned;
+  registration_retransmissions += other.registration_retransmissions;
   return *this;
 }
 

@@ -32,6 +32,10 @@ struct TrafficTotals {
   std::uint64_t timeouts = 0;
   std::uint64_t tags_requested = 0;
   std::uint64_t tags_received = 0;
+  /// Retransmission bookkeeping (chaos layer; zero without faults).
+  std::uint64_t retransmissions = 0;
+  std::uint64_t chunks_abandoned = 0;
+  std::uint64_t registration_retransmissions = 0;
 
   double delivery_ratio() const {
     return requested == 0
@@ -48,6 +52,9 @@ struct Metrics {
   util::TimeSeries latency{1.0};       // client retrieval latency (seconds)
   util::TimeSeries tag_requests{1.0};  // Q events
   util::TimeSeries tag_receives{1.0};  // R events
+  /// Recovery latency: first-attempt-to-delivery time of chunks that
+  /// needed at least one retransmission (empty without faults).
+  util::TimeSeries recovery_latency{1.0};
 
   TrafficTotals clients;
   TrafficTotals attackers;
@@ -64,11 +71,23 @@ struct Metrics {
   std::uint64_t provider_tags_issued = 0;
   std::uint64_t provider_content_served = 0;
 
-  /// Network totals.
+  /// Network totals.  `link_frames_dropped` stays the combined refusal
+  /// count (queue overflow + link down) for pre-split consumers; the
+  /// split and the fault-model fates follow.
   std::uint64_t link_bytes_sent = 0;
   std::uint64_t link_frames_dropped = 0;
+  std::uint64_t link_dropped_queue_full = 0;
+  std::uint64_t link_refused_link_down = 0;
+  std::uint64_t link_frames_lost = 0;
+  std::uint64_t link_frames_corrupted = 0;
   std::uint64_t cs_hits = 0;
   std::uint64_t cs_misses = 0;
+
+  /// Fault-injection totals over every node (zero without faults).
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_restarts = 0;
+  std::uint64_t packets_dropped_while_down = 0;
+  std::uint64_t corrupt_frames_rejected = 0;
 
   double mean_latency() const { return latency.overall_mean(); }
   double cache_hit_ratio() const {

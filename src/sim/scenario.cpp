@@ -25,6 +25,7 @@ Scenario::Scenario(ScenarioConfig config)
   install_policies();
   build_clients();
   build_attackers();
+  install_faults();
 }
 
 void Scenario::build_providers() {
@@ -130,6 +131,9 @@ void Scenario::build_clients() {
     };
     client->on_tag_receive = [this](event::Time when) {
       metrics_.tag_receives.add_event(event::to_seconds(when));
+    };
+    client->on_recovery_sample = [this](event::Time when, double latency) {
+      metrics_.recovery_latency.add(event::to_seconds(when), latency);
     };
     client->start();
     clients_.push_back(std::move(client));
@@ -341,6 +345,7 @@ Metrics Scenario::harvest() {
   out.latency = metrics_.latency;
   out.tag_requests = metrics_.tag_requests;
   out.tag_receives = metrics_.tag_receives;
+  out.recovery_latency = metrics_.recovery_latency;
 
   for (const auto& client : clients_) {
     const auto& c = client->counters();
@@ -350,6 +355,10 @@ Metrics Scenario::harvest() {
     out.clients.timeouts += c.timeouts;
     out.clients.tags_requested += c.tags_requested;
     out.clients.tags_received += c.tags_received;
+    out.clients.retransmissions += c.retransmissions;
+    out.clients.chunks_abandoned += c.chunks_abandoned;
+    out.clients.registration_retransmissions +=
+        c.registration_retransmissions;
   }
   for (const auto& attacker : attackers_) {
     const auto& c = attacker->counters();
@@ -402,7 +411,19 @@ Metrics Scenario::harvest() {
 
   const net::LinkCounters links = network_->total_link_counters();
   out.link_bytes_sent = links.bytes_sent;
-  out.link_frames_dropped = links.frames_dropped;
+  out.link_frames_dropped = links.frames_dropped();
+  out.link_dropped_queue_full = links.dropped_queue_full;
+  out.link_refused_link_down = links.refused_link_down;
+  out.link_frames_lost = links.frames_lost;
+  out.link_frames_corrupted = links.frames_corrupted;
+
+  for (net::NodeId id = 0; id < network_->node_count(); ++id) {
+    const ndn::ForwarderCounters& c = network_->node(id).counters();
+    out.node_crashes += c.crashes;
+    out.node_restarts += c.restarts;
+    out.packets_dropped_while_down += c.dropped_while_down;
+    out.corrupt_frames_rejected += c.corrupt_frames_rejected;
+  }
   return out;
 }
 

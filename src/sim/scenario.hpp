@@ -11,6 +11,7 @@
 
 #include "baselines/baselines.hpp"
 #include "event/scheduler.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "tactic/compute_model.hpp"
 #include "tactic/tactic_policy.hpp"
@@ -54,6 +55,10 @@ struct ScenarioConfig {
   core::ComputeModel compute = core::ComputeModel::paper_defaults();
   event::Time duration = 200 * event::kSecond;
   std::uint64_t seed = 1;
+
+  /// Fault injection (chaos layer).  The default (empty) plan leaves the
+  /// run bit-identical to a faultless build; see docs/FAULTS.md.
+  FaultPlan faults;
 
   /// Traitor tracing (our implementation of the paper's future work):
   /// edge routers report access-path mismatches to a tracer that revokes
@@ -134,6 +139,10 @@ class Scenario {
   void build_providers();
   void build_clients();
   void build_attackers();
+  /// Resolves config_.faults against the built network: installs link
+  /// fault models and the corruption probe, schedules crashes and flaps.
+  /// No-op for an empty plan.  Implemented in fault.cpp.
+  void install_faults();
   workload::AttackerApp::TagStrategy make_strategy(
       workload::AttackerMode mode, std::size_t attacker_index,
       net::NodeId node_id);

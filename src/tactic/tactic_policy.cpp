@@ -67,6 +67,14 @@ void TacticRouterPolicy::count_request() {
   ++counters_.requests_since_reset;
 }
 
+void TacticRouterPolicy::on_restart(ndn::Forwarder& /*node*/) {
+  // Crash-lost state: the validated-tag cache.  wipe() leaves Table V's
+  // saturation-reset count untouched, and the inter-reset request window
+  // restarts without recording a partial sample.
+  bloom_.wipe();
+  counters_.requests_since_reset = 0;
+}
+
 // ---------------------------------------------------------------------------
 // Access points
 // ---------------------------------------------------------------------------

@@ -126,6 +126,13 @@ class TacticRouterPolicy : public ndn::AccessControlPolicy {
   /// report access-path mismatches to it.
   void set_traitor_tracer(TraitorTracer* tracer) { tracer_ = tracer; }
 
+  /// Crash recovery: the Bloom filter of validated tags is volatile, so a
+  /// restarted router wipes it (without counting a Table V saturation
+  /// reset) and restarts the inter-reset request window.  Until the
+  /// filter refills, every lookup misses — edges stamp F=0 ("cannot
+  /// vouch") and upstream validators fall back to signature checks.
+  void on_restart(ndn::Forwarder& node) override;
+
  protected:
   /// BF membership test with charging & counting.
   bool bloom_contains(const Tag& tag, event::Time& compute);

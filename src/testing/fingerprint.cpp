@@ -44,6 +44,11 @@ void put_totals(std::string& out, const char* key,
   put(out, (prefix + ".timeouts").c_str(), totals.timeouts);
   put(out, (prefix + ".tags_requested").c_str(), totals.tags_requested);
   put(out, (prefix + ".tags_received").c_str(), totals.tags_received);
+  put(out, (prefix + ".retransmissions").c_str(), totals.retransmissions);
+  put(out, (prefix + ".chunks_abandoned").c_str(),
+      totals.chunks_abandoned);
+  put(out, (prefix + ".registration_retransmissions").c_str(),
+      totals.registration_retransmissions);
 }
 
 void put_ops(std::string& out, const char* key, const sim::RouterOps& ops) {
@@ -75,6 +80,7 @@ std::string fingerprint(const sim::Metrics& metrics) {
   put_series(out, "latency", metrics.latency);
   put_series(out, "tag_requests", metrics.tag_requests);
   put_series(out, "tag_receives", metrics.tag_receives);
+  put_series(out, "recovery_latency", metrics.recovery_latency);
   put_totals(out, "clients", metrics.clients);
   put_totals(out, "attackers", metrics.attackers);
   put_ops(out, "edge_ops", metrics.edge_ops);
@@ -89,8 +95,17 @@ std::string fingerprint(const sim::Metrics& metrics) {
   put(out, "provider_content_served", metrics.provider_content_served);
   put(out, "link_bytes_sent", metrics.link_bytes_sent);
   put(out, "link_frames_dropped", metrics.link_frames_dropped);
+  put(out, "link_dropped_queue_full", metrics.link_dropped_queue_full);
+  put(out, "link_refused_link_down", metrics.link_refused_link_down);
+  put(out, "link_frames_lost", metrics.link_frames_lost);
+  put(out, "link_frames_corrupted", metrics.link_frames_corrupted);
   put(out, "cs_hits", metrics.cs_hits);
   put(out, "cs_misses", metrics.cs_misses);
+  put(out, "node_crashes", metrics.node_crashes);
+  put(out, "node_restarts", metrics.node_restarts);
+  put(out, "packets_dropped_while_down",
+      metrics.packets_dropped_while_down);
+  put(out, "corrupt_frames_rejected", metrics.corrupt_frames_rejected);
   return out;
 }
 

@@ -35,6 +35,9 @@ constexpr const char* kUsage =
     "  --seed BASE          first seed; run i uses BASE+i (default 1)\n"
     "  --duration S         base simulated seconds per run (default 10)\n"
     "  --policy NAME        force one policy: tactic|none|client|auth|probbf\n"
+    "  --faults             sample a random fault plan per seed (lossy and\n"
+    "                       flapping links, router crash-restarts); the\n"
+    "                       security invariants must still hold\n"
     "  --no-differential    skip the TACTIC vs no-AC parity pass\n"
     "  --parity-tolerance T allowed client delivery-ratio gap (default 0.1)\n"
     "  --inject-expiry-bug  edge routers skip the Protocol-1 expiry check\n"
@@ -91,7 +94,7 @@ int main(int argc, char** argv) {
     const std::set<std::string> known = {
         "runs",   "seed",        "duration",          "policy",
         "repro",  "verbose",     "differential",      "parity-tolerance",
-        "help",   "inject-expiry-bug"};
+        "help",   "inject-expiry-bug",                "faults"};
     for (const auto& name : flags.names()) {
       if (known.count(name) == 0) {
         std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), kUsage);
@@ -126,6 +129,7 @@ int main(int argc, char** argv) {
     }
     generator.duration = event::from_seconds(duration_s);
     generator.inject_expiry_bug = flags.get_bool("inject-expiry-bug", false);
+    generator.with_faults = flags.get_bool("faults", false);
     if (flags.has("policy")) {
       const std::string name = flags.get_string("policy", "");
       const auto policy = parse_policy(name);
@@ -180,13 +184,22 @@ int main(int argc, char** argv) {
                     first.trace_digest.c_str());
       }
 
-      if (differential && config.policy == sim::PolicyKind::kTactic) {
+      // The parity pass keeps the fault plan: TACTIC and no-AC face the
+      // same chaos.  A severe plan can starve either side arbitrarily,
+      // so only non-severe plans are compared, with extra tolerance for
+      // fault-draw noise between the two policies' traffic patterns.
+      const bool severe_faults =
+          config.faults.severe(config.duration);
+      if (differential && config.policy == sim::PolicyKind::kTactic &&
+          !severe_faults) {
         ++differential_runs;
         sim::ScenarioConfig baseline = config;
         baseline.policy = sim::PolicyKind::kNoAccessControl;
         const PassResult open = run_pass(baseline);
+        const double tolerance =
+            parity_tolerance + (config.faults.any() ? 0.15 : 0.0);
         const bool parity_ok =
-            first.client_ratio + parity_tolerance >= open.client_ratio;
+            first.client_ratio + tolerance >= open.client_ratio;
         const bool blocked = open.attacker_requested == 0 ||
                              open.attacker_received > first.attacker_received;
         if (!parity_ok || !blocked) {
@@ -195,7 +208,7 @@ int main(int argc, char** argv) {
           std::printf(
               "  DIFFERENTIAL FAILURE: clients tactic=%.3f open=%.3f "
               "(tolerance %.3f); attackers tactic=%llu open=%llu\n",
-              first.client_ratio, open.client_ratio, parity_tolerance,
+              first.client_ratio, open.client_ratio, tolerance,
               static_cast<unsigned long long>(first.attacker_received),
               static_cast<unsigned long long>(open.attacker_received));
         } else if (verbose) {
@@ -208,10 +221,11 @@ int main(int argc, char** argv) {
         }
       }
       if (failed) {
-        std::printf("  reproduce: fuzz_scenarios --seed %llu --repro%s\n",
+        std::printf("  reproduce: fuzz_scenarios --seed %llu --repro%s%s\n",
                     static_cast<unsigned long long>(seed),
                     generator.inject_expiry_bug ? " --inject-expiry-bug"
-                                                : "");
+                                                : "",
+                    generator.with_faults ? " --faults" : "");
       }
     }
 

@@ -18,6 +18,64 @@ sim::PolicyKind sample_policy(util::Rng& rng) {
   return kAll[rng.uniform(std::size(kAll))];
 }
 
+// Samples a bounded-severity fault plan.  Roughly 3 in 4 seeds get a
+// non-empty plan; link-loss rates stay below the FaultPlan::severe
+// threshold on their own, while stacked crash/flap schedules can push a
+// plan over it — the invariant checker then budgets liveness (never
+// security) accordingly.
+sim::FaultPlan sample_fault_plan(util::Rng& rng, event::Time duration) {
+  sim::FaultPlan plan;
+  plan.fault_seed = rng();
+  if (rng.bernoulli(0.25)) return plan;  // faultless control group
+
+  if (rng.bernoulli(0.8)) {  // lossy wireless edge
+    plan.edge_links.loss = 0.002 + 0.08 * rng.uniform_double();
+    if (rng.bernoulli(0.5)) {  // Gilbert–Elliott bursts on top
+      plan.edge_links.p_enter_burst = 0.005 + 0.02 * rng.uniform_double();
+      plan.edge_links.p_exit_burst = 0.2 + 0.4 * rng.uniform_double();
+      plan.edge_links.burst_loss = 0.5 + 0.5 * rng.uniform_double();
+    }
+    if (rng.bernoulli(0.4)) {
+      plan.edge_links.corruption = 0.001 + 0.02 * rng.uniform_double();
+    }
+  }
+  if (rng.bernoulli(0.3)) {  // mildly lossy backbone
+    plan.core_links.loss = 0.001 + 0.01 * rng.uniform_double();
+    if (rng.bernoulli(0.3)) {
+      plan.core_links.corruption = 0.001 + 0.005 * rng.uniform_double();
+    }
+  }
+
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(std::max<event::Time>(duration, 1));
+  const std::size_t crash_count = rng.uniform(3);  // 0..2
+  for (std::size_t i = 0; i < crash_count; ++i) {
+    sim::CrashEvent crash;
+    crash.target = rng.bernoulli(0.6) ? sim::CrashEvent::Target::kEdgeRouter
+                                      : sim::CrashEvent::Target::kCoreRouter;
+    crash.index = rng.uniform(8);
+    crash.at = static_cast<event::Time>(rng.uniform(span));
+    crash.down_for = static_cast<event::Time>(
+        100 * event::kMillisecond + rng.uniform(span / 8 + 1));
+    plan.crashes.push_back(crash);
+  }
+
+  const std::size_t flap_count = rng.uniform(3);  // 0..2
+  for (std::size_t i = 0; i < flap_count; ++i) {
+    sim::LinkFlap flap;
+    flap.where = rng.bernoulli(0.5) ? sim::LinkFlap::Where::kClientAccess
+                                    : sim::LinkFlap::Where::kEdgeUplink;
+    flap.index = rng.uniform(8);
+    flap.down_at = static_cast<event::Time>(rng.uniform(span));
+    flap.up_at = flap.down_at + static_cast<event::Time>(
+                                    50 * event::kMillisecond +
+                                    rng.uniform(span / 8 + 1));
+    flap.reconverge = rng.bernoulli(0.5);
+    plan.flaps.push_back(flap);
+  }
+  return plan;
+}
+
 }  // namespace
 
 sim::ScenarioConfig random_config(std::uint64_t seed,
@@ -86,6 +144,12 @@ sim::ScenarioConfig random_config(std::uint64_t seed,
           static_cast<std::uint64_t>(options.duration / 2) + 1));
   config.seed = seed;
   config.enable_traitor_tracing = false;
+
+  // Fault draws come strictly AFTER every base draw, so the base
+  // configuration for a given seed is identical with or without faults.
+  if (options.with_faults) {
+    config.faults = sample_fault_plan(rng, config.duration);
+  }
   return config;
 }
 
@@ -110,7 +174,18 @@ std::string describe(const sim::ScenarioConfig& config) {
       event::to_seconds(config.duration),
       config.tactic.fault_skip_expiry_precheck ? " FAULT=expiry-precheck"
                                                : "");
-  return buffer;
+  std::string out = buffer;
+  if (config.faults.any()) {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        " chaos[edge=%.3f/%.3f core=%.3f/%.3f crashes=%zu flaps=%zu%s]",
+        config.faults.edge_links.loss, config.faults.edge_links.corruption,
+        config.faults.core_links.loss, config.faults.core_links.corruption,
+        config.faults.crashes.size(), config.faults.flaps.size(),
+        config.faults.severe(config.duration) ? " SEVERE" : "");
+    out += buffer;
+  }
+  return out;
 }
 
 }  // namespace tactic::testing

@@ -25,6 +25,11 @@ struct GeneratorOptions {
   /// (core::TacticConfig::fault_skip_expiry_precheck) — the regression
   /// the runtime invariants must catch.
   bool inject_expiry_bug = false;
+  /// Sample a random sim::FaultPlan (lossy/bursty/corrupting links,
+  /// crash-restarts, link flaps) on ~3 in 4 seeds.  The fault draws are
+  /// appended after every base draw, so for a given seed the base
+  /// configuration is identical with and without this option.
+  bool with_faults = false;
 };
 
 /// Deterministically samples one scenario configuration from `seed`.

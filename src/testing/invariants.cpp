@@ -197,8 +197,21 @@ void InvariantChecker::finalize() {
       config.duration >= 5 * event::kSecond) {
     if (metrics.clients.requested == 0) {
       add_violation("-", "liveness: clients issued no requests");
-    } else if (metrics.clients.received == 0) {
+    } else if (metrics.clients.received == 0 &&
+               !config.faults.severe(config.duration)) {
+      // A severe fault plan (sustained heavy loss or outages covering a
+      // large share of the run) may legitimately starve delivery, so
+      // only this liveness check is budgeted — never the security ones.
       add_violation("-", "liveness: no client received any content");
+    }
+  }
+  if (!config.faults.any()) {
+    // Faultless runs must not report fault-model activity.
+    if (metrics.link_frames_lost != 0 || metrics.link_frames_corrupted != 0 ||
+        metrics.node_crashes != 0 || metrics.node_restarts != 0 ||
+        metrics.corrupt_frames_rejected != 0) {
+      add_violation("-", "fault accounting: fault-model counters nonzero "
+                         "without a fault plan");
     }
   }
 

@@ -23,6 +23,10 @@
 // emptiness, user accounting bounds, and the per-policy attacker
 // containment guarantees (kTactic / kPerRequestAuth / kProbBf).
 //
+// Fault plans (sim::FaultPlan) never weaken the security checks.  Only
+// the delivery-liveness check is budgeted: when the plan is severe()
+// for the run duration, "no client received content" is excused.
+//
 // The checker consumes no randomness and sends no packets, so attaching
 // it does not perturb the run — a property the harness itself verifies
 // through its bit-reproducibility comparison.  The packet stream is

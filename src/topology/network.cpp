@@ -141,11 +141,42 @@ void Network::reattach_user(net::NodeId user, std::size_t ap_index) {
 net::LinkCounters Network::total_link_counters() const {
   net::LinkCounters total;
   for (const auto& link : links_) {
-    total.frames_sent += link->counters().frames_sent;
-    total.frames_dropped += link->counters().frames_dropped;
-    total.bytes_sent += link->counters().bytes_sent;
+    const net::LinkCounters& c = link->counters();
+    total.frames_sent += c.frames_sent;
+    total.bytes_sent += c.bytes_sent;
+    total.dropped_queue_full += c.dropped_queue_full;
+    total.refused_link_down += c.refused_link_down;
+    total.frames_lost += c.frames_lost;
+    total.frames_corrupted += c.frames_corrupted;
   }
   return total;
+}
+
+net::Link& Network::directed_link(net::NodeId from, net::NodeId to) {
+  const auto it =
+      directed_link_.find((static_cast<std::uint64_t>(from) << 32) | to);
+  if (it == directed_link_.end()) {
+    throw std::invalid_argument("directed_link: not adjacent");
+  }
+  return *it->second;
+}
+
+void Network::install_link_faults(const net::LinkFaultParams& faults,
+                                  bool wireless, util::Rng& rng) {
+  if (!faults.any()) return;
+  const auto is_user = [&](net::NodeId id) {
+    const net::NodeKind kind = forwarders_[id]->info().kind;
+    return kind == net::NodeKind::kClient ||
+           kind == net::NodeKind::kAttacker;
+  };
+  // Walk nodes then neighbors (attachment order) — NOT the unordered
+  // directed-link map — so the fork order is deterministic.
+  for (net::NodeId from = 0; from < node_count(); ++from) {
+    for (const net::NodeId to : neighbors_[from]) {
+      if ((is_user(from) || is_user(to)) != wireless) continue;
+      directed_link(from, to).set_fault_model(faults, rng.fork());
+    }
+  }
 }
 
 Network::Network(event::Scheduler& scheduler, const TopologyParams& params,

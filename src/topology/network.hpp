@@ -87,6 +87,22 @@ class Network {
   /// not adjacent.
   ndn::FaceId face_between(net::NodeId from, net::NodeId to) const;
 
+  /// Adjacent nodes of `id`, in attachment order (deterministic).
+  const std::vector<net::NodeId>& neighbors_of(net::NodeId id) const {
+    return neighbors_.at(id);
+  }
+
+  /// The link transmitting from `from` to adjacent `to`; throws when not
+  /// adjacent.  Exposed for fault installation and tests.
+  net::Link& directed_link(net::NodeId from, net::NodeId to);
+
+  /// Installs the fault model on every link direction of one role class:
+  /// `wireless` selects the user<->edge access links, otherwise the
+  /// backbone (router<->router and provider<->core).  Each direction
+  /// gets its own RNG stream forked from `rng` in deterministic order.
+  void install_link_faults(const net::LinkFaultParams& faults, bool wireless,
+                           util::Rng& rng);
+
   /// Installs shortest-path FIB entries for `prefix` on every node,
   /// pointing toward `producer_node` — with every equal-cost next hop, so
   /// forwarders can fail over when a link goes down.  Adjacencies marked

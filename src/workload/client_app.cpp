@@ -51,6 +51,17 @@ event::Time ClientApp::think_sample() {
   return static_cast<event::Time>(-mean * std::log1p(-u));
 }
 
+event::Time ClientApp::retry_backoff(std::size_t attempt) {
+  double backoff = static_cast<double>(config_.retry_backoff_base);
+  for (std::size_t i = 1; i < attempt; ++i) {
+    backoff *= config_.retry_backoff_factor;
+  }
+  const double jitter =
+      1.0 + config_.retry_jitter * (2.0 * rng_.uniform_double() - 1.0);
+  return std::max<event::Time>(
+      1, static_cast<event::Time>(backoff * jitter));
+}
+
 void ClientApp::schedule_slot_fill() {
   if (!running_) return;
   node_.scheduler().schedule(think_sample(), [this] { fill_one_slot(); });
@@ -127,6 +138,10 @@ void ClientApp::send_chunk_interest() {
 
   Outstanding out;
   out.sent_at = node_.scheduler().now();
+  out.first_sent_at = out.sent_at;
+  out.provider = current_provider_;
+  out.needs_tag = provider.catalog().access_level(current_object_) !=
+                  ndn::kPublicAccessLevel;
   out.timeout = node_.scheduler().schedule(
       config_.interest_lifetime, [this, name] { on_timeout(name); });
   outstanding_[name] = out;
@@ -134,10 +149,46 @@ void ClientApp::send_chunk_interest() {
   node_.inject_from_app(face_, interest);
 }
 
+void ClientApp::resend_chunk(const ndn::Name& name) {
+  const auto it = outstanding_.find(name);
+  if (it == outstanding_.end()) return;  // answered during the backoff
+  Outstanding& out = it->second;
+
+  // Re-resolve the tag: a re-registration during the backoff may have
+  // replaced it.  If it expired instead, a resend would only be silently
+  // dropped by Protocol 1, so surrender the slot to the registration gate
+  // rather than burn the retry budget (this is not a loss abandonment).
+  const core::TagPtr& tag = tags_[out.provider];
+  if (out.needs_tag && (!tag || tag->expiry() <= node_.scheduler().now())) {
+    outstanding_.erase(it);
+    schedule_slot_fill();
+    return;
+  }
+
+  ndn::Interest interest;
+  interest.name = name;
+  interest.nonce = rng_();  // fresh nonce so PITs don't flag a duplicate
+  interest.lifetime = config_.interest_lifetime;
+  interest.tag = tag;
+  interest.tag_wire_size = interest.tag ? interest.tag->wire_size() : 0;
+
+  out.sent_at = node_.scheduler().now();
+  out.timeout = node_.scheduler().schedule(
+      config_.interest_lifetime, [this, name] { on_timeout(name); });
+  ++counters_.chunks_requested;
+  ++counters_.retransmissions;
+  node_.inject_from_app(face_, interest);
+}
+
 void ClientApp::send_registration(std::size_t provider_index) {
-  ProviderApp& provider = *providers_[provider_index];
-  const ndn::Name name = provider.registration_name(label(), rng_());
   registration_pending_ = provider_index;
+  registration_retries_ = 0;
+  send_registration_attempt();
+}
+
+void ClientApp::send_registration_attempt() {
+  ProviderApp& provider = *providers_[*registration_pending_];
+  const ndn::Name name = provider.registration_name(label(), rng_());
   pending_registration_name_ = name;
 
   ndn::Interest interest;
@@ -148,15 +199,28 @@ void ClientApp::send_registration(std::size_t provider_index) {
 
   ++counters_.tags_requested;
   if (on_tag_request) on_tag_request(node_.scheduler().now());
-  node_.scheduler().schedule(config_.interest_lifetime, [this, name] {
-    // Registration timeout: clear the pending marker and release one
-    // parked slot after the backoff; that slot will retry registration.
-    if (registration_pending_ && pending_registration_name_ == name) {
-      registration_pending_.reset();
-      release_parked_slots(1, config_.registration_backoff);
-    }
-  });
+  registration_timeout_ = node_.scheduler().schedule(
+      config_.interest_lifetime, [this] { on_registration_timeout(); });
   node_.inject_from_app(face_, interest);
+}
+
+void ClientApp::on_registration_timeout() {
+  if (!registration_pending_) return;
+  if (running_ && registration_retries_ < config_.max_retries) {
+    // Same retransmission mechanism as chunks: backoff, then a fresh
+    // registration Interest (new name nonce — a late response to the old
+    // one no longer matches and is ignored).
+    ++registration_retries_;
+    ++counters_.registration_retransmissions;
+    node_.scheduler().schedule(retry_backoff(registration_retries_), [this] {
+      if (registration_pending_) send_registration_attempt();
+    });
+    return;
+  }
+  // Retry budget exhausted: clear the pending marker and release one
+  // parked slot after the backoff; that slot will re-register.
+  registration_pending_.reset();
+  release_parked_slots(1, config_.registration_backoff);
 }
 
 void ClientApp::on_data(const ndn::Data& data) {
@@ -164,6 +228,7 @@ void ClientApp::on_data(const ndn::Data& data) {
     if (registration_pending_ && pending_registration_name_ == data.name) {
       const std::size_t provider_index = *registration_pending_;
       registration_pending_.reset();
+      node_.scheduler().cancel(registration_timeout_);
       if (data.nack_attached || !data.tag) {
         ++counters_.registrations_refused;
         // Release one parked slot to retry later.
@@ -181,6 +246,9 @@ void ClientApp::on_data(const ndn::Data& data) {
 
   const auto it = outstanding_.find(data.name);
   if (it == outstanding_.end()) return;  // late duplicate
+  // Cancels the pending timeout — or, if the chunk is between a timeout
+  // and its retransmission, the scheduled resend (late data during the
+  // backoff still counts; the resend would have been wasted).
   node_.scheduler().cancel(it->second.timeout);
   const event::Time now = node_.scheduler().now();
 
@@ -195,6 +263,10 @@ void ClientApp::on_data(const ndn::Data& data) {
     ++counters_.chunks_received;
     if (on_latency_sample) {
       on_latency_sample(now, event::to_seconds(now - it->second.sent_at));
+    }
+    if (it->second.retries > 0 && on_recovery_sample) {
+      on_recovery_sample(
+          now, event::to_seconds(now - it->second.first_sent_at));
     }
   }
   outstanding_.erase(it);
@@ -212,6 +284,7 @@ bool ClientApp::verify_content_signature(const ndn::Data& data) const {
 void ClientApp::on_nack(const ndn::Nack& nack) {
   if (registration_pending_ && pending_registration_name_ == nack.name) {
     registration_pending_.reset();
+    node_.scheduler().cancel(registration_timeout_);
     ++counters_.registrations_refused;
     release_parked_slots(1, config_.registration_backoff);
     return;
@@ -234,8 +307,17 @@ void ClientApp::on_nack(const ndn::Nack& nack) {
 void ClientApp::on_timeout(const ndn::Name& name) {
   const auto it = outstanding_.find(name);
   if (it == outstanding_.end()) return;
-  outstanding_.erase(it);
   ++counters_.timeouts;
+  Outstanding& out = it->second;
+  if (running_ && out.retries < config_.max_retries) {
+    // Keep the slot token on this entry through the backoff and resend.
+    ++out.retries;
+    out.timeout = node_.scheduler().schedule(
+        retry_backoff(out.retries), [this, name] { resend_chunk(name); });
+    return;
+  }
+  if (running_ && config_.max_retries > 0) ++counters_.chunks_abandoned;
+  outstanding_.erase(it);
   schedule_slot_fill();
 }
 

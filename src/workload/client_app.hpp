@@ -31,8 +31,21 @@ struct ClientConfig {
   double zipf_alpha = 0.7;
   /// Uniform random start delay (desynchronizes clients).
   event::Time start_jitter = event::kSecond;
-  /// Backoff before retrying a refused/timed-out registration.
+  /// Backoff before re-registering after a *refused* registration (NACK
+  /// or tag-less response).  Timed-out registrations instead retry
+  /// through the retransmission mechanism below.
   event::Time registration_backoff = 2 * event::kSecond;
+  /// Retransmission policy, shared by chunk Interests and registrations:
+  /// a timeout triggers a resend after an exponential backoff with
+  /// multiplicative jitter, up to `max_retries` resends; then the chunk
+  /// is abandoned (the window slot frees).  `max_retries = 0` restores
+  /// the pre-retransmission behaviour (one shot, timeout = loss).
+  std::size_t max_retries = 3;
+  event::Time retry_backoff_base = 500 * event::kMillisecond;
+  double retry_backoff_factor = 2.0;
+  /// Backoff is scaled by a uniform factor in [1-j, 1+j] (desynchronizes
+  /// clients hammering a recovering router).
+  double retry_jitter = 0.25;
   /// Verify content signatures against `verify_pki` before counting a
   /// chunk as received (paper Section 6.B: "the client can validate the
   /// content by verifying its signature").  Requires the provider to
@@ -53,6 +66,13 @@ struct UserCounters {
   /// Content that failed client-side signature verification (fake or
   /// unsigned content under a protected prefix with verification on).
   std::uint64_t content_verification_failures = 0;
+  /// Chunk Interests re-sent after a timeout (each also counts in
+  /// `chunks_requested`, so accounting stays attempt-based).
+  std::uint64_t retransmissions = 0;
+  /// Chunks given up after exhausting the retry budget.
+  std::uint64_t chunks_abandoned = 0;
+  /// Registration Interests re-sent after a timeout.
+  std::uint64_t registration_retransmissions = 0;
 };
 
 class ClientApp {
@@ -80,10 +100,22 @@ class ClientApp {
   std::function<void(event::Time, double)> on_latency_sample;
   std::function<void(event::Time)> on_tag_request;
   std::function<void(event::Time)> on_tag_receive;
+  /// Recovery latency: for chunks that needed at least one
+  /// retransmission, the time from the *first* attempt to delivery.
+  std::function<void(event::Time, double)> on_recovery_sample;
 
  private:
   struct Outstanding {
-    event::Time sent_at = 0;
+    event::Time sent_at = 0;        // most recent attempt
+    event::Time first_sent_at = 0;  // first attempt (recovery latency)
+    std::size_t retries = 0;        // resends already spent
+    std::size_t provider = 0;       // tag to attach on a resend
+    /// Protected chunk: a resend is pointless without a live tag (the
+    /// edge silently drops expired ones), so expiry ends the retries.
+    bool needs_tag = false;
+    /// Pending timer: the Interest timeout, or — between a timeout and
+    /// the resend — the scheduled retransmission.  Either way the slot
+    /// token stays held by this entry.
     event::EventId timeout;
   };
 
@@ -93,12 +125,18 @@ class ClientApp {
   std::size_t provider_of_rank(std::size_t rank) const;
   void advance_stream();
   void send_chunk_interest();
+  void resend_chunk(const ndn::Name& name);
   void send_registration(std::size_t provider_index);
+  void send_registration_attempt();
+  void on_registration_timeout();
   bool verify_content_signature(const ndn::Data& data) const;
   void on_data(const ndn::Data& data);
   void on_nack(const ndn::Nack& nack);
   void on_timeout(const ndn::Name& name);
   event::Time think_sample();
+  /// Backoff before resend number `attempt` (1-based): base *
+  /// factor^(attempt-1), jittered by [1-j, 1+j].
+  event::Time retry_backoff(std::size_t attempt);
 
   ndn::Forwarder& node_;
   std::vector<ProviderApp*> providers_;
@@ -117,6 +155,8 @@ class ClientApp {
   std::vector<core::TagPtr> tags_;
   std::optional<std::size_t> registration_pending_;  // provider index
   ndn::Name pending_registration_name_;
+  event::EventId registration_timeout_;  // cancelled on response/NACK
+  std::size_t registration_retries_ = 0;
   /// Window slots waiting for a tag.  Slot tokens are conserved: each
   /// token is either an outstanding Interest, a scheduled fill event, or
   /// parked here — so the request rate stays window-limited.

@@ -172,6 +172,9 @@ TEST(Integration, CachedContentSurvivesProviderOutage) {
   config.duration = 40 * kSecond;
   // Tags outlive the outage so only content availability is at stake.
   config.provider.tag_validity = 120 * kSecond;
+  // One-shot requests: retrying dead-provider chunks through backoff only
+  // throttles the request stream this test measures cache service with.
+  config.client.max_retries = 0;
   Scenario scenario(config);
 
   // Count deliveries before/after the outage begins.

@@ -551,20 +551,80 @@ TEST(Forwarder, EqualCostFailoverOnDeadLink) {
   EXPECT_EQ(received, 1);
 
   // Kill the primary (lowest face id) upstream link; traffic must take
-  // the alternate without any routing update.
+  // the alternate without any routing update.  Every refused attempt
+  // counts one link_send_failure; the successful retry on the alternate
+  // counts one failover.
   net.links[2]->set_up(false);  // router -> upper direction
   consumer.inject_from_app(app, make_interest("/p/y", 2));
   net.sched.run();
   EXPECT_EQ(received, 2);
   EXPECT_EQ(router.counters().interest_failovers, 1u);
+  EXPECT_EQ(router.counters().link_send_failures, 1u);
+  EXPECT_EQ(net.links[2]->counters().refused_link_down, 1u);
 
-  // Kill the alternate too: the Interest dies at the router.
+  // Kill the alternate too: the Interest dies at the router.  Both
+  // candidate hops refuse (two more link_send_failures), no failover
+  // succeeds, and the Interest is counted unsent — not failed over.
   net.links[4]->set_up(false);  // router -> lower direction
   consumer.inject_from_app(app, make_interest("/p/z", 3));
   net.sched.run_until(net.sched.now() + 5 * kSecond);
   EXPECT_EQ(received, 2);
   EXPECT_EQ(router.counters().interests_unsent, 1u);
+  EXPECT_EQ(router.counters().interest_failovers, 1u);  // unchanged
+  EXPECT_EQ(router.counters().link_send_failures, 3u);
   EXPECT_EQ(produced, 2);
+}
+
+/// Same diamond, but the primary next hop refuses because its drop-tail
+/// queue is full rather than because the link is down: the Interest must
+/// fail over identically, and the refusal must land in the queue-full
+/// half of the split link counters.
+TEST(Forwarder, EqualCostFailoverOnFullQueue) {
+  TestNet net;
+  Forwarder& consumer = net.add("c", net::NodeKind::kClient, 0);
+  Forwarder& router = net.add("r");
+  Forwarder& upper = net.add("u");
+  Forwarder& lower = net.add("l");
+  Forwarder& producer = net.add("p", net::NodeKind::kProvider, 0);
+  auto [c_r, r_c] = net.connect(consumer, router);
+  // Primary upstream: slow enough that the first frame still occupies it
+  // when the second arrives, with room for nothing behind it
+  // (max_queue=1), yet fast enough to finish within the Interest
+  // lifetime.
+  auto [r_u, u_r] = net.connect(router, upper, {1e5, kMillisecond, 1});
+  auto [r_l, l_r] = net.connect(router, lower);
+  auto [u_p, p_u] = net.connect(upper, producer);
+  auto [l_p, p_l] = net.connect(lower, producer);
+  (void)r_c; (void)u_r; (void)l_r; (void)p_u; (void)p_l;
+
+  int received = 0;
+  const FaceId app = consumer.add_app_face(
+      AppSink{nullptr, [&](const Data&) { ++received; }, nullptr});
+  const FaceId papp = producer.add_app_face(AppSink{
+      [&](FaceId face, const Interest& interest) {
+        Data data;
+        data.name = interest.name;
+        producer.inject_from_app(face, std::move(data));
+      },
+      nullptr, nullptr});
+  consumer.fib().add_route(Name("/"), c_r);
+  router.fib().add_route(Name("/p"), r_u, 2);
+  router.fib().add_route(Name("/p"), r_l, 2);  // equal-cost alternate
+  upper.fib().add_route(Name("/p"), u_p, 1);
+  lower.fib().add_route(Name("/p"), l_p, 1);
+  producer.fib().add_route(Name("/p"), papp);
+
+  // Both Interests arrive back to back: the first occupies the slow
+  // primary, the second is refused by the full queue and fails over.
+  consumer.inject_from_app(app, make_interest("/p/x", 1));
+  consumer.inject_from_app(app, make_interest("/p/y", 2));
+  net.sched.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(router.counters().interest_failovers, 1u);
+  EXPECT_EQ(router.counters().link_send_failures, 1u);
+  EXPECT_EQ(router.counters().interests_unsent, 0u);
+  EXPECT_EQ(net.links[2]->counters().dropped_queue_full, 1u);
+  EXPECT_EQ(net.links[2]->counters().refused_link_down, 0u);
 }
 
 TEST(Forwarder, WireSizeVariant) {

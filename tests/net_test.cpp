@@ -83,7 +83,9 @@ TEST(Link, DropTailWhenQueueFull) {
   EXPECT_TRUE(link.send(1000, [&] { ++delivered; }));
   EXPECT_TRUE(link.send(1000, [&] { ++delivered; }));
   EXPECT_FALSE(link.send(1000, [&] { ++delivered; }));  // queue full
-  EXPECT_EQ(link.counters().frames_dropped, 1u);
+  EXPECT_EQ(link.counters().dropped_queue_full, 1u);
+  EXPECT_EQ(link.counters().refused_link_down, 0u);
+  EXPECT_EQ(link.counters().frames_dropped(), 1u);
   sched.run();
   EXPECT_EQ(delivered, 2);
   // Queue drained: sending works again.
@@ -121,13 +123,118 @@ TEST(Link, DownLinkRefusesButInFlightArrives) {
   link.set_up(false);
   EXPECT_FALSE(link.up());
   EXPECT_FALSE(link.send(1000, [&] { ++delivered; }));
-  EXPECT_EQ(link.counters().frames_dropped, 1u);
+  EXPECT_EQ(link.counters().refused_link_down, 1u);
+  EXPECT_EQ(link.counters().dropped_queue_full, 0u);
+  EXPECT_EQ(link.counters().frames_dropped(), 1u);
   sched.run();
   EXPECT_EQ(delivered, 1);  // the frame already on the wire still arrives
   link.set_up(true);
   EXPECT_TRUE(link.send(1000, [&] { ++delivered; }));
   sched.run();
   EXPECT_EQ(delivered, 2);
+}
+
+TEST(LinkFaults, LossIsSilentAndDeterministic) {
+  // Same seed => identical per-frame fates; the sender still sees
+  // send()==true for lost frames (wireless loss is silent).
+  auto run = [](std::uint64_t seed) {
+    event::Scheduler sched;
+    Link link(sched, {1e6, 0, 1000});
+    LinkFaultParams faults;
+    faults.loss = 0.3;
+    link.set_fault_model(faults, util::Rng(seed));
+    std::vector<int> delivered;
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(link.send(100, [&delivered, i] { delivered.push_back(i); }));
+    }
+    sched.run();
+    EXPECT_EQ(link.counters().frames_sent, 200u);
+    EXPECT_EQ(link.counters().frames_lost, 200u - delivered.size());
+    return delivered;
+  };
+  const std::vector<int> a = run(7);
+  const std::vector<int> b = run(7);
+  const std::vector<int> c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different seed, different fates
+  EXPECT_GT(a.size(), 100u);  // ~70% should survive
+  EXPECT_LT(a.size(), 200u);  // some loss must occur
+}
+
+TEST(LinkFaults, GilbertElliottLosesInBursts) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 0, 100000});
+  LinkFaultParams faults;
+  faults.p_enter_burst = 0.05;
+  faults.p_exit_burst = 0.3;
+  faults.burst_loss = 1.0;  // everything in the bad state dies
+  link.set_fault_model(faults, util::Rng(42));
+  std::vector<bool> fate;  // true = delivered
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t n = fate.size();
+    fate.push_back(false);
+    link.send(10, [&fate, n] { fate[n] = true; });
+  }
+  sched.run();
+  // Losses must cluster: count loss runs of length >= 2.
+  std::size_t losses = 0, paired_losses = 0;
+  for (std::size_t i = 0; i < fate.size(); ++i) {
+    if (!fate[i]) {
+      ++losses;
+      if (i > 0 && !fate[i - 1]) ++paired_losses;
+    }
+  }
+  ASSERT_GT(losses, 0u);
+  // With p_exit 0.3 a loss is followed by another loss ~70% of the time —
+  // far above the ~14% stationary loss rate i.i.d. loss would give.
+  EXPECT_GT(static_cast<double>(paired_losses) / static_cast<double>(losses),
+            0.4);
+  EXPECT_EQ(link.counters().frames_lost, losses);
+}
+
+TEST(LinkFaults, CorruptionReportsFateAndSeed) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 0, 1000});
+  LinkFaultParams faults;
+  faults.corruption = 1.0;  // every frame arrives mangled
+  link.set_fault_model(faults, util::Rng(3));
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < 5; ++i) {
+    link.send(100, Link::DeliverFn([&](const FrameFate& f) {
+                EXPECT_TRUE(f.corrupted);
+                seeds.push_back(f.corruption_seed);
+              }));
+  }
+  sched.run();
+  ASSERT_EQ(seeds.size(), 5u);
+  EXPECT_EQ(link.counters().frames_corrupted, 5u);
+  // Per-frame corruption seeds differ (each frame flips different bits).
+  EXPECT_NE(seeds[0], seeds[1]);
+}
+
+TEST(LinkFaults, FateObliviousOverloadDropsCorruptFrames) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 0, 1000});
+  LinkFaultParams faults;
+  faults.corruption = 1.0;
+  link.set_fault_model(faults, util::Rng(3));
+  int delivered = 0;
+  link.send(100, [&delivered] { ++delivered; });  // plain closure: L2 CRC shim
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.counters().frames_corrupted, 1u);
+}
+
+TEST(LinkFaults, NoFaultModelMeansNoFaultCounters) {
+  event::Scheduler sched;
+  Link link(sched, {1e6, 0, 10});
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) link.send(100, [&delivered] { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(link.counters().frames_lost, 0u);
+  EXPECT_EQ(link.counters().frames_corrupted, 0u);
+  EXPECT_FALSE(link.fault_params().any());
 }
 
 TEST(Link, FastLinkDeliversQuickly) {

@@ -121,6 +121,57 @@ TEST(Differential, TacticMatchesOpenDeliveryForClients) {
   EXPECT_GT(open.metrics.attackers.received, 0u);
 }
 
+TEST(Generator, FaultsDrawnDeterministicallyAfterBaseConfig) {
+  auto with = quick_options();
+  with.with_faults = true;
+  const auto a = testing_::random_config(42, with);
+  const auto b = testing_::random_config(42, with);
+  EXPECT_EQ(testing_::describe(a), testing_::describe(b));
+  EXPECT_EQ(a.faults.fault_seed, b.faults.fault_seed);
+  EXPECT_EQ(a.faults.edge_links.loss, b.faults.edge_links.loss);
+  EXPECT_EQ(a.faults.crashes.size(), b.faults.crashes.size());
+  EXPECT_EQ(a.faults.flaps.size(), b.faults.flaps.size());
+
+  // Fault draws are appended AFTER every base draw, so turning them on
+  // must not perturb the base scenario for the same seed.
+  const auto base = testing_::random_config(42, quick_options());
+  EXPECT_EQ(base.seed, a.seed);
+  EXPECT_EQ(base.policy, a.policy);
+  EXPECT_EQ(base.topology.core_routers, a.topology.core_routers);
+  EXPECT_EQ(base.topology.aps_per_edge, a.topology.aps_per_edge);
+  EXPECT_EQ(base.provider.tag_validity, a.provider.tag_validity);
+  EXPECT_EQ(base.tactic.bloom.capacity, a.tactic.bloom.capacity);
+  EXPECT_FALSE(base.faults.any());
+}
+
+TEST(Generator, SomeFaultSeedsStayFaultless) {
+  // sample_fault_plan keeps ~1 in 4 seeds as a faultless control group;
+  // over 40 seeds both populations must be represented.
+  auto options = quick_options();
+  options.with_faults = true;
+  std::size_t faulty = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    if (testing_::random_config(seed, options).faults.any()) ++faulty;
+  }
+  EXPECT_GT(faulty, 0u);
+  EXPECT_LT(faulty, 40u);
+}
+
+TEST(InvariantChecker, FaultyRunsAreBitReproducible) {
+  auto options = quick_options();
+  options.forced_policy = sim::PolicyKind::kTactic;
+  options.with_faults = true;
+  // Seed 3 draws a non-empty plan (asserted, so a generator change that
+  // silently empties it fails loudly instead of weakening the test).
+  const auto config = testing_::random_config(3, options);
+  ASSERT_TRUE(config.faults.any());
+  const auto first = checked_run(config);
+  const auto second = checked_run(config);
+  EXPECT_EQ(first.violations, 0u) << first.report;
+  EXPECT_EQ(first.metrics_fingerprint, second.metrics_fingerprint);
+  EXPECT_EQ(first.trace_digest, second.trace_digest);
+}
+
 TEST(Fingerprint, DistinguishesDifferentRuns) {
   auto options = quick_options();
   options.forced_policy = sim::PolicyKind::kTactic;
