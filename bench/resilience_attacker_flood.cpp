@@ -1,0 +1,165 @@
+// Resilience: overload layer under an invalid-tag attacker flood.
+//
+// TACTIC makes routers do the access-control work, which makes routers
+// the DoS target: a forged-tag flood forces either a signature
+// verification per Interest or a NACK-carrying Data per Interest across
+// the shared backbone.  This harness sweeps the flood intensity on a
+// dense metro edge (few edge routers, attacker-heavy APs, tight
+// backbone) and compares the overload-resilience layer (validation
+// queues + shedding + negative-tag cache + edge policing, docs/OVERLOAD.md)
+// against the bare protocol, reporting what legitimate clients feel.
+//
+// Flood intensity n scales the attackers' window n-fold over a paper-ish
+// probing tempo; 0 removes the attackers entirely (the no-attack
+// control).  Short attacker Interest lifetimes keep the flood re-arming
+// even where NACKs are suppressed.
+//
+// Knobs beyond the shared harness set:
+//   --backbone-mbps M    shared router-link capacity (default 4)
+
+#include "harness.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace tactic;
+
+struct FloodResult {
+  double delivery_ratio = 0;
+  double p95_latency = 0;  // seconds; 0 when no chunk was delivered
+  std::uint64_t sheds = 0;
+  std::uint64_t policer_sheds = 0;
+  std::uint64_t neg_cache_hits = 0;
+  std::uint64_t verifier_sigs = 0;  // edge + core + provider
+  std::uint64_t overload_nacks = 0;
+};
+
+sim::ScenarioConfig metro_config(const bench::HarnessOptions& options,
+                                 double backbone_mbps) {
+  sim::ScenarioConfig config;
+  config.topology.core_routers = 8;
+  config.topology.edge_routers = 3;
+  config.topology.providers = 2;
+  config.topology.clients = 8;
+  config.topology.attackers = 6;
+  config.topology.core_cs_capacity = 200;
+  config.topology.core_link.bits_per_second = backbone_mbps * 1e6;
+  config.provider.key_bits = options.full ? 1024 : 512;
+  config.compute = core::ComputeModel::deterministic();
+  config.duration = event::from_seconds(options.duration_s);
+  config.seed = options.seed;
+  return config;
+}
+
+FloodResult run_flood(bool with_layer, std::size_t intensity,
+                      const bench::HarnessOptions& options,
+                      double backbone_mbps) {
+  sim::ScenarioConfig config = metro_config(options, backbone_mbps);
+  if (intensity == 0) {
+    config.topology.attackers = 0;
+  } else {
+    config.attacker_mix = {workload::AttackerMode::kForgedTag};
+    config.attacker.window = 8 * intensity;
+    config.attacker.think_time_mean = 100 * event::kMillisecond;
+    config.attacker.interest_lifetime = 50 * event::kMillisecond;
+  }
+  if (with_layer) {
+    core::OverloadConfig& ov = config.tactic.overload;
+    ov.enabled = true;
+    ov.queue_capacity = 16;
+    ov.shed_watermark = 2;
+    ov.neg_cache_capacity = 512;
+    ov.neg_cache_ttl = 5 * event::kSecond;
+    ov.policer_rate = 40.0;
+    ov.policer_burst = 10.0;
+    ov.staged_bf_reset = true;
+    config.router_pit_capacity = 512;
+  }
+  sim::Scenario scenario(config);
+
+  util::SampleSet latencies;
+  for (auto& client : scenario.clients()) {
+    client->on_latency_sample = [&latencies,
+                                 base = client->on_latency_sample](
+                                    event::Time when, double latency) {
+      if (base) base(when, latency);
+      latencies.add(latency);
+    };
+  }
+  const sim::Metrics& metrics = scenario.run();
+
+  FloodResult result;
+  result.delivery_ratio = metrics.clients.delivery_ratio();
+  result.p95_latency = latencies.empty() ? 0.0 : latencies.percentile(95.0);
+  for (const sim::RouterOps* ops : {&metrics.edge_ops, &metrics.core_ops}) {
+    result.sheds += ops->sheds_queue_full + ops->sheds_unvouched +
+                    ops->policer_sheds;
+    result.policer_sheds += ops->policer_sheds;
+    result.neg_cache_hits += ops->neg_cache_hits;
+    result.verifier_sigs += ops->sig_verifications;
+  }
+  result.verifier_sigs += metrics.provider_sig_verifications;
+  result.overload_nacks = metrics.clients.overload_nacks;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tactic;
+  const bench::HarnessOptions options =
+      bench::HarnessOptions::parse(argc, argv, {1}, 30.0);
+  util::Flags flags(argc, argv);
+  const double backbone_mbps = flags.get_double("backbone-mbps", 4.0);
+  bench::print_header(
+      "Resilience: forged-tag attacker flood (overload layer on vs off)",
+      options);
+  std::printf(
+      "dense metro edge: 3 edge routers, 8 clients + 6 attackers, "
+      "%.0f Mbps backbone\n\n",
+      backbone_mbps);
+
+  util::Table table({"Overload layer", "Flood", "Delivery",
+                     "p95 latency (s)", "Sheds", "Policer", "Neg hits",
+                     "Verifier sigs", "Client overload NACKs"});
+  bench::MaybeCsv csv(options.csv_path);
+  csv.row({"overload_layer", "flood_intensity", "delivery_ratio",
+           "p95_latency_s", "sheds", "policer_sheds", "neg_cache_hits",
+           "verifier_sigs", "client_overload_nacks"});
+
+  for (const bool with_layer : {false, true}) {
+    for (const std::size_t intensity : {std::size_t{0}, std::size_t{1},
+                                        std::size_t{4}, std::size_t{10}}) {
+      const FloodResult result =
+          run_flood(with_layer, intensity, options, backbone_mbps);
+      const std::string flood =
+          intensity == 0 ? "none" : "x" + std::to_string(intensity);
+      table.add_row(
+          {with_layer ? "on" : "off", flood,
+           util::Table::fmt_percent(100 * result.delivery_ratio),
+           util::Table::fmt(result.p95_latency, 6),
+           std::to_string(result.sheds),
+           std::to_string(result.policer_sheds),
+           std::to_string(result.neg_cache_hits),
+           std::to_string(result.verifier_sigs),
+           std::to_string(result.overload_nacks)});
+      csv.row({with_layer ? "on" : "off", std::to_string(intensity),
+               util::CsvWriter::num(result.delivery_ratio),
+               util::CsvWriter::num(result.p95_latency),
+               std::to_string(result.sheds),
+               std::to_string(result.policer_sheds),
+               std::to_string(result.neg_cache_hits),
+               std::to_string(result.verifier_sigs),
+               std::to_string(result.overload_nacks)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected: without the layer, delivery collapses as the flood's "
+      "NACK-carrying Data saturates the shared backbone and verifier work "
+      "grows linearly with the flood; with the layer on, the edge sheds "
+      "the flood (policer + watermark) before it crosses the backbone, "
+      "the negative cache bounds repeat verifications, and client "
+      "delivery holds near the no-attack control at every intensity\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fixed-seed scenario-fuzz sweep with random fault plans AND random
+# overload-resilience configurations (validation queues, load shedding,
+# negative-tag caches, staged BF resets, bounded PITs, attacker floods)
+# under ASan+UBSan.  Exercises the overload layer end to end: the runtime
+# invariant checker stays armed — a disabled layer must be perfectly
+# inert, bounded PITs must never exceed capacity, and the security
+# invariants must hold under any shedding decision.  Every scenario runs
+# twice and is byte-compared, so any overload mechanism that breaks
+# determinism fails the sweep.  Any sanitizer report aborts the run
+# (-fno-sanitize-recover=all) and fails the script.
+#
+# Usage: ci/flood.sh [build-dir]    (default: build-sanitize)
+#
+# Reuses the sanitizer build tree; run after (or instead of)
+# ci/sanitize.sh — the cmake step below is a no-op when it already ran.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_scenarios
+
+# Fixed base seed so CI failures reproduce locally with the printed
+# --seed/--repro line.  Flood scenarios multiply the packet rate, so the
+# sweep trades duration for breadth relative to ci/chaos.sh.
+"$BUILD_DIR/fuzz_scenarios" --runs 16 --duration 10 --seed 9000 \
+  --faults --overload
+
+echo "flood: OK"

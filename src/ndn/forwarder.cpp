@@ -253,6 +253,20 @@ void Forwarder::on_interest(FaceId in_face, Interest&& interest) {
     send(in_face, Nack{interest.name, NackReason::kNoRoute}, compute);
     return;
   }
+  // Bounded PIT: evict the least-recently-used entry before a *new* one
+  // would push the table past its capacity.  (At this point the entry
+  // either does not exist or exists un-forwarded, so find() == nullptr
+  // is exactly the "this creates a new entry" case.)
+  if (pit_capacity_ > 0 && pit_.size() >= pit_capacity_ &&
+      pit_.find(interest.name) == nullptr) {
+    if (PitEntry* victim = pit_.lru_victim()) {
+      if (victim->expiry_event.valid()) {
+        scheduler_.cancel(victim->expiry_event);
+      }
+      pit_.erase(victim->name);
+      ++counters_.pit_evictions;
+    }
+  }
   PitEntry& entry = pit_.get_or_create(interest.name);
   entry.in_records.push_back(PitInRecord{
       in_face, interest.nonce, interest.tag, interest.tag_wire_size,

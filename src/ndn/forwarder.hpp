@@ -57,6 +57,8 @@ struct ForwarderCounters {
   std::uint64_t nacks_sent = 0;
   std::uint64_t no_route = 0;
   std::uint64_t pit_expirations = 0;
+  /// Entries evicted (LRU) to admit a new one under a PIT capacity.
+  std::uint64_t pit_evictions = 0;
   std::uint64_t link_send_failures = 0;  // drop-tail overflow / link down
   /// Interests sent on a non-primary next hop because the primary's link
   /// refused the frame (down or full).
@@ -86,9 +88,18 @@ class Forwarder {
   const event::Scheduler& scheduler() const { return scheduler_; }
   Fib& fib() { return fib_; }
   Pit& pit() { return pit_; }
+  const Pit& pit() const { return pit_; }
   ContentStore& cs() { return cs_; }
   const ContentStore& cs() const { return cs_; }
   const ForwarderCounters& counters() const { return counters_; }
+
+  /// Caps the PIT at `capacity` entries (0 = unbounded, the default).
+  /// When a new entry would exceed the cap, the least-recently-used
+  /// entry is evicted — its expiry timer cancelled, `pit_evictions`
+  /// incremented — so an Interest flood can no longer grow router state
+  /// without bound.
+  void set_pit_capacity(std::size_t capacity) { pit_capacity_ = capacity; }
+  std::size_t pit_capacity() const { return pit_capacity_; }
 
   /// Installs the node's access-control policy (owned).  Defaults to
   /// NullPolicy (plain NDN).
@@ -177,6 +188,7 @@ class Forwarder {
   net::NodeInfo info_;
   Fib fib_;
   Pit pit_;
+  std::size_t pit_capacity_ = 0;  // 0 = unbounded
   ContentStore cs_;
   std::unique_ptr<AccessControlPolicy> policy_;
   std::vector<Face> faces_;

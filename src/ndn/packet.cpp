@@ -14,6 +14,7 @@ const char* to_string(NackReason reason) {
     case NackReason::kAccessPathMismatch: return "access-path-mismatch";
     case NackReason::kRegistrationRefused: return "registration-refused";
     case NackReason::kNoRoute: return "no-route";
+    case NackReason::kRouterOverloaded: return "router-overloaded";
   }
   return "?";
 }

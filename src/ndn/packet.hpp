@@ -43,6 +43,7 @@ enum class NackReason : std::uint8_t {
   kAccessPathMismatch,   // AP in tag != AP accumulated in request
   kRegistrationRefused,  // provider rejected the credential (revoked client)
   kNoRoute,              // FIB miss
+  kRouterOverloaded,     // validation queue shed the request (back off)
 };
 
 const char* to_string(NackReason reason);

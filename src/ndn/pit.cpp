@@ -6,16 +6,35 @@ namespace tactic::ndn {
 
 PitEntry* Pit::find(const Name& name) {
   const auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : &it->second;
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.end(), lru_, it->second.lru_it);  // touch
+  return &it->second;
 }
 
 PitEntry& Pit::get_or_create(const Name& name) {
   auto [it, inserted] = entries_.try_emplace(name);
-  if (inserted) it->second.name = name;
+  if (inserted) {
+    it->second.name = name;
+    lru_.push_back(name);
+    it->second.lru_it = std::prev(lru_.end());
+  } else {
+    lru_.splice(lru_.end(), lru_, it->second.lru_it);  // touch
+  }
   return it->second;
 }
 
-void Pit::erase(const Name& name) { entries_.erase(name); }
+void Pit::erase(const Name& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+PitEntry* Pit::lru_victim() {
+  if (lru_.empty()) return nullptr;
+  const auto it = entries_.find(lru_.front());
+  return it == entries_.end() ? nullptr : &it->second;
+}
 
 bool Pit::has_nonce(const PitEntry& entry, std::uint64_t nonce) {
   return std::any_of(

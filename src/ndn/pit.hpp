@@ -7,6 +7,7 @@
 // routers can validate every aggregated tag when the content returns.
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -38,23 +39,34 @@ struct PitEntry {
   event::EventId expiry_event;
   /// Absolute time at which the whole entry expires (max over records).
   event::Time expiry_time = 0;
+  /// Position in the PIT's recency list (maintained by Pit itself).
+  std::list<Name>::iterator lru_it;
 };
 
 class Pit {
  public:
-  /// Finds the entry for `name`; nullptr if absent.
+  /// Finds the entry for `name`; nullptr if absent.  A hit counts as a
+  /// use for LRU purposes.
   PitEntry* find(const Name& name);
 
-  /// Creates (or returns the existing) entry.
+  /// Creates (or returns the existing) entry; either way the entry
+  /// becomes most-recently used.
   PitEntry& get_or_create(const Name& name);
 
   void erase(const Name& name);
 
   /// Drops every entry.  Callers owning scheduler events (expiry timers)
   /// must cancel them first — the PIT does not know the scheduler.
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    lru_.clear();
+  }
 
   std::size_t size() const { return entries_.size(); }
+
+  /// The least-recently-used entry (the eviction victim when the owner
+  /// enforces a capacity); nullptr when empty.  Does not touch recency.
+  PitEntry* lru_victim();
 
   /// Read-only view of all live entries — the invariant checker walks
   /// this to assert no entry outlives its expiry.
@@ -68,6 +80,9 @@ class Pit {
 
  private:
   std::unordered_map<Name, PitEntry> entries_;
+  /// Recency order, front = least recently used.  Entries hold their own
+  /// position (`PitEntry::lru_it`) so touch/erase stay O(1).
+  std::list<Name> lru_;
 };
 
 }  // namespace tactic::ndn

@@ -8,6 +8,14 @@ RouterOps& RouterOps::operator+=(const RouterOps& other) {
   sig_verifications += other.sig_verifications;
   bf_resets += other.bf_resets;
   compute_charged_s += other.compute_charged_s;
+  neg_cache_hits += other.neg_cache_hits;
+  neg_cache_insertions += other.neg_cache_insertions;
+  sheds_queue_full += other.sheds_queue_full;
+  sheds_unvouched += other.sheds_unvouched;
+  policer_sheds += other.policer_sheds;
+  staged_resets += other.staged_resets;
+  draining_hits += other.draining_hits;
+  validation_wait_s += other.validation_wait_s;
   return *this;
 }
 
@@ -21,6 +29,7 @@ TrafficTotals& TrafficTotals::operator+=(const TrafficTotals& other) {
   retransmissions += other.retransmissions;
   chunks_abandoned += other.chunks_abandoned;
   registration_retransmissions += other.registration_retransmissions;
+  overload_nacks += other.overload_nacks;
   return *this;
 }
 

@@ -20,6 +20,16 @@ struct RouterOps {
   std::uint64_t bf_resets = 0;
   /// Total simulated compute time charged for the above (seconds).
   double compute_charged_s = 0.0;
+  // Overload-resilience layer (docs/OVERLOAD.md; zero while disabled).
+  std::uint64_t neg_cache_hits = 0;
+  std::uint64_t neg_cache_insertions = 0;
+  std::uint64_t sheds_queue_full = 0;
+  std::uint64_t sheds_unvouched = 0;
+  std::uint64_t policer_sheds = 0;
+  std::uint64_t staged_resets = 0;
+  std::uint64_t draining_hits = 0;
+  /// Time validation jobs spent queued behind earlier work (seconds).
+  double validation_wait_s = 0.0;
 
   RouterOps& operator+=(const RouterOps& other);
 };
@@ -36,6 +46,8 @@ struct TrafficTotals {
   std::uint64_t retransmissions = 0;
   std::uint64_t chunks_abandoned = 0;
   std::uint64_t registration_retransmissions = 0;
+  /// kRouterOverloaded NACKs seen (overload layer; zero while disabled).
+  std::uint64_t overload_nacks = 0;
 
   double delivery_ratio() const {
     return requested == 0
@@ -82,6 +94,8 @@ struct Metrics {
   std::uint64_t link_frames_corrupted = 0;
   std::uint64_t cs_hits = 0;
   std::uint64_t cs_misses = 0;
+  /// PIT entries LRU-evicted under a bounded PIT (zero when unbounded).
+  std::uint64_t pit_evictions = 0;
 
   /// Fault-injection totals over every node (zero without faults).
   std::uint64_t node_crashes = 0;

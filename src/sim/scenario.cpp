@@ -90,9 +90,11 @@ void Scenario::install_policies() {
 
   for (const net::NodeId id : network_->edge_routers()) {
     network_->node(id).set_policy(make_router_policy(/*is_edge=*/true));
+    network_->node(id).set_pit_capacity(config_.router_pit_capacity);
   }
   for (const net::NodeId id : network_->core_routers()) {
     network_->node(id).set_policy(make_router_policy(/*is_edge=*/false));
+    network_->node(id).set_pit_capacity(config_.router_pit_capacity);
   }
 }
 
@@ -359,6 +361,7 @@ Metrics Scenario::harvest() {
     out.clients.chunks_abandoned += c.chunks_abandoned;
     out.clients.registration_retransmissions +=
         c.registration_retransmissions;
+    out.clients.overload_nacks += c.overload_nacks;
   }
   for (const auto& attacker : attackers_) {
     const auto& c = attacker->counters();
@@ -373,6 +376,7 @@ Metrics Scenario::harvest() {
     ndn::Forwarder& node = network_->node(id);
     out.cs_hits += node.cs().hits();
     out.cs_misses += node.cs().misses();
+    out.pit_evictions += node.counters().pit_evictions;
     const auto* tactic =
         dynamic_cast<const core::TacticRouterPolicy*>(&node.policy());
     if (tactic != nullptr) {
@@ -382,6 +386,14 @@ Metrics Scenario::harvest() {
       ops.sig_verifications += c.sig_verifications;
       ops.bf_resets += tactic->bf_resets();
       ops.compute_charged_s += event::to_seconds(c.compute_charged);
+      ops.neg_cache_hits += c.neg_cache_hits;
+      ops.neg_cache_insertions += c.neg_cache_insertions;
+      ops.sheds_queue_full += c.sheds_queue_full;
+      ops.sheds_unvouched += c.sheds_unvouched;
+      ops.policer_sheds += c.policer_sheds;
+      ops.staged_resets += c.staged_resets;
+      ops.draining_hits += c.draining_hits;
+      ops.validation_wait_s += event::to_seconds(c.validation_wait);
       resets_samples.insert(resets_samples.end(),
                             c.requests_per_reset.begin(),
                             c.requests_per_reset.end());

@@ -56,6 +56,11 @@ struct ScenarioConfig {
   event::Time duration = 200 * event::kSecond;
   std::uint64_t seed = 1;
 
+  /// Bounded router PIT: at capacity, the least-recently-used entry is
+  /// evicted to admit a new Interest (counted in `pit_evictions`).  0
+  /// keeps the PIT unbounded (the pre-overload-layer behaviour).
+  std::size_t router_pit_capacity = 0;
+
   /// Fault injection (chaos layer).  The default (empty) plan leaves the
   /// run bit-identical to a faultless build; see docs/FAULTS.md.
   FaultPlan faults;

@@ -7,6 +7,7 @@ ComputeModel ComputeModel::deterministic() {
   p.bf_lookup = util::NormalDist{9.14e-7, 0.0};
   p.bf_insert = util::NormalDist{3.35e-7, 0.0};
   p.sig_verify = util::NormalDist{1.12e-5, 0.0};
+  p.neg_lookup = util::NormalDist{1.5e-7, 0.0};
   return ComputeModel{p};
 }
 
@@ -15,6 +16,7 @@ ComputeModel ComputeModel::zero() {
   p.bf_lookup = util::NormalDist{0.0, 0.0};
   p.bf_insert = util::NormalDist{0.0, 0.0};
   p.sig_verify = util::NormalDist{0.0, 0.0};
+  p.neg_lookup = util::NormalDist{0.0, 0.0};
   return ComputeModel{p};
 }
 
@@ -33,6 +35,10 @@ event::Time ComputeModel::bf_insert_cost(util::Rng& rng) {
 
 event::Time ComputeModel::sig_verify_cost(util::Rng& rng) {
   return clamp_to_time(params_.sig_verify.sample(rng));
+}
+
+event::Time ComputeModel::neg_lookup_cost(util::Rng& rng) {
+  return clamp_to_time(params_.neg_lookup.sample(rng));
 }
 
 }  // namespace tactic::core

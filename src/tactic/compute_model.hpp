@@ -32,6 +32,9 @@ class ComputeModel {
     util::NormalDist bf_lookup{9.14e-7, 6.51e-9};
     util::NormalDist bf_insert{3.35e-7, 1.73e-3};
     util::NormalDist sig_verify{1.12e-5, 6.49e-3};
+    /// Negative-tag verdict-cache probe (overload layer): a hash-map
+    /// lookup, modeled at BF-lookup scale.  Not a paper quantity.
+    util::NormalDist neg_lookup{1.5e-7, 1.0e-8};
   };
 
   ComputeModel() : ComputeModel(Params{}) {}
@@ -48,6 +51,7 @@ class ComputeModel {
   event::Time bf_lookup_cost(util::Rng& rng);
   event::Time bf_insert_cost(util::Rng& rng);
   event::Time sig_verify_cost(util::Rng& rng);
+  event::Time neg_lookup_cost(util::Rng& rng);
 
  private:
   static event::Time clamp_to_time(double seconds);

@@ -1,0 +1,76 @@
+#include "tactic/overload.hpp"
+
+#include <algorithm>
+
+namespace tactic::core {
+
+event::Time ValidationQueue::admit(event::Time now, event::Time service) {
+  // Prune jobs that completed by `now` so depth reflects live backlog.
+  while (!completions_.empty() && completions_.front() <= now) {
+    completions_.pop_front();
+  }
+  const event::Time start = std::max(now, busy_until_);
+  const event::Time done = start + service;
+  busy_until_ = done;
+  completions_.push_back(done);
+  total_wait_ += start - now;
+  peak_depth_ = std::max(peak_depth_, completions_.size());
+  return done - now;
+}
+
+std::size_t ValidationQueue::depth(event::Time now) {
+  while (!completions_.empty() && completions_.front() <= now) {
+    completions_.pop_front();
+  }
+  return completions_.size();
+}
+
+void ValidationQueue::reset() {
+  completions_.clear();
+  busy_until_ = 0;
+}
+
+bool NegativeTagCache::contains(const std::string& key, event::Time now) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (it->second->expires <= now) {
+    order_.erase(it->second);
+    index_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void NegativeTagCache::insert(const std::string& key, event::Time now) {
+  if (capacity_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: newest verdict moves to the back of the eviction order.
+    it->second->expires = now + ttl_;
+    order_.splice(order_.end(), order_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    ++evictions_;
+    index_.erase(order_.front().key);
+    order_.pop_front();
+  }
+  order_.push_back(Entry{key, now + ttl_});
+  index_[key] = std::prev(order_.end());
+}
+
+void NegativeTagCache::clear() {
+  order_.clear();
+  index_.clear();
+}
+
+bool TokenBucket::try_take(event::Time now) {
+  tokens_ = std::min(
+      burst_, tokens_ + rate_ * event::to_seconds(now - last_));
+  last_ = now;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace tactic::core

@@ -25,41 +25,112 @@ TacticRouterPolicy::TacticRouterPolicy(TacticConfig config,
       anchors_(anchors),
       compute_(compute),
       rng_(rng),
-      bloom_(config_.bloom) {}
+      bloom_(config_.bloom),
+      neg_cache_(config_.overload.neg_cache_capacity,
+                 config_.overload.neg_cache_ttl) {}
 
-bool TacticRouterPolicy::bloom_contains(const Tag& tag,
-                                        event::Time& compute) {
-  ++counters_.bf_lookups;
-  const event::Time cost = compute_.bf_lookup_cost(rng_);
-  compute += cost;
+void TacticRouterPolicy::charge(event::Time now, event::Time cost,
+                                event::Time& compute) {
   counters_.compute_charged += cost;
-  return bloom_.contains(tag.bloom_key());
+  if (!config_.overload.enabled) {
+    compute += cost;
+    return;
+  }
+  // Single crypto server: the op waits behind everything already pending
+  // on this router.  The packet leaves when its last op completes, so
+  // per-packet delay is the max, not the sum, of its ops' delays.
+  const event::Time delay = queue_.admit(now, cost);
+  counters_.validation_wait += delay - cost;
+  if (delay > compute) compute = delay;
 }
 
-void TacticRouterPolicy::bloom_insert(const Tag& tag, event::Time& compute) {
+TacticRouterPolicy::BloomVouch TacticRouterPolicy::bloom_lookup(
+    const Tag& tag, event::Time now, event::Time& compute) {
+  ++counters_.bf_lookups;
+  charge(now, compute_.bf_lookup_cost(rng_), compute);
+  if (bloom_.contains(tag.bloom_key())) {
+    return BloomVouch{true, bloom_.current_fpp()};
+  }
+  if (draining_) {
+    if (now >= draining_until_) {
+      draining_.reset();  // grace window over; the old bits finally go
+    } else {
+      // Staged reset drain: the saturated predecessor still vouches (at
+      // its own, higher FPP) for the cost of a second lookup.
+      ++counters_.bf_lookups;
+      charge(now, compute_.bf_lookup_cost(rng_), compute);
+      if (draining_->contains(tag.bloom_key())) {
+        ++counters_.draining_hits;
+        return BloomVouch{true, draining_->current_fpp()};
+      }
+    }
+  }
+  return BloomVouch{};
+}
+
+void TacticRouterPolicy::bloom_insert(const Tag& tag, event::Time now,
+                                      event::Time& compute) {
   ++counters_.bf_insertions;
-  const event::Time cost = compute_.bf_insert_cost(rng_);
-  compute += cost;
-  counters_.compute_charged += cost;
+  charge(now, compute_.bf_insert_cost(rng_), compute);
   bloom_.insert(tag.bloom_key());
   // "Each router automatically resets its BF when it is saturated (its
   // FPP reaches the maximum FPP)."
   if (bloom_.saturated()) {
     counters_.requests_per_reset.push_back(counters_.requests_since_reset);
     counters_.requests_since_reset = 0;
+    if (config_.overload.enabled && config_.overload.staged_bf_reset) {
+      // Staged reset: keep the saturated filter readable through a grace
+      // window instead of turning every vouched tag into F=0 at once —
+      // the hysteresis that suppresses the upstream re-validation storm
+      // an instant wipe self-inflicts.
+      draining_ = bloom_;
+      draining_until_ = now + config_.overload.staged_reset_grace;
+      ++counters_.staged_resets;
+    }
     bloom_.reset();
   }
 }
 
-bool TacticRouterPolicy::verify_signature(const Tag& tag,
+bool TacticRouterPolicy::verify_signature(const Tag& tag, event::Time now,
                                           event::Time& compute) {
+  if (config_.overload.enabled) {
+    charge(now, compute_.neg_lookup_cost(rng_), compute);
+    if (neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
+      // Known-bad tag: same verdict, none of the signature work.
+      ++counters_.neg_cache_hits;
+      return false;
+    }
+  }
   ++counters_.sig_verifications;
-  const event::Time cost = compute_.sig_verify_cost(rng_);
-  compute += cost;
-  counters_.compute_charged += cost;
+  charge(now, compute_.sig_verify_cost(rng_), compute);
   const bool ok = verify_tag_signature(tag, anchors_.pki);
-  if (!ok) ++counters_.sig_failures;
+  if (!ok) {
+    ++counters_.sig_failures;
+    if (config_.overload.enabled) remember_invalid(tag, now);
+  }
   return ok;
+}
+
+bool TacticRouterPolicy::neg_cache_rejects(const Tag& tag, event::Time now,
+                                           event::Time& compute) {
+  charge(now, compute_.neg_lookup_cost(rng_), compute);
+  if (!neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
+    return false;
+  }
+  ++counters_.neg_cache_hits;
+  return true;
+}
+
+void TacticRouterPolicy::remember_invalid(const Tag& tag, event::Time now) {
+  neg_cache_.insert(util::to_hex(tag.bloom_key()), now);
+  ++counters_.neg_cache_insertions;
+}
+
+bool TacticRouterPolicy::police_unvouched(ndn::FaceId face,
+                                          event::Time now) {
+  const auto [it, inserted] = buckets_.try_emplace(
+      face, config_.overload.policer_rate, config_.overload.policer_burst);
+  return it->second.try_take(now);
 }
 
 void TacticRouterPolicy::count_request() {
@@ -73,6 +144,13 @@ void TacticRouterPolicy::on_restart(ndn::Forwarder& /*node*/) {
   // restarts without recording a partial sample.
   bloom_.wipe();
   counters_.requests_since_reset = 0;
+  // The overload layer's state is just as volatile: pending validation
+  // work dies with the router, and verdict/policing memory is lost.
+  queue_.reset();
+  neg_cache_.clear();
+  buckets_.clear();
+  draining_.reset();
+  draining_until_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -95,7 +173,7 @@ ndn::AccessControlPolicy::InterestDecision ApPolicy::on_interest(
 // ---------------------------------------------------------------------------
 
 ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
-    ndn::Forwarder& node, ndn::FaceId /*in_face*/, ndn::Interest& interest) {
+    ndn::Forwarder& node, ndn::FaceId in_face, ndn::Interest& interest) {
   InterestDecision decision;
 
   // Registration Interests carry no tag by definition; let them through to
@@ -157,43 +235,97 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
     return decision;
   }
 
+  const event::Time now = node.scheduler().now();
+  const OverloadConfig& ov = config_.overload;
+
+  // Overload layer: a tag already condemned by an upstream verifier dies
+  // here for the cost of a cache probe — the mechanism that bounds an
+  // invalid-tag flood to one signature verification per TTL window.
+  if (ov.enabled && neg_cache_rejects(tag, now, decision.compute)) {
+    decision.action = InterestDecision::Action::kDropWithNack;
+    decision.nack_reason = ndn::NackReason::kInvalidSignature;
+    return decision;
+  }
+
+  // Hard admission limit: at queue capacity, all tagged traffic is shed
+  // with an explicit back-off NACK (clients retry later instead of
+  // piling timeouts onto a saturated router).
+  if (ov.enabled && queue_depth(now) >= ov.queue_capacity) {
+    ++counters_.sheds_queue_full;
+    decision.action = InterestDecision::Action::kDropWithNack;
+    decision.nack_reason = ndn::NackReason::kRouterOverloaded;
+    return decision;
+  }
+
   // Protocol 2, lines 4-9: stamp the cooperation flag F from this BF.
   // With cooperation ablated, F stays 0 and upstream routers always treat
   // the tag as unvouched.
-  if (config_.flag_cooperation && bloom_contains(tag, decision.compute)) {
-    interest.flag_f = bloom_.current_fpp();
-  } else {
-    interest.flag_f = 0.0;
+  BloomVouch vouch;
+  if (config_.flag_cooperation) {
+    vouch = bloom_lookup(tag, now, decision.compute);
+  }
+  if (vouch.hit) {
+    interest.flag_f = vouch.fpp;
+    return decision;
+  }
+  interest.flag_f = 0.0;
+
+  // Unvouched (F=0) traffic is the suspect class every flood lands in:
+  // police it per incoming face, then shed it past the high watermark —
+  // while BF-vouched traffic above kept flowing.
+  if (ov.enabled) {
+    if (ov.policer_rate > 0.0 && !police_unvouched(in_face, now)) {
+      ++counters_.policer_sheds;
+      decision.action = InterestDecision::Action::kDropWithNack;
+      decision.nack_reason = ndn::NackReason::kRouterOverloaded;
+      return decision;
+    }
+    if (queue_depth(now) >= ov.shed_watermark) {
+      ++counters_.sheds_unvouched;
+      decision.action = InterestDecision::Action::kDropWithNack;
+      decision.nack_reason = ndn::NackReason::kRouterOverloaded;
+      return decision;
+    }
   }
   return decision;
 }
 
-event::Time EdgeTacticPolicy::on_data(ndn::Forwarder& /*node*/,
+event::Time EdgeTacticPolicy::on_data(ndn::Forwarder& node,
                                       ndn::FaceId /*in_face*/,
                                       const ndn::Data& data) {
   event::Time compute = 0;
+  const event::Time now = node.scheduler().now();
   if (data.is_registration_response && data.tag) {
     // Protocol 2, lines 11-12: a fresh tag from the producer is inserted
     // into the edge BF as it passes by.
-    bloom_insert(*data.tag, compute);
+    bloom_insert(*data.tag, now, compute);
     return compute;
+  }
+  if (config_.overload.enabled && data.tag && data.nack_attached &&
+      data.nack_reason == ndn::NackReason::kInvalidSignature) {
+    // An upstream validator condemned this tag.  Remember the verdict so
+    // the flood's repeats die at this edge without another round trip.
+    remember_invalid(*data.tag, now);
   }
   if (data.tag && !data.nack_attached && data.flag_f == 0.0) {
     // Protocol 2, lines 14-15: F == 0 in the returning content means the
     // tag was not in this BF at forwarding time and an upstream router
     // (or the provider) vouched for it; insert without re-verifying.
-    bloom_insert(*data.tag, compute);
+    bloom_insert(*data.tag, now, compute);
   }
   return compute;
 }
 
 ndn::AccessControlPolicy::DownstreamDecision
-EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
+EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
                                         const ndn::PitInRecord& record,
                                         const ndn::Data& incoming,
                                         ndn::Data& outgoing) {
   DownstreamDecision decision;
   if (incoming.is_registration_response) return decision;  // forward as-is
+
+  const event::Time now = node.scheduler().now();
+  const OverloadConfig& ov = config_.overload;
 
   // Untagged record (public content request): forward without the tag
   // echo meant for someone else.
@@ -209,6 +341,13 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
       incoming.tag && incoming.tag->same_tag(*record.tag);
   if (is_primary) {
     if (incoming.nack_attached) {
+      if (ov.enabled &&
+          incoming.nack_reason == ndn::NackReason::kRouterOverloaded) {
+        // An upstream router shed this request.  Unlike a validity NACK,
+        // the client should hear about it (and back off) rather than
+        // burn its Interest lifetime: forward with the NACK attached.
+        return decision;
+      }
       // Protocol 2, lines 19-20: content arrived with a NACK for this
       // tag; drop the request (the client times out).
       decision.forward = false;
@@ -233,9 +372,19 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
       return decision;
     }
   }
-  if (bloom_contains(*record.tag, decision.compute)) return decision;
-  if (verify_signature(*record.tag, decision.compute)) {
-    bloom_insert(*record.tag, decision.compute);
+  if (bloom_lookup(*record.tag, now, decision.compute).hit) {
+    return decision;
+  }
+  if (ov.enabled && queue_depth(now) >= ov.shed_watermark) {
+    // Overloaded: shed the unvouched aggregate with a back-off NACK
+    // instead of queueing another verification.
+    ++counters_.sheds_unvouched;
+    decision.attach_nack = true;
+    decision.nack_reason = ndn::NackReason::kRouterOverloaded;
+    return decision;
+  }
+  if (verify_signature(*record.tag, now, decision.compute)) {
+    bloom_insert(*record.tag, now, decision.compute);
     return decision;
   }
   decision.forward = false;  // "drop otherwise"
@@ -247,7 +396,7 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
 // ---------------------------------------------------------------------------
 
 ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
-    ndn::Forwarder& /*node*/, ndn::FaceId /*in_face*/,
+    ndn::Forwarder& node, ndn::FaceId /*in_face*/,
     const ndn::Interest& interest, ndn::Data& response) {
   CacheHitDecision decision;
 
@@ -277,16 +426,26 @@ ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
     }
   }
 
+  const event::Time now = node.scheduler().now();
+  const OverloadConfig& ov = config_.overload;
   const double flag_f = config_.flag_cooperation ? interest.flag_f : 0.0;
   if (flag_f == 0.0) {
     // Protocol 3, lines 1-10: the edge router could not vouch; check our
     // own BF, then fall back to signature verification.
-    if (bloom_contains(tag, decision.compute)) {
+    if (bloom_lookup(tag, now, decision.compute).hit) {
       response.flag_f = 0.0;
       return decision;
     }
-    if (verify_signature(tag, decision.compute)) {
-      bloom_insert(tag, decision.compute);
+    if (ov.enabled && queue_depth(now) >= ov.shed_watermark) {
+      // Overloaded: answer the unvouched request with a back-off NACK
+      // instead of queueing another verification.
+      ++counters_.sheds_unvouched;
+      response.nack_attached = true;
+      response.nack_reason = ndn::NackReason::kRouterOverloaded;
+      return decision;
+    }
+    if (verify_signature(tag, now, decision.compute)) {
+      bloom_insert(tag, now, decision.compute);
       response.flag_f = 0.0;
       return decision;
     }
@@ -300,7 +459,7 @@ ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
   response.flag_f = interest.flag_f;  // copy received F into the content
   if (rng_.bernoulli(flag_f)) {
     ++counters_.probabilistic_revalidations;
-    if (!verify_signature(tag, decision.compute)) {
+    if (!verify_signature(tag, now, decision.compute)) {
       response.nack_attached = true;
       response.nack_reason = ndn::NackReason::kInvalidSignature;
     }
@@ -309,7 +468,7 @@ ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
 }
 
 ndn::AccessControlPolicy::DownstreamDecision
-CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
+CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
                                         const ndn::PitInRecord& record,
                                         const ndn::Data& incoming,
                                         ndn::Data& outgoing) {
@@ -339,6 +498,8 @@ CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
 
   count_request();
   const Tag& tag = *record.tag;
+  const event::Time now = node.scheduler().now();
+  const OverloadConfig& ov = config_.overload;
 
   const double flag_f = config_.flag_cooperation ? record.flag_f : 0.0;
   if (flag_f != 0.0 && !rng_.bernoulli(flag_f)) {
@@ -352,13 +513,21 @@ CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
   bool valid = config_.precheck
                    ? content_precheck(tag, incoming) == PrecheckResult::kOk
                    : true;
-  if (valid) {
-    valid = verify_signature(tag, decision.compute);
-  } else {
+  if (!valid) {
     ++counters_.precheck_rejections;
+  } else {
+    if (ov.enabled && queue_depth(now) >= ov.shed_watermark) {
+      // Overloaded: shed the aggregate with a back-off NACK instead of
+      // queueing another verification.
+      ++counters_.sheds_unvouched;
+      outgoing.nack_attached = true;
+      outgoing.nack_reason = ndn::NackReason::kRouterOverloaded;
+      return decision;
+    }
+    valid = verify_signature(tag, now, decision.compute);
   }
   if (valid) {
-    bloom_insert(tag, decision.compute);
+    bloom_insert(tag, now, decision.compute);
     outgoing.flag_f = 0.0;
     return decision;
   }

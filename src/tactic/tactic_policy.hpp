@@ -15,6 +15,8 @@
 // ComputeModel.
 
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "ndn/forwarder.hpp"
 #include "ndn/policy.hpp"
 #include "tactic/compute_model.hpp"
+#include "tactic/overload.hpp"
 #include "tactic/precheck.hpp"
 #include "tactic/tag.hpp"
 #include "tactic/traitor_tracing.hpp"
@@ -82,6 +85,11 @@ struct TacticConfig {
   /// check, the regression the runtime invariants must catch.  Never
   /// enable outside testing.
   bool fault_skip_expiry_precheck = false;
+  /// Overload-resilience layer (validation queue, load shedding,
+  /// negative-tag cache, per-face policing, staged BF reset).  Disabled
+  /// by default; a disabled layer leaves the router bit-identical to the
+  /// instantaneous-charging model.  See docs/OVERLOAD.md.
+  OverloadConfig overload;
 };
 
 /// True when `name` is a registration Interest under the convention
@@ -108,6 +116,24 @@ struct TacticCounters {
   /// inter-reset request counts (Fig. 8's "# requests for a reset").
   std::uint64_t requests_since_reset = 0;
   std::vector<std::uint64_t> requests_per_reset;
+  // --- Overload-resilience layer (all zero while it is disabled) ---
+  /// Requests answered from the negative-tag verdict cache (each one a
+  /// signature verification the flood did not get to force).
+  std::uint64_t neg_cache_hits = 0;
+  std::uint64_t neg_cache_insertions = 0;
+  /// Load shedding, by reason: validation queue at hard capacity (all
+  /// tagged traffic), unvouched traffic past the high watermark, and
+  /// per-face policer refusals.
+  std::uint64_t sheds_queue_full = 0;
+  std::uint64_t sheds_unvouched = 0;
+  std::uint64_t policer_sheds = 0;
+  /// Staged BF resets taken (rotations into a drain window) and lookups
+  /// answered by the draining filter during its grace window.
+  std::uint64_t staged_resets = 0;
+  std::uint64_t draining_hits = 0;
+  /// Time validation jobs spent queued behind earlier work (the backlog
+  /// signal; excludes the jobs' own service time).
+  event::Time validation_wait = 0;
 };
 
 /// Common state for TACTIC routers: the Bloom filter, counters, compute
@@ -121,6 +147,12 @@ class TacticRouterPolicy : public ndn::AccessControlPolicy {
   const TacticCounters& counters() const { return counters_; }
   const bloom::BloomFilter& bloom() const { return bloom_; }
   std::uint64_t bf_resets() const { return bloom_.reset_count(); }
+  const ValidationQueue& validation_queue() const { return queue_; }
+  const NegativeTagCache& neg_cache() const { return neg_cache_; }
+  /// Whether a staged-reset drain window is open at `now`.
+  bool draining_active(event::Time now) const {
+    return draining_.has_value() && now < draining_until_;
+  }
 
   /// Optional traitor tracer (non-owning; may be null).  Edge routers
   /// report access-path mismatches to it.
@@ -134,13 +166,39 @@ class TacticRouterPolicy : public ndn::AccessControlPolicy {
   void on_restart(ndn::Forwarder& node) override;
 
  protected:
-  /// BF membership test with charging & counting.
-  bool bloom_contains(const Tag& tag, event::Time& compute);
+  /// A BF membership result: hit, plus the vouching filter's FPP (the F
+  /// value Protocol 2 stamps).
+  struct BloomVouch {
+    bool hit = false;
+    double fpp = 0.0;
+  };
+
+  /// BF membership test with charging & counting.  With a staged reset
+  /// in its drain window, a miss in the active filter also consults the
+  /// draining one (a second, charged lookup).
+  BloomVouch bloom_lookup(const Tag& tag, event::Time now,
+                          event::Time& compute);
   /// BF insertion with charging, counting, and saturation-triggered reset
-  /// (records the inter-reset request count).
-  void bloom_insert(const Tag& tag, event::Time& compute);
-  /// Signature verification with charging & counting.
-  bool verify_signature(const Tag& tag, event::Time& compute);
+  /// (records the inter-reset request count; staged when configured).
+  void bloom_insert(const Tag& tag, event::Time now, event::Time& compute);
+  /// Signature verification with charging & counting.  With the overload
+  /// layer on, consults the negative-tag cache first (a known-bad tag
+  /// returns false for the cost of a probe) and records fresh failures.
+  bool verify_signature(const Tag& tag, event::Time now,
+                        event::Time& compute);
+  /// Charges one operation: instantaneous without the overload layer,
+  /// through the validation queue with it (the op waits behind every
+  /// pending job on this router's single crypto server).
+  void charge(event::Time now, event::Time cost, event::Time& compute);
+  /// True when the negative-tag cache condemns `tag` (charged probe).
+  bool neg_cache_rejects(const Tag& tag, event::Time now,
+                         event::Time& compute);
+  /// Records a failed-verification verdict for `tag`.
+  void remember_invalid(const Tag& tag, event::Time now);
+  /// Pending validation jobs at `now`.
+  std::size_t queue_depth(event::Time now) { return queue_.depth(now); }
+  /// Per-face token-bucket decision for one unvouched Interest.
+  bool police_unvouched(ndn::FaceId face, event::Time now);
   /// Counts a tagged request against the inter-reset window.
   void count_request();
 
@@ -151,6 +209,15 @@ class TacticRouterPolicy : public ndn::AccessControlPolicy {
   bloom::BloomFilter bloom_;
   TacticCounters counters_;
   TraitorTracer* tracer_ = nullptr;
+  // Overload-resilience state (inert while config_.overload.enabled is
+  // false; all volatile, wiped by on_restart).
+  ValidationQueue queue_;
+  NegativeTagCache neg_cache_;
+  std::unordered_map<ndn::FaceId, TokenBucket> buckets_;
+  /// Staged reset: the saturated filter kept readable until
+  /// `draining_until_` while the active filter refills.
+  std::optional<bloom::BloomFilter> draining_;
+  event::Time draining_until_ = 0;
 };
 
 /// Access-point behaviour: fold this entity's identity hash into the

@@ -49,6 +49,7 @@ void put_totals(std::string& out, const char* key,
       totals.chunks_abandoned);
   put(out, (prefix + ".registration_retransmissions").c_str(),
       totals.registration_retransmissions);
+  put(out, (prefix + ".overload_nacks").c_str(), totals.overload_nacks);
 }
 
 void put_ops(std::string& out, const char* key, const sim::RouterOps& ops) {
@@ -58,6 +59,15 @@ void put_ops(std::string& out, const char* key, const sim::RouterOps& ops) {
   put(out, (prefix + ".sig_verifications").c_str(), ops.sig_verifications);
   put(out, (prefix + ".bf_resets").c_str(), ops.bf_resets);
   put(out, (prefix + ".compute_charged_s").c_str(), ops.compute_charged_s);
+  put(out, (prefix + ".neg_cache_hits").c_str(), ops.neg_cache_hits);
+  put(out, (prefix + ".neg_cache_insertions").c_str(),
+      ops.neg_cache_insertions);
+  put(out, (prefix + ".sheds_queue_full").c_str(), ops.sheds_queue_full);
+  put(out, (prefix + ".sheds_unvouched").c_str(), ops.sheds_unvouched);
+  put(out, (prefix + ".policer_sheds").c_str(), ops.policer_sheds);
+  put(out, (prefix + ".staged_resets").c_str(), ops.staged_resets);
+  put(out, (prefix + ".draining_hits").c_str(), ops.draining_hits);
+  put(out, (prefix + ".validation_wait_s").c_str(), ops.validation_wait_s);
 }
 
 void put_vector(std::string& out, const char* key,
@@ -101,6 +111,7 @@ std::string fingerprint(const sim::Metrics& metrics) {
   put(out, "link_frames_corrupted", metrics.link_frames_corrupted);
   put(out, "cs_hits", metrics.cs_hits);
   put(out, "cs_misses", metrics.cs_misses);
+  put(out, "pit_evictions", metrics.pit_evictions);
   put(out, "node_crashes", metrics.node_crashes);
   put(out, "node_restarts", metrics.node_restarts);
   put(out, "packets_dropped_while_down",

@@ -38,6 +38,10 @@ constexpr const char* kUsage =
     "  --faults             sample a random fault plan per seed (lossy and\n"
     "                       flapping links, router crash-restarts); the\n"
     "                       security invariants must still hold\n"
+    "  --overload           sample an overload-resilience configuration per\n"
+    "                       seed (validation queue, shedding, negative\n"
+    "                       cache, staged reset, bounded PIT), often with\n"
+    "                       an attacker flood\n"
     "  --no-differential    skip the TACTIC vs no-AC parity pass\n"
     "  --parity-tolerance T allowed client delivery-ratio gap (default 0.1)\n"
     "  --inject-expiry-bug  edge routers skip the Protocol-1 expiry check\n"
@@ -94,7 +98,8 @@ int main(int argc, char** argv) {
     const std::set<std::string> known = {
         "runs",   "seed",        "duration",          "policy",
         "repro",  "verbose",     "differential",      "parity-tolerance",
-        "help",   "inject-expiry-bug",                "faults"};
+        "help",   "inject-expiry-bug",                "faults",
+        "overload"};
     for (const auto& name : flags.names()) {
       if (known.count(name) == 0) {
         std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), kUsage);
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
     generator.duration = event::from_seconds(duration_s);
     generator.inject_expiry_bug = flags.get_bool("inject-expiry-bug", false);
     generator.with_faults = flags.get_bool("faults", false);
+    generator.with_overload = flags.get_bool("overload", false);
     if (flags.has("policy")) {
       const std::string name = flags.get_string("policy", "");
       const auto policy = parse_policy(name);
@@ -196,8 +202,12 @@ int main(int argc, char** argv) {
         sim::ScenarioConfig baseline = config;
         baseline.policy = sim::PolicyKind::kNoAccessControl;
         const PassResult open = run_pass(baseline);
+        // Shedding and floods cost some legitimate delivery relative to a
+        // shed-nothing open network, so overload runs get extra headroom
+        // (as fault plans do).
         const double tolerance =
-            parity_tolerance + (config.faults.any() ? 0.15 : 0.0);
+            parity_tolerance + (config.faults.any() ? 0.15 : 0.0) +
+            (config.tactic.overload.enabled ? 0.15 : 0.0);
         const bool parity_ok =
             first.client_ratio + tolerance >= open.client_ratio;
         const bool blocked = open.attacker_requested == 0 ||
@@ -221,11 +231,12 @@ int main(int argc, char** argv) {
         }
       }
       if (failed) {
-        std::printf("  reproduce: fuzz_scenarios --seed %llu --repro%s%s\n",
+        std::printf("  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s\n",
                     static_cast<unsigned long long>(seed),
                     generator.inject_expiry_bug ? " --inject-expiry-bug"
                                                 : "",
-                    generator.with_faults ? " --faults" : "");
+                    generator.with_faults ? " --faults" : "",
+                    generator.with_overload ? " --overload" : "");
       }
     }
 

@@ -76,6 +76,34 @@ sim::FaultPlan sample_fault_plan(util::Rng& rng, event::Time duration) {
   return plan;
 }
 
+// Samples the overload-resilience layer (docs/OVERLOAD.md).  ~85% of
+// seeds enable it; half of those also bound the PIT, and half turn the
+// attackers into a flood so the shedding paths actually fire.
+void sample_overload(util::Rng& rng, sim::ScenarioConfig& config) {
+  if (!rng.bernoulli(0.85)) return;  // layer-off control group
+  core::OverloadConfig& ov = config.tactic.overload;
+  ov.enabled = true;
+  ov.queue_capacity = 16 + rng.uniform(112);
+  ov.shed_watermark = std::max<std::size_t>(
+      8, ov.queue_capacity / 2 + rng.uniform(ov.queue_capacity / 2 + 1));
+  ov.neg_cache_capacity = 64 + rng.uniform(960);
+  ov.neg_cache_ttl = (1 + rng.uniform(8)) * event::kSecond;
+  if (rng.bernoulli(0.5)) {
+    ov.policer_rate = 20.0 + 180.0 * rng.uniform_double();
+    ov.policer_burst = 10.0 + 30.0 * rng.uniform_double();
+  }
+  ov.staged_bf_reset = rng.bernoulli(0.5);
+  ov.staged_reset_grace = (1 + rng.uniform(4)) * event::kSecond;
+  if (rng.bernoulli(0.5)) {
+    config.router_pit_capacity = 128 + rng.uniform(896);
+  }
+  if (rng.bernoulli(0.5)) {  // attacker flood
+    config.attacker.think_time_mean = std::max<event::Time>(
+        1, config.attacker.think_time_mean / 20);
+    config.attacker.window = 4 + rng.uniform(5);
+  }
+}
+
 }  // namespace
 
 sim::ScenarioConfig random_config(std::uint64_t seed,
@@ -150,6 +178,10 @@ sim::ScenarioConfig random_config(std::uint64_t seed,
   if (options.with_faults) {
     config.faults = sample_fault_plan(rng, config.duration);
   }
+  // Overload draws come after the fault draws for the same reason.
+  if (options.with_overload) {
+    sample_overload(rng, config);
+  }
   return config;
 }
 
@@ -183,6 +215,19 @@ std::string describe(const sim::ScenarioConfig& config) {
         config.faults.core_links.loss, config.faults.core_links.corruption,
         config.faults.crashes.size(), config.faults.flaps.size(),
         config.faults.severe(config.duration) ? " SEVERE" : "");
+    out += buffer;
+  }
+  if (config.tactic.overload.enabled) {
+    const core::OverloadConfig& ov = config.tactic.overload;
+    std::snprintf(
+        buffer, sizeof(buffer),
+        " overload[q=%zu/%zu neg=%zu@%.0fs police=%.0f/s staged=%d "
+        "grace=%.0fs pit=%zu]",
+        ov.shed_watermark, ov.queue_capacity, ov.neg_cache_capacity,
+        event::to_seconds(ov.neg_cache_ttl), ov.policer_rate,
+        ov.staged_bf_reset ? 1 : 0,
+        event::to_seconds(ov.staged_reset_grace),
+        config.router_pit_capacity);
     out += buffer;
   }
   return out;

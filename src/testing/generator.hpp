@@ -30,6 +30,12 @@ struct GeneratorOptions {
   /// appended after every base draw, so for a given seed the base
   /// configuration is identical with and without this option.
   bool with_faults = false;
+  /// Sample an overload-resilience configuration (validation queue,
+  /// shedding, negative cache, policer, staged reset, bounded PIT) on
+  /// most seeds, often with an attacker flood to pressure it.  The
+  /// overload draws come strictly after the fault draws, so base and
+  /// fault configurations stay identical with or without this option.
+  bool with_overload = false;
 };
 
 /// Deterministically samples one scenario configuration from `seed`.

@@ -149,6 +149,11 @@ void InvariantChecker::sample() {
         node.cs().size() > node.cs().capacity()) {
       add_violation(node.info().label, "CS exceeded its capacity");
     }
+    if (node.pit_capacity() > 0 &&
+        node.pit().size() > node.pit_capacity()) {
+      add_violation(node.info().label,
+                    "PIT exceeded its configured capacity");
+    }
     if (const auto* tactic =
             dynamic_cast<const core::TacticRouterPolicy*>(&node.policy())) {
       const bool over = tactic->bloom().current_fpp() >
@@ -213,6 +218,28 @@ void InvariantChecker::finalize() {
       add_violation("-", "fault accounting: fault-model counters nonzero "
                          "without a fault plan");
     }
+  }
+  if (!config.tactic.overload.enabled) {
+    // A disabled overload layer must be perfectly inert.
+    const sim::RouterOps* classes[] = {&metrics.edge_ops, &metrics.core_ops};
+    for (const sim::RouterOps* ops : classes) {
+      if (ops->neg_cache_hits != 0 || ops->neg_cache_insertions != 0 ||
+          ops->sheds_queue_full != 0 || ops->sheds_unvouched != 0 ||
+          ops->policer_sheds != 0 || ops->staged_resets != 0 ||
+          ops->draining_hits != 0 || ops->validation_wait_s != 0.0) {
+        add_violation("-", "overload accounting: overload-layer counters "
+                           "nonzero while the layer is disabled");
+      }
+    }
+    if (metrics.clients.overload_nacks != 0) {
+      add_violation("-", "overload accounting: clients saw "
+                         "kRouterOverloaded NACKs while the layer is "
+                         "disabled");
+    }
+  }
+  if (config.router_pit_capacity == 0 && metrics.pit_evictions != 0) {
+    add_violation("-", "PIT accounting: evictions counted with an "
+                       "unbounded PIT");
   }
 
   switch (config.policy) {

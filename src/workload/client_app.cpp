@@ -52,14 +52,18 @@ event::Time ClientApp::think_sample() {
 }
 
 event::Time ClientApp::retry_backoff(std::size_t attempt) {
+  const double cap = static_cast<double>(
+      std::max<event::Time>(config_.retry_backoff_max, 1));
   double backoff = static_cast<double>(config_.retry_backoff_base);
-  for (std::size_t i = 1; i < attempt; ++i) {
+  // Stop multiplying once past the ceiling: with a large `max_retries`
+  // the unchecked exponential overflows double -> Time conversion.
+  for (std::size_t i = 1; i < attempt && backoff < cap; ++i) {
     backoff *= config_.retry_backoff_factor;
   }
   const double jitter =
       1.0 + config_.retry_jitter * (2.0 * rng_.uniform_double() - 1.0);
-  return std::max<event::Time>(
-      1, static_cast<event::Time>(backoff * jitter));
+  const double delay = std::min(backoff * jitter, cap);
+  return std::max<event::Time>(1, static_cast<event::Time>(delay));
 }
 
 void ClientApp::schedule_slot_fill() {
@@ -254,6 +258,12 @@ void ClientApp::on_data(const ndn::Data& data) {
 
   if (data.nack_attached) {
     ++counters_.nacks_received;
+    if (data.nack_reason == ndn::NackReason::kRouterOverloaded) {
+      // A router shed this request under load; the timer is already
+      // cancelled, so back off and retry without burning the slot.
+      on_overload_nack(data.name);
+      return;
+    }
   } else if (config_.verify_content && config_.verify_pki != nullptr &&
              !verify_content_signature(data)) {
     // Fake content (paper Section 6.B): "the client can validate the
@@ -292,8 +302,12 @@ void ClientApp::on_nack(const ndn::Nack& nack) {
   const auto it = outstanding_.find(nack.name);
   if (it == outstanding_.end()) return;
   node_.scheduler().cancel(it->second.timeout);
-  outstanding_.erase(it);
   ++counters_.nacks_received;
+  if (nack.reason == ndn::NackReason::kRouterOverloaded) {
+    on_overload_nack(nack.name);
+    return;
+  }
+  outstanding_.erase(it);
   if (nack.reason == ndn::NackReason::kAccessPathMismatch) {
     // Mobility: the edge router no longer recognizes our location, so
     // every held tag is bound to the old one.  Drop them all; the next
@@ -301,6 +315,27 @@ void ClientApp::on_nack(const ndn::Nack& nack) {
     // tag every time she moves to a new location", paper Section 4.A).
     for (auto& tag : tags_) tag.reset();
   }
+  schedule_slot_fill();
+}
+
+void ClientApp::on_overload_nack(const ndn::Name& name) {
+  const auto it = outstanding_.find(name);
+  if (it == outstanding_.end()) return;
+  ++counters_.overload_nacks;
+  Outstanding& out = it->second;
+  if (running_ && out.retries < config_.max_retries) {
+    // Immediate backoff: the router told us to come back later, so the
+    // retry starts now rather than after the Interest lifetime runs out.
+    // The slot token stays on this entry through the backoff.
+    ++out.retries;
+    const ndn::Name retry_name = name;
+    out.timeout = node_.scheduler().schedule(
+        retry_backoff(out.retries),
+        [this, retry_name] { resend_chunk(retry_name); });
+    return;
+  }
+  if (running_ && config_.max_retries > 0) ++counters_.chunks_abandoned;
+  outstanding_.erase(it);
   schedule_slot_fill();
 }
 

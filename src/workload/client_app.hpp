@@ -43,6 +43,10 @@ struct ClientConfig {
   std::size_t max_retries = 3;
   event::Time retry_backoff_base = 500 * event::kMillisecond;
   double retry_backoff_factor = 2.0;
+  /// Ceiling on the exponential backoff (applied after jitter).  Keeps a
+  /// large `max_retries` from overflowing the delay arithmetic or
+  /// parking a chunk for hours.
+  event::Time retry_backoff_max = 30 * event::kSecond;
   /// Backoff is scaled by a uniform factor in [1-j, 1+j] (desynchronizes
   /// clients hammering a recovering router).
   double retry_jitter = 0.25;
@@ -73,6 +77,10 @@ struct UserCounters {
   std::uint64_t chunks_abandoned = 0;
   /// Registration Interests re-sent after a timeout.
   std::uint64_t registration_retransmissions = 0;
+  /// kRouterOverloaded NACKs received (standalone or attached to Data);
+  /// each also counts in `nacks_received`.  These retry with backoff
+  /// immediately instead of waiting out the chunk timeout.
+  std::uint64_t overload_nacks = 0;
 };
 
 class ClientApp {
@@ -133,9 +141,14 @@ class ClientApp {
   void on_data(const ndn::Data& data);
   void on_nack(const ndn::Nack& nack);
   void on_timeout(const ndn::Name& name);
+  /// A router shed our outstanding Interest for `name` (explicit
+  /// kRouterOverloaded): back off now instead of waiting out the chunk
+  /// timeout.  The caller must have cancelled the pending timer.
+  void on_overload_nack(const ndn::Name& name);
   event::Time think_sample();
   /// Backoff before resend number `attempt` (1-based): base *
-  /// factor^(attempt-1), jittered by [1-j, 1+j].
+  /// factor^(attempt-1), jittered by [1-j, 1+j], clamped at
+  /// `retry_backoff_max`.
   event::Time retry_backoff(std::size_t attempt);
 
   ndn::Forwarder& node_;
