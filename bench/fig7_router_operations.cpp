@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
 
   bench::MaybeCsv csv(options.csv_path);
   csv.row({"topology", "router_class", "lookups", "insertions",
-           "verifications"});
+           "verifications", "compute_bf_s", "compute_sig_s",
+           "compute_neg_s"});
 
   util::Table table({"Topology", "Class", "L (lookups)", "I (insertions)",
                      "V (verifications)"});
@@ -46,11 +47,17 @@ int main(int argc, char** argv) {
     csv.row({std::to_string(topo), "edge",
              util::CsvWriter::num(acc.edge_lookups.mean()),
              util::CsvWriter::num(acc.edge_inserts.mean()),
-             util::CsvWriter::num(acc.edge_verifies.mean())});
+             util::CsvWriter::num(acc.edge_verifies.mean()),
+             util::CsvWriter::num(acc.edge_compute_bf.mean()),
+             util::CsvWriter::num(acc.edge_compute_sig.mean()),
+             util::CsvWriter::num(acc.edge_compute_neg.mean())});
     csv.row({std::to_string(topo), "core",
              util::CsvWriter::num(acc.core_lookups.mean()),
              util::CsvWriter::num(acc.core_inserts.mean()),
-             util::CsvWriter::num(acc.core_verifies.mean())});
+             util::CsvWriter::num(acc.core_verifies.mean()),
+             util::CsvWriter::num(acc.core_compute_bf.mean()),
+             util::CsvWriter::num(acc.core_compute_sig.mean()),
+             util::CsvWriter::num(acc.core_compute_neg.mean())});
   }
   table.print(std::cout);
   std::printf(

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Behaviour-preservation gate for the validation pipeline: builds the
+# tree with ASan+UBSan, runs the fixed-seed fuzz corpus (plain, faults,
+# faults+overload — 16 seeds each), and diffs the metrics-fingerprint
+# digests against the checked-in golden list.  Any behavioural drift in
+# router policy code — an extra RNG draw, a reordered charge, a dropped
+# counter — fails the diff; a mismatching seed reproduces with
+# `fuzz_scenarios --seed N --repro [--faults] [--overload]`.
+#
+# The goldens were captured from the pre-pipeline monolith; regenerate
+# them ONLY for an intentional behaviour change, with
+#   build/fingerprint_corpus > tests/golden/fingerprints.txt
+# and say so in the commit message.
+#
+# Usage: ci/parity.sh [build-dir]    (default: build-sanitize)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+GOLDEN="tests/golden/fingerprints.txt"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fingerprint_corpus
+
+"$BUILD_DIR/fingerprint_corpus" > "$BUILD_DIR/fingerprints.txt"
+
+if ! diff -u "$GOLDEN" "$BUILD_DIR/fingerprints.txt"; then
+  echo "parity: FINGERPRINT MISMATCH against $GOLDEN" >&2
+  exit 1
+fi
+
+echo "parity: OK ($(wc -l < "$GOLDEN") fingerprints bit-identical)"

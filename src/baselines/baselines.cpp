@@ -44,16 +44,24 @@ bool PerRequestAuthPolicy::may_cache(const ndn::Forwarder& /*node*/,
   return data.access_level == ndn::kPublicAccessLevel;
 }
 
+namespace {
+
+core::TacticConfig prob_bf_config(bloom::BloomParams bloom_params) {
+  core::TacticConfig config;
+  config.bloom = bloom_params;
+  return config;  // overload layer stays disabled: charges are instant
+}
+
+}  // namespace
+
 ProbBfPolicy::ProbBfPolicy(std::shared_ptr<const Shared> shared,
                            bloom::BloomParams bloom_params,
                            core::ComputeModel compute, util::Rng rng)
     : shared_(std::move(shared)),
-      compute_(compute),
-      rng_(rng),
-      bloom_(bloom_params) {}
+      engine_(prob_bf_config(bloom_params), anchors_, compute, rng) {}
 
 ndn::AccessControlPolicy::InterestDecision ProbBfPolicy::on_interest(
-    ndn::Forwarder& /*node*/, ndn::FaceId /*in_face*/,
+    ndn::Forwarder& node, ndn::FaceId /*in_face*/,
     ndn::Interest& interest) {
   InterestDecision decision;
 
@@ -62,8 +70,8 @@ ndn::AccessControlPolicy::InterestDecision ProbBfPolicy::on_interest(
   if (!bloom_loaded_) {
     bloom_loaded_ = true;
     for (const std::string& locator : shared_->authorized) {
-      bloom_.insert(util::to_bytes(locator));
-      ++counters_.bf_insertions;
+      engine_.bloom().insert(util::to_bytes(locator));
+      ++engine_.counters().bf_insertions;
     }
   }
 
@@ -72,37 +80,30 @@ ndn::AccessControlPolicy::InterestDecision ProbBfPolicy::on_interest(
     return decision;
   }
 
-  ++counters_.tagged_requests;
+  ++engine_.counters().tagged_requests;
 
   // The requester's identity rides in its credential (we reuse the tag's
   // client key locator as the client-identity carrier).
   if (!interest.tag) {
-    ++counters_.no_tag_rejections;
+    ++engine_.counters().no_tag_rejections;
     decision.action = InterestDecision::Action::kDropWithNack;
     decision.nack_reason = ndn::NackReason::kNoTag;
     return decision;
   }
 
-  // BF membership of the client's public key (early filtration of [8]).
-  ++counters_.bf_lookups;
-  decision.compute += compute_.bf_lookup_cost(rng_);
-  const bool member = bloom_.contains(
-      util::to_bytes(interest.tag->client_key_locator()));
-  if (!member) {
+  core::ValidationContext ctx(engine_, *interest.tag,
+                              node.scheduler().now());
+  const core::Verdict verdict = pipeline_.run(ctx);
+  decision.compute = ctx.compute;
+  if (verdict.kind == core::Verdict::Kind::kReject) {
     decision.action = InterestDecision::Action::kDropWithNack;
-    decision.nack_reason = ndn::NackReason::kInvalidSignature;
-    return decision;
+    decision.nack_reason = verdict.reason;
   }
-
-  // Per-request client-signature verification at every router — the
-  // per-hop crypto burden that motivates TACTIC's Bloom-filter reuse.
-  ++counters_.sig_verifications;
-  decision.compute += compute_.sig_verify_cost(rng_);
   return decision;
 }
 
 void ProbBfPolicy::on_restart(ndn::Forwarder& /*node*/) {
-  bloom_.wipe();
+  engine_.bloom().wipe();
   bloom_loaded_ = false;
 }
 

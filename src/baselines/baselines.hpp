@@ -39,7 +39,9 @@ class ClientSideAcPolicy : public ndn::NullPolicy {};
 
 /// Provider-side per-request authentication: suppress cache reuse (and
 /// caching) of protected content so the always-online provider sees, and
-/// authenticates, every request.
+/// authenticates, every request.  A zero-stage adapter in pipeline terms:
+/// it does no per-tag validation of its own, only cache/aggregation
+/// suppression, so there is no ValidationPipeline to run.
 class PerRequestAuthPolicy : public ndn::AccessControlPolicy {
  public:
   explicit PerRequestAuthPolicy(const core::TrustAnchors& anchors)
@@ -67,6 +69,13 @@ class PerRequestAuthPolicy : public ndn::AccessControlPolicy {
 /// locators at every router, plus a per-request client-signature
 /// verification charge.  The authorized set is preloaded by the scenario
 /// (the always-online publisher of [8] pushes it).
+///
+/// Runs on the same ValidationEngine/stage machinery as TACTIC: the
+/// Interest path is ValidationPipeline::prob_bf_interest()
+/// (authorized-set BF filter, then the per-hop signature charge); the
+/// lazy authorized-set load stays in this adapter because its timing —
+/// first packet, before the registration check — is part of the
+/// observable insertion counts.
 class ProbBfPolicy : public ndn::AccessControlPolicy {
  public:
   struct Shared {
@@ -81,8 +90,8 @@ class ProbBfPolicy : public ndn::AccessControlPolicy {
   InterestDecision on_interest(ndn::Forwarder& node, ndn::FaceId in_face,
                                ndn::Interest& interest) override;
 
-  const core::TacticCounters& counters() const { return counters_; }
-  const bloom::BloomFilter& bloom() const { return bloom_; }
+  const core::TacticCounters& counters() const { return engine_.counters(); }
+  const bloom::BloomFilter& bloom() const { return engine_.bloom(); }
 
   /// A restarted router loses its filter and lazily reloads it from the
   /// publisher-distributed membership list on the next protected request.
@@ -90,11 +99,13 @@ class ProbBfPolicy : public ndn::AccessControlPolicy {
 
  private:
   std::shared_ptr<const Shared> shared_;
-  core::ComputeModel compute_;
-  util::Rng rng_;
-  bloom::BloomFilter bloom_;
+  /// No scenario-wide trust state in this baseline: the engine only needs
+  /// the anchors reference for stages this pipeline never runs.
+  core::TrustAnchors anchors_;
+  core::ValidationEngine engine_;
+  core::ValidationPipeline pipeline_ =
+      core::ValidationPipeline::prob_bf_interest();
   bool bloom_loaded_ = false;
-  core::TacticCounters counters_;
 };
 
 }  // namespace tactic::baselines

@@ -8,6 +8,9 @@ RouterOps& RouterOps::operator+=(const RouterOps& other) {
   sig_verifications += other.sig_verifications;
   bf_resets += other.bf_resets;
   compute_charged_s += other.compute_charged_s;
+  compute_bf_s += other.compute_bf_s;
+  compute_sig_s += other.compute_sig_s;
+  compute_neg_s += other.compute_neg_s;
   neg_cache_hits += other.neg_cache_hits;
   neg_cache_insertions += other.neg_cache_insertions;
   sheds_queue_full += other.sheds_queue_full;
@@ -68,6 +71,12 @@ void MetricsAccumulator::add(const Metrics& metrics) {
   core_inserts.add(static_cast<double>(metrics.core_ops.bf_insertions));
   core_verifies.add(static_cast<double>(metrics.core_ops.sig_verifications));
   core_resets.add(static_cast<double>(metrics.core_ops.bf_resets));
+  edge_compute_bf.add(metrics.edge_ops.compute_bf_s);
+  edge_compute_sig.add(metrics.edge_ops.compute_sig_s);
+  edge_compute_neg.add(metrics.edge_ops.compute_neg_s);
+  core_compute_bf.add(metrics.core_ops.compute_bf_s);
+  core_compute_sig.add(metrics.core_ops.compute_sig_s);
+  core_compute_neg.add(metrics.core_ops.compute_neg_s);
   edge_reqs_per_reset.add(
       Metrics::mean_requests_per_reset(metrics.edge_requests_per_reset));
   core_reqs_per_reset.add(

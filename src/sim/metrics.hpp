@@ -18,8 +18,14 @@ struct RouterOps {
   std::uint64_t bf_insertions = 0;
   std::uint64_t sig_verifications = 0;
   std::uint64_t bf_resets = 0;
-  /// Total simulated compute time charged for the above (seconds).
+  /// Total simulated compute time charged for the above (seconds), and
+  /// its per-stage breakdown (compute_bf_s + compute_sig_s +
+  /// compute_neg_s == compute_charged_s; queue wait is
+  /// `validation_wait_s` below).
   double compute_charged_s = 0.0;
+  double compute_bf_s = 0.0;   // BF lookups and insertions
+  double compute_sig_s = 0.0;  // signature verifications
+  double compute_neg_s = 0.0;  // negative-tag cache probes
   // Overload-resilience layer (docs/OVERLOAD.md; zero while disabled).
   std::uint64_t neg_cache_hits = 0;
   std::uint64_t neg_cache_insertions = 0;
@@ -129,6 +135,9 @@ struct MetricsAccumulator {
   util::RunningStats tag_request_rate, tag_receive_rate;  // per second
   util::RunningStats edge_lookups, edge_inserts, edge_verifies, edge_resets;
   util::RunningStats core_lookups, core_inserts, core_verifies, core_resets;
+  /// Per-stage compute breakdown (seconds per run; see RouterOps).
+  util::RunningStats edge_compute_bf, edge_compute_sig, edge_compute_neg;
+  util::RunningStats core_compute_bf, core_compute_sig, core_compute_neg;
   util::RunningStats edge_reqs_per_reset, core_reqs_per_reset;
   util::RunningStats provider_verifies;
   util::RunningStats cache_hit_ratio;

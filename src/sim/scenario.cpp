@@ -386,6 +386,9 @@ Metrics Scenario::harvest() {
       ops.sig_verifications += c.sig_verifications;
       ops.bf_resets += tactic->bf_resets();
       ops.compute_charged_s += event::to_seconds(c.compute_charged);
+      ops.compute_bf_s += event::to_seconds(c.compute_bf);
+      ops.compute_sig_s += event::to_seconds(c.compute_sig);
+      ops.compute_neg_s += event::to_seconds(c.compute_neg);
       ops.neg_cache_hits += c.neg_cache_hits;
       ops.neg_cache_insertions += c.neg_cache_insertions;
       ops.sheds_queue_full += c.sheds_queue_full;

@@ -1,0 +1,475 @@
+#include "tactic/pipeline.hpp"
+
+#include "util/bytes.hpp"
+
+namespace tactic::core {
+
+// ---------------------------------------------------------------------------
+// Shared scenario state
+// ---------------------------------------------------------------------------
+
+bool is_registration_name(const ndn::Name& name, const TacticConfig& config) {
+  return name.size() >= 2 && name.at(1) == config.registration_component;
+}
+
+void RevocationBlacklist::blacklist(const Tag& tag,
+                                    std::size_t router_count) {
+  keys.insert(util::to_hex(tag.bloom_key()));
+  push_messages += router_count;
+}
+
+bool RevocationBlacklist::contains(const Tag& tag) const {
+  return keys.count(util::to_hex(tag.bloom_key())) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// ValidationEngine
+// ---------------------------------------------------------------------------
+
+ValidationEngine::ValidationEngine(TacticConfig config,
+                                   const TrustAnchors& anchors,
+                                   ComputeModel compute, util::Rng rng)
+    : config_(std::move(config)),
+      anchors_(anchors),
+      compute_(compute),
+      rng_(rng),
+      bloom_(config_.bloom),
+      neg_cache_(config_.overload.neg_cache_capacity,
+                 config_.overload.neg_cache_ttl) {}
+
+void ValidationEngine::charge(event::Time now, event::Time cost,
+                              event::Time& compute, CostKind kind) {
+  counters_.compute_charged += cost;
+  switch (kind) {
+    case CostKind::kBf: counters_.compute_bf += cost; break;
+    case CostKind::kSignature: counters_.compute_sig += cost; break;
+    case CostKind::kNegCache: counters_.compute_neg += cost; break;
+  }
+  if (!config_.overload.enabled) {
+    compute += cost;
+    return;
+  }
+  // Single crypto server: the op waits behind everything already pending
+  // on this router.  The packet leaves when its last op completes, so
+  // per-packet delay is the max, not the sum, of its ops' delays.
+  const event::Time delay = queue_.admit(now, cost);
+  counters_.validation_wait += delay - cost;
+  if (delay > compute) compute = delay;
+}
+
+BloomVouch ValidationEngine::bloom_lookup(const Tag& tag, event::Time now,
+                                          event::Time& compute) {
+  ++counters_.bf_lookups;
+  charge(now, compute_.bf_lookup_cost(rng_), compute, CostKind::kBf);
+  if (bloom_.contains(tag.bloom_key())) {
+    return BloomVouch{true, bloom_.current_fpp()};
+  }
+  if (draining_) {
+    if (now >= draining_until_) {
+      draining_.reset();  // grace window over; the old bits finally go
+    } else {
+      // Staged reset drain: the saturated predecessor still vouches (at
+      // its own, higher FPP) for the cost of a second lookup.
+      ++counters_.bf_lookups;
+      charge(now, compute_.bf_lookup_cost(rng_), compute, CostKind::kBf);
+      if (draining_->contains(tag.bloom_key())) {
+        ++counters_.draining_hits;
+        return BloomVouch{true, draining_->current_fpp()};
+      }
+    }
+  }
+  return BloomVouch{};
+}
+
+void ValidationEngine::bloom_insert(const Tag& tag, event::Time now,
+                                    event::Time& compute) {
+  ++counters_.bf_insertions;
+  charge(now, compute_.bf_insert_cost(rng_), compute, CostKind::kBf);
+  bloom_.insert(tag.bloom_key());
+  // "Each router automatically resets its BF when it is saturated (its
+  // FPP reaches the maximum FPP)."
+  if (bloom_.saturated()) {
+    counters_.requests_per_reset.push_back(counters_.requests_since_reset);
+    counters_.requests_since_reset = 0;
+    if (config_.overload.enabled && config_.overload.staged_bf_reset) {
+      // Staged reset: keep the saturated filter readable through a grace
+      // window instead of turning every vouched tag into F=0 at once —
+      // the hysteresis that suppresses the upstream re-validation storm
+      // an instant wipe self-inflicts.
+      draining_ = bloom_;
+      draining_until_ = now + config_.overload.staged_reset_grace;
+      ++counters_.staged_resets;
+    }
+    bloom_.reset();
+  }
+}
+
+bool ValidationEngine::verify_signature(const Tag& tag, event::Time now,
+                                        event::Time& compute) {
+  if (config_.overload.enabled) {
+    charge(now, compute_.neg_lookup_cost(rng_), compute,
+           CostKind::kNegCache);
+    if (neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
+      // Known-bad tag: same verdict, none of the signature work.
+      ++counters_.neg_cache_hits;
+      return false;
+    }
+  }
+  ++counters_.sig_verifications;
+  charge(now, compute_.sig_verify_cost(rng_), compute,
+         CostKind::kSignature);
+  const bool ok = verify_tag_signature(tag, anchors_.pki);
+  if (!ok) {
+    ++counters_.sig_failures;
+    if (config_.overload.enabled) remember_invalid(tag, now);
+  }
+  return ok;
+}
+
+bool ValidationEngine::neg_cache_rejects(const Tag& tag, event::Time now,
+                                         event::Time& compute) {
+  charge(now, compute_.neg_lookup_cost(rng_), compute, CostKind::kNegCache);
+  if (!neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
+    return false;
+  }
+  ++counters_.neg_cache_hits;
+  return true;
+}
+
+void ValidationEngine::remember_invalid(const Tag& tag, event::Time now) {
+  neg_cache_.insert(util::to_hex(tag.bloom_key()), now);
+  ++counters_.neg_cache_insertions;
+}
+
+bool ValidationEngine::police_unvouched(ndn::FaceId face, event::Time now) {
+  const auto [it, inserted] = buckets_.try_emplace(
+      face, config_.overload.policer_rate, config_.overload.policer_burst);
+  return it->second.try_take(now);
+}
+
+void ValidationEngine::count_request() {
+  ++counters_.tagged_requests;
+  ++counters_.requests_since_reset;
+}
+
+void ValidationEngine::wipe_volatile() {
+  // Crash-lost state: the validated-tag cache.  wipe() leaves Table V's
+  // saturation-reset count untouched, and the inter-reset request window
+  // restarts without recording a partial sample.
+  bloom_.wipe();
+  counters_.requests_since_reset = 0;
+  // The overload layer's state is just as volatile: pending validation
+  // work dies with the router, and verdict/policing memory is lost.
+  queue_.reset();
+  neg_cache_.clear();
+  buckets_.clear();
+  draining_.reset();
+  draining_until_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------------
+
+Verdict PrecheckStage::run(ValidationContext& ctx) {
+  const TacticConfig& config = ctx.engine.config();
+  if (!config.precheck) return Verdict::next();
+
+  PrecheckResult pre = PrecheckResult::kOk;
+  if (check_ == Check::kInterest) {
+    pre = edge_precheck(ctx.tag, *ctx.interest_name, ctx.now);
+    // Fault injection (`--inject-expiry-bug`): the expiry check is
+    // skipped, the regression the runtime invariants must catch.
+    if (pre == PrecheckResult::kExpired &&
+        config.fault_skip_expiry_precheck) {
+      pre = PrecheckResult::kOk;
+    }
+  } else {
+    // Public content needs no tag scrutiny ("allows an r_C^c to return
+    // the requested content without tag verification").
+    if (ctx.content->access_level == ndn::kPublicAccessLevel) {
+      return Verdict::next();
+    }
+    pre = content_precheck(ctx.tag, *ctx.content);
+  }
+  if (pre == PrecheckResult::kOk) return Verdict::next();
+
+  ++ctx.engine.counters().precheck_rejections;
+  switch (fail_) {
+    case FailAction::kSilentDrop:
+      return Verdict::reject(to_nack_reason(pre), /*silently=*/true);
+    case FailAction::kNackPrecheckReason:
+      return Verdict::reject(to_nack_reason(pre));
+    case FailAction::kNackInvalidSignature:
+      return Verdict::reject(ndn::NackReason::kInvalidSignature);
+  }
+  return Verdict::next();
+}
+
+Verdict BlacklistStage::run(ValidationContext& ctx) {
+  const RevocationBlacklist& revocations = ctx.engine.anchors().revocations;
+  if (revocations.empty() || !revocations.contains(ctx.tag)) {
+    return Verdict::next();
+  }
+  ++ctx.engine.counters().blacklist_rejections;
+  return Verdict::reject(ndn::NackReason::kExpiredTag);
+}
+
+Verdict AccessPathStage::run(ValidationContext& ctx) {
+  if (!ctx.engine.config().enforce_access_path ||
+      ctx.tag.access_path() == ctx.access_path) {
+    return Verdict::next();
+  }
+  ++ctx.engine.counters().access_path_rejections;
+  if (TraitorTracer* tracer = ctx.engine.tracer()) {
+    // Traitor tracing: the rejected tag names its owner (Pub_u).
+    tracer->report(ctx.tag.client_key_locator(), ctx.tag.access_path(),
+                   ctx.access_path, ctx.now);
+  }
+  return Verdict::reject(ndn::NackReason::kAccessPathMismatch);
+}
+
+Verdict NegativeCacheStage::run(ValidationContext& ctx) {
+  if (!ctx.engine.config().overload.enabled) return Verdict::next();
+  if (!ctx.engine.neg_cache_rejects(ctx.tag, ctx.now, ctx.compute)) {
+    return Verdict::next();
+  }
+  return Verdict::reject(ndn::NackReason::kInvalidSignature);
+}
+
+Verdict AdmissionStage::run(ValidationContext& ctx) {
+  const OverloadConfig& ov = ctx.engine.config().overload;
+  if (!ov.enabled) return Verdict::next();
+  TacticCounters& counters = ctx.engine.counters();
+
+  switch (gate_) {
+    case Gate::kQueueCapacity:
+      // Hard admission limit: at queue capacity, all tagged traffic is
+      // shed with an explicit back-off NACK (clients retry later instead
+      // of piling timeouts onto a saturated router).
+      if (ctx.engine.queue_depth(ctx.now) >= ov.queue_capacity) {
+        ++counters.sheds_queue_full;
+        return Verdict::shed(ndn::NackReason::kRouterOverloaded);
+      }
+      return Verdict::next();
+
+    case Gate::kUnvouchedInterest:
+      // Unvouched (F=0) traffic is the suspect class every flood lands
+      // in: police it per incoming face, then shed it past the high
+      // watermark — while BF-vouched traffic above kept flowing.
+      if (ov.policer_rate > 0.0 &&
+          !ctx.engine.police_unvouched(ctx.in_face, ctx.now)) {
+        ++counters.policer_sheds;
+        return Verdict::shed(ndn::NackReason::kRouterOverloaded);
+      }
+      [[fallthrough]];
+
+    case Gate::kWatermark:
+      if (ctx.revalidating && !shed_revalidating_) return Verdict::next();
+      if (ctx.engine.queue_depth(ctx.now) >= ov.shed_watermark) {
+        ++counters.sheds_unvouched;
+        return Verdict::shed(ndn::NackReason::kRouterOverloaded);
+      }
+      return Verdict::next();
+  }
+  return Verdict::next();
+}
+
+bool BloomVouchStage::revalidation_coin(ValidationContext& ctx,
+                                        double flag_f) {
+  // Protocol 3, lines 11-16 / Protocol 4, lines 12-13: the downstream
+  // edge vouched with FPP `F`; re-validate with probability F to bound
+  // false-positive leakage.  The one authoritative draw for both paths.
+  if (!ctx.engine.rng().bernoulli(flag_f)) return false;
+  ++ctx.engine.counters().probabilistic_revalidations;
+  ctx.revalidating = true;
+  return true;
+}
+
+Verdict BloomVouchStage::run(ValidationContext& ctx) {
+  const TacticConfig& config = ctx.engine.config();
+
+  switch (mode_) {
+    case Mode::kStampInterest: {
+      // Protocol 2, lines 4-9: stamp the cooperation flag F from this
+      // BF.  With cooperation ablated, F stays 0 and upstream routers
+      // always treat the tag as unvouched.
+      BloomVouch vouch;
+      if (config.flag_cooperation) {
+        vouch = ctx.engine.bloom_lookup(ctx.tag, ctx.now, ctx.compute);
+      }
+      if (vouch.hit) return Verdict::vouch(vouch.fpp);
+      ctx.flag_f_out = 0.0;
+      return Verdict::next();
+    }
+
+    case Mode::kLookupOnly: {
+      // Protocol 2, lines 22-23: forward the aggregate if its tag is in
+      // the BF, otherwise fall through to signature verification.
+      const BloomVouch vouch =
+          ctx.engine.bloom_lookup(ctx.tag, ctx.now, ctx.compute);
+      return vouch.hit ? Verdict::vouch(vouch.fpp) : Verdict::next();
+    }
+
+    case Mode::kFlagAware: {
+      const double flag_f =
+          config.flag_cooperation ? ctx.flag_f_in : 0.0;
+      if (flag_f == 0.0) {
+        // Protocol 3, lines 1-10: the edge router could not vouch;
+        // check our own BF, then fall back to signature verification.
+        ctx.flag_f_out = 0.0;
+        // The miss stamp above only reaches the packet on vouch/verify
+        // success paths (kCacheHit applies it), mirroring the original
+        // flow; the hit below is what carries it out directly.
+        if (ctx.engine.bloom_lookup(ctx.tag, ctx.now, ctx.compute).hit) {
+          return Verdict::vouch(0.0);
+        }
+        ctx.flag_f_out.reset();
+        return Verdict::next();
+      }
+      // Echo the received F into the content regardless of the coin's
+      // outcome, then re-validate with probability F.
+      ctx.flag_f_out = ctx.flag_f_in;
+      if (!revalidation_coin(ctx, flag_f)) {
+        return Verdict::vouch(ctx.flag_f_in);
+      }
+      return Verdict::next();
+    }
+
+    case Mode::kCoinOnly: {
+      const double flag_f =
+          config.flag_cooperation ? ctx.flag_f_in : 0.0;
+      if (flag_f == 0.0) return Verdict::next();
+      if (!revalidation_coin(ctx, flag_f)) {
+        // Lines 12-13: trust the edge router's vouching.
+        ctx.flag_f_out = ctx.flag_f_in;
+        return Verdict::vouch(ctx.flag_f_in);
+      }
+      return Verdict::next();
+    }
+  }
+  return Verdict::next();
+}
+
+Verdict SignatureVerifyStage::run(ValidationContext& ctx) {
+  ValidationEngine& engine = ctx.engine;
+
+  if (mode_ == Mode::kChargeOnly) {
+    // Per-request client-signature verification at every router — the
+    // per-hop crypto burden that motivates TACTIC's Bloom-filter reuse.
+    ++engine.counters().sig_verifications;
+    engine.charge(ctx.now, engine.compute_model().sig_verify_cost(engine.rng()),
+                  ctx.compute, CostKind::kSignature);
+    return Verdict::vouch(0.0);
+  }
+
+  const bool valid = engine.verify_signature(ctx.tag, ctx.now, ctx.compute);
+  if (!valid) {
+    if (mode_ == Mode::kEdgeAggregate) {
+      return Verdict::reject(ndn::NackReason::kNone, /*silently=*/true);
+    }
+    return Verdict::reject(ndn::NackReason::kInvalidSignature);
+  }
+
+  if (mode_ == Mode::kCacheHit && ctx.revalidating) {
+    // Re-validation of an edge-vouched tag: the verdict stands on its
+    // own; the tag is already in the downstream BF.
+    return Verdict::vouch(ctx.flag_f_in);
+  }
+  engine.bloom_insert(ctx.tag, ctx.now, ctx.compute);
+  if (mode_ != Mode::kEdgeAggregate) ctx.flag_f_out = 0.0;
+  return Verdict::vouch(0.0);
+}
+
+Verdict AuthorizedSetStage::run(ValidationContext& ctx) {
+  ValidationEngine& engine = ctx.engine;
+  // BF membership of the client's public key (early filtration of [8]).
+  ++engine.counters().bf_lookups;
+  engine.charge(ctx.now, engine.compute_model().bf_lookup_cost(engine.rng()),
+                ctx.compute, CostKind::kBf);
+  const bool member = engine.bloom().contains(
+      util::to_bytes(ctx.tag.client_key_locator()));
+  if (!member) return Verdict::reject(ndn::NackReason::kInvalidSignature);
+  return Verdict::next();
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline assembly
+// ---------------------------------------------------------------------------
+
+Verdict ValidationPipeline::run(ValidationContext& ctx) const {
+  for (const auto& stage : stages_) {
+    const Verdict verdict = stage->run(ctx);
+    if (verdict.terminal()) return verdict;
+  }
+  return Verdict::next();
+}
+
+void ValidationPipeline::on_restart() {
+  for (const auto& stage : stages_) stage->on_restart();
+}
+
+namespace {
+
+template <typename... Stages>
+ValidationPipeline assemble(Stages&&... stages) {
+  std::vector<std::unique_ptr<ValidationStage>> list;
+  (list.push_back(std::forward<Stages>(stages)), ...);
+  return ValidationPipeline(std::move(list));
+}
+
+}  // namespace
+
+ValidationPipeline ValidationPipeline::edge_interest() {
+  return assemble(
+      std::make_unique<PrecheckStage>(PrecheckStage::Check::kInterest,
+                                      PrecheckStage::FailAction::kSilentDrop),
+      std::make_unique<BlacklistStage>(),
+      std::make_unique<AccessPathStage>(),
+      std::make_unique<NegativeCacheStage>(),
+      std::make_unique<AdmissionStage>(AdmissionStage::Gate::kQueueCapacity),
+      std::make_unique<BloomVouchStage>(BloomVouchStage::Mode::kStampInterest),
+      std::make_unique<AdmissionStage>(
+          AdmissionStage::Gate::kUnvouchedInterest));
+}
+
+ValidationPipeline ValidationPipeline::edge_aggregate() {
+  return assemble(
+      std::make_unique<PrecheckStage>(PrecheckStage::Check::kContent,
+                                      PrecheckStage::FailAction::kSilentDrop),
+      std::make_unique<BloomVouchStage>(BloomVouchStage::Mode::kLookupOnly),
+      std::make_unique<AdmissionStage>(AdmissionStage::Gate::kWatermark),
+      std::make_unique<SignatureVerifyStage>(
+          SignatureVerifyStage::Mode::kEdgeAggregate));
+}
+
+ValidationPipeline ValidationPipeline::content_cache_hit() {
+  return assemble(
+      std::make_unique<PrecheckStage>(
+          PrecheckStage::Check::kContent,
+          PrecheckStage::FailAction::kNackPrecheckReason),
+      std::make_unique<BloomVouchStage>(BloomVouchStage::Mode::kFlagAware),
+      std::make_unique<AdmissionStage>(AdmissionStage::Gate::kWatermark,
+                                       /*shed_revalidating=*/false),
+      std::make_unique<SignatureVerifyStage>(
+          SignatureVerifyStage::Mode::kCacheHit));
+}
+
+ValidationPipeline ValidationPipeline::core_aggregate() {
+  return assemble(
+      std::make_unique<BloomVouchStage>(BloomVouchStage::Mode::kCoinOnly),
+      std::make_unique<PrecheckStage>(
+          PrecheckStage::Check::kContent,
+          PrecheckStage::FailAction::kNackInvalidSignature),
+      std::make_unique<AdmissionStage>(AdmissionStage::Gate::kWatermark),
+      std::make_unique<SignatureVerifyStage>(
+          SignatureVerifyStage::Mode::kCoreAggregate));
+}
+
+ValidationPipeline ValidationPipeline::prob_bf_interest() {
+  return assemble(std::make_unique<AuthorizedSetStage>(),
+                  std::make_unique<SignatureVerifyStage>(
+                      SignatureVerifyStage::Mode::kChargeOnly));
+}
+
+}  // namespace tactic::core

@@ -1,0 +1,499 @@
+#pragma once
+// The composable per-router tag-validation pipeline.
+//
+// TACTIC's enforcement (Protocols 1-4) is an ordered sequence of per-hop
+// checks: structural pre-check, blacklist, admission control, negative
+// verdict cache, Bloom-filter vouching, signature verification.  This
+// header makes that sequence explicit: each check is a ValidationStage
+// operating on a shared ValidationContext and returning a Verdict; a
+// ValidationPipeline is an ordered stage list that stops at the first
+// non-continue verdict.  Edge, content and intermediate routers (and the
+// Table II baselines) differ only in how they assemble the same stages —
+// see ValidationPipeline's factory functions and docs/ARCHITECTURE.md.
+//
+// All mutable per-router validation state (Bloom filter, counters, the
+// overload layer's queue/caches, RNG, compute charging) lives in one
+// ValidationEngine.  Every simulated compute cost flows through its
+// single charge() seam, which also keeps the per-stage cost breakdown
+// (bf / signature / neg-cache; queue wait is tracked separately).
+//
+// Invariant: the pipeline decomposition is behaviour-preserving.  Stage
+// order, counter updates, RNG draws and charge order are exactly those
+// of the pre-pipeline monolith — ci/parity.sh holds the fuzz-corpus
+// fingerprints bit-identical across refactors.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "crypto/pki.hpp"
+#include "ndn/fib.hpp"
+#include "ndn/packet.hpp"
+#include "tactic/compute_model.hpp"
+#include "tactic/overload.hpp"
+#include "tactic/precheck.hpp"
+#include "tactic/tag.hpp"
+#include "tactic/traitor_tracing.hpp"
+#include "util/rng.hpp"
+
+namespace tactic::core {
+
+/// Network-distributed revocation blacklist — the *eager* revocation
+/// extension.  TACTIC's native revocation is tag expiry; the alternative
+/// class the paper compares against pushes per-revocation updates to
+/// every router.  This models such a push: the provider blacklists the
+/// revoked tag's Bloom key and pays one message per router (accounted in
+/// `push_messages`); edge routers then reject the tag immediately.
+struct RevocationBlacklist {
+  std::unordered_set<std::string> keys;  // hex of Tag::bloom_key()
+  std::uint64_t push_messages = 0;       // router-messages spent on pushes
+
+  /// Blacklists one tag, charging a push to `router_count` routers.
+  void blacklist(const Tag& tag, std::size_t router_count);
+  bool contains(const Tag& tag) const;
+  bool empty() const { return keys.empty(); }
+};
+
+/// Scenario-wide knowledge shared by all routers: the PKI, the set of
+/// access-controlled name prefixes (both written only at setup), and the
+/// eager-revocation blacklist (written by provider pushes at run time).
+struct TrustAnchors {
+  crypto::Pki pki;
+  /// URIs of name prefixes requiring tags (e.g. "/provider3").  Requests
+  /// under other prefixes are public and flow untouched.
+  std::unordered_set<std::string> protected_prefixes;
+  RevocationBlacklist revocations;
+
+  bool is_protected(const ndn::Name& name) const {
+    return protected_prefixes.count(name.prefix(1).to_uri()) > 0;
+  }
+};
+
+/// Per-router TACTIC configuration.
+struct TacticConfig {
+  bloom::BloomParams bloom;  // capacity, hashes = 5, max FPP = 1e-4
+  /// Enforce access-path authentication at edge routers (the paper's
+  /// future-work feature; off in paper-parity runs).
+  bool enforce_access_path = false;
+  /// Flag-F router cooperation (Protocols 2-3).  Disabling it is the
+  /// ablation: every router re-validates for itself.
+  bool flag_cooperation = true;
+  /// Protocol 1 pre-check before BF/signature work.  Disabling it is the
+  /// ablation: structurally invalid tags fall through to signature
+  /// verification.
+  bool precheck = true;
+  /// Name component marking registration Interests
+  /// ("/<provider>/register/...").
+  std::string registration_component = "register";
+  /// Fault injection for the invariant harness (`fuzz_scenarios
+  /// --inject-expiry-bug`): edge routers skip Protocol 1's tag-expiry
+  /// check, the regression the runtime invariants must catch.  Never
+  /// enable outside testing.
+  bool fault_skip_expiry_precheck = false;
+  /// Overload-resilience layer (validation queue, load shedding,
+  /// negative-tag cache, per-face policing, staged BF reset).  Disabled
+  /// by default; a disabled layer leaves the router bit-identical to the
+  /// instantaneous-charging model.  See docs/OVERLOAD.md.
+  OverloadConfig overload;
+};
+
+/// True when `name` is a registration Interest under the convention
+/// "/<provider>/<registration_component>/...".
+bool is_registration_name(const ndn::Name& name,
+                          const TacticConfig& config);
+
+/// Per-router TACTIC operation counters (Fig. 7 / Fig. 8 / Table V).
+struct TacticCounters {
+  std::uint64_t bf_lookups = 0;
+  std::uint64_t bf_insertions = 0;
+  std::uint64_t sig_verifications = 0;
+  std::uint64_t sig_failures = 0;
+  std::uint64_t precheck_rejections = 0;
+  std::uint64_t access_path_rejections = 0;
+  std::uint64_t no_tag_rejections = 0;
+  std::uint64_t blacklist_rejections = 0;  // eager-revocation hits
+  std::uint64_t probabilistic_revalidations = 0;
+  std::uint64_t tagged_requests = 0;
+  /// Total simulated compute time charged by this router's BF and
+  /// signature operations (the quantity the ComputeModel injects), and
+  /// its per-stage breakdown (compute_bf + compute_sig + compute_neg ==
+  /// compute_charged; queue wait is `validation_wait` below).
+  event::Time compute_charged = 0;
+  event::Time compute_bf = 0;   // BF lookups and insertions
+  event::Time compute_sig = 0;  // signature verifications
+  event::Time compute_neg = 0;  // negative-tag cache probes
+  /// Requests handled since the router's last BF reset, and the completed
+  /// inter-reset request counts (Fig. 8's "# requests for a reset").
+  std::uint64_t requests_since_reset = 0;
+  std::vector<std::uint64_t> requests_per_reset;
+  // --- Overload-resilience layer (all zero while it is disabled) ---
+  /// Requests answered from the negative-tag verdict cache (each one a
+  /// signature verification the flood did not get to force).
+  std::uint64_t neg_cache_hits = 0;
+  std::uint64_t neg_cache_insertions = 0;
+  /// Load shedding, by reason: validation queue at hard capacity (all
+  /// tagged traffic), unvouched traffic past the high watermark, and
+  /// per-face policer refusals.
+  std::uint64_t sheds_queue_full = 0;
+  std::uint64_t sheds_unvouched = 0;
+  std::uint64_t policer_sheds = 0;
+  /// Staged BF resets taken (rotations into a drain window) and lookups
+  /// answered by the draining filter during its grace window.
+  std::uint64_t staged_resets = 0;
+  std::uint64_t draining_hits = 0;
+  /// Time validation jobs spent queued behind earlier work (the backlog
+  /// signal; excludes the jobs' own service time).
+  event::Time validation_wait = 0;
+};
+
+/// A BF membership result: hit, plus the vouching filter's FPP (the F
+/// value Protocol 2 stamps).
+struct BloomVouch {
+  bool hit = false;
+  double fpp = 0.0;
+};
+
+/// Which stage a compute charge belongs to (the per-stage breakdown
+/// harvested into sim::RouterOps).
+enum class CostKind { kBf, kSignature, kNegCache };
+
+/// All mutable validation state of one router, plus the primitive
+/// operations stages compose: BF lookup/insert (with staged-reset
+/// draining), signature verification (with the negative verdict cache),
+/// admission probes, and the single charge() seam through which every
+/// ComputeModel cost flows.
+class ValidationEngine {
+ public:
+  ValidationEngine(TacticConfig config, const TrustAnchors& anchors,
+                   ComputeModel compute, util::Rng rng);
+
+  const TacticConfig& config() const { return config_; }
+  const TrustAnchors& anchors() const { return anchors_; }
+  TacticCounters& counters() { return counters_; }
+  const TacticCounters& counters() const { return counters_; }
+  bloom::BloomFilter& bloom() { return bloom_; }
+  const bloom::BloomFilter& bloom() const { return bloom_; }
+  const ValidationQueue& validation_queue() const { return queue_; }
+  const NegativeTagCache& neg_cache() const { return neg_cache_; }
+  ComputeModel& compute_model() { return compute_; }
+  util::Rng& rng() { return rng_; }
+  TraitorTracer* tracer() const { return tracer_; }
+  void set_tracer(TraitorTracer* tracer) { tracer_ = tracer; }
+
+  /// Whether a staged-reset drain window is open at `now`.
+  bool draining_active(event::Time now) const {
+    return draining_.has_value() && now < draining_until_;
+  }
+
+  /// Charges one operation: instantaneous without the overload layer,
+  /// through the validation queue with it (the op waits behind every
+  /// pending job on this router's single crypto server).  `kind` files
+  /// the cost under the per-stage breakdown.
+  void charge(event::Time now, event::Time cost, event::Time& compute,
+              CostKind kind);
+  /// BF membership test with charging & counting.  With a staged reset
+  /// in its drain window, a miss in the active filter also consults the
+  /// draining one (a second, charged lookup).
+  BloomVouch bloom_lookup(const Tag& tag, event::Time now,
+                          event::Time& compute);
+  /// BF insertion with charging, counting, and saturation-triggered reset
+  /// (records the inter-reset request count; staged when configured).
+  void bloom_insert(const Tag& tag, event::Time now, event::Time& compute);
+  /// Signature verification with charging & counting.  With the overload
+  /// layer on, consults the negative-tag cache first (a known-bad tag
+  /// returns false for the cost of a probe) and records fresh failures.
+  bool verify_signature(const Tag& tag, event::Time now,
+                        event::Time& compute);
+  /// True when the negative-tag cache condemns `tag` (charged probe).
+  bool neg_cache_rejects(const Tag& tag, event::Time now,
+                         event::Time& compute);
+  /// Records a failed-verification verdict for `tag`.
+  void remember_invalid(const Tag& tag, event::Time now);
+  /// Pending validation jobs at `now`.
+  std::size_t queue_depth(event::Time now) { return queue_.depth(now); }
+  /// Per-face token-bucket decision for one unvouched Interest.
+  bool police_unvouched(ndn::FaceId face, event::Time now);
+  /// Counts a tagged request against the inter-reset window.
+  void count_request();
+
+  /// Crash recovery: wipes everything volatile — the validated-tag BF
+  /// (without counting a Table V saturation reset), the inter-reset
+  /// request window, and the overload layer's queue/caches/buckets.
+  void wipe_volatile();
+
+ private:
+  TacticConfig config_;
+  const TrustAnchors& anchors_;
+  ComputeModel compute_;
+  util::Rng rng_;
+  bloom::BloomFilter bloom_;
+  TacticCounters counters_;
+  TraitorTracer* tracer_ = nullptr;
+  // Overload-resilience state (inert while config_.overload.enabled is
+  // false; all volatile, wiped by wipe_volatile).
+  ValidationQueue queue_;
+  NegativeTagCache neg_cache_;
+  std::unordered_map<ndn::FaceId, TokenBucket> buckets_;
+  /// Staged reset: the saturated filter kept readable until
+  /// `draining_until_` while the active filter refills.
+  std::optional<bloom::BloomFilter> draining_;
+  event::Time draining_until_ = 0;
+};
+
+/// What one stage decided about the request under validation.
+struct Verdict {
+  enum class Kind : std::uint8_t {
+    kContinue,  // check passed or not applicable; run the next stage
+    kVouch,     // accepted (BF hit, trusted F, or verified); stop
+    kReject,    // invalid; drop or NACK per `reason`/`silent`
+    kShed,      // overloaded; refuse with a back-off NACK
+  };
+  Kind kind = Kind::kContinue;
+  /// For kVouch: the F value vouched with (a filter's FPP, the trusted
+  /// incoming F, or 0.0 after a full verification).
+  double flag_f = 0.0;
+  ndn::NackReason reason = ndn::NackReason::kNone;
+  /// For kReject: drop without sending/attaching a NACK (the paper's
+  /// silent "drops the request").
+  bool silent = false;
+
+  static Verdict next() { return {}; }
+  static Verdict vouch(double f) {
+    return {Kind::kVouch, f, ndn::NackReason::kNone, false};
+  }
+  static Verdict reject(ndn::NackReason why, bool silently = false) {
+    return {Kind::kReject, 0.0, why, silently};
+  }
+  static Verdict shed(ndn::NackReason why) {
+    return {Kind::kShed, 0.0, why, false};
+  }
+  bool terminal() const { return kind != Kind::kContinue; }
+};
+
+/// Everything one validation run sees: the engine (state + primitives),
+/// the tag under test, the request/content views the checks compare it
+/// against, and the run's outputs (compute consumed, flag to stamp).
+struct ValidationContext {
+  ValidationContext(ValidationEngine& engine_, const Tag& tag_,
+                    event::Time now_)
+      : engine(engine_), tag(tag_), now(now_) {}
+
+  ValidationEngine& engine;
+  const Tag& tag;
+  event::Time now;
+
+  // --- request views (set by the adapter that assembled the run) ---
+  ndn::FaceId in_face = ndn::kInvalidFace;  // edge Interest admission
+  const ndn::Name* interest_name = nullptr;  // edge pre-check
+  const ndn::Data* content = nullptr;        // content pre-check
+  std::uint64_t access_path = 0;  // AP accumulated in the Interest
+  double flag_f_in = 0.0;         // F stamped by the downstream edge
+
+  // --- run state / outputs ---
+  /// Set by BloomVouchStage when the F-probability coin elected a
+  /// re-validation: the request is vouched-class (not shed as suspect
+  /// on cache hits) but must pass SignatureVerifyStage.
+  bool revalidating = false;
+  /// The F value to write back (Interest stamp / content echo).  Unset
+  /// means the original code path left the packet's F untouched.
+  std::optional<double> flag_f_out;
+  /// Compute consumed by this run (the decision's latency charge).
+  event::Time compute = 0;
+};
+
+/// One composable check.  Stages are stateless where possible; a stage
+/// holding per-router state (e.g. the baselines' authorized-set loader)
+/// resets it in on_restart().
+class ValidationStage {
+ public:
+  virtual ~ValidationStage() = default;
+  virtual const char* name() const = 0;
+  virtual Verdict run(ValidationContext& ctx) = 0;
+  /// Crash recovery for per-stage state (engine state is wiped by
+  /// ValidationEngine::wipe_volatile).
+  virtual void on_restart() {}
+};
+
+/// Protocol 1: the low-cost structural pre-check before any BF or
+/// signature work.  `kInterest` runs the edge half (provider prefix,
+/// expiry); `kContent` runs the content half (access level, provider
+/// key) and passes public content unconditionally.  What a failure does
+/// differs by role, so the NACK policy is part of the assembly.
+class PrecheckStage : public ValidationStage {
+ public:
+  enum class Check { kInterest, kContent };
+  enum class FailAction {
+    kSilentDrop,          // edge: "drops the request"
+    kNackPrecheckReason,  // content router: NACK with the precise cause
+    kNackInvalidSignature,  // intermediate router: generic invalid NACK
+  };
+  PrecheckStage(Check check, FailAction fail) : check_(check), fail_(fail) {}
+
+  const char* name() const override { return "precheck"; }
+  Verdict run(ValidationContext& ctx) override;
+
+ private:
+  Check check_;
+  FailAction fail_;
+};
+
+/// Eager-revocation extension: explicitly blacklisted tags die at the
+/// edge no matter how much lifetime they have left.  Free when no
+/// revocation was ever pushed.
+class BlacklistStage : public ValidationStage {
+ public:
+  const char* name() const override { return "blacklist"; }
+  Verdict run(ValidationContext& ctx) override;
+};
+
+/// Protocol 2, lines 1-2: access-path authentication ("drop the request
+/// and send NACK to u").  Rejections are reported to the traitor tracer
+/// (the rejected tag names its owner, Pub_u).
+class AccessPathStage : public ValidationStage {
+ public:
+  const char* name() const override { return "access-path"; }
+  Verdict run(ValidationContext& ctx) override;
+};
+
+/// Overload layer: a tag already condemned by an upstream verifier dies
+/// here for the cost of a cache probe — the mechanism that bounds an
+/// invalid-tag flood to one signature verification per TTL window.
+class NegativeCacheStage : public ValidationStage {
+ public:
+  const char* name() const override { return "negative-cache"; }
+  Verdict run(ValidationContext& ctx) override;
+};
+
+/// Overload-layer admission control, in its three placements: the hard
+/// queue-capacity limit (all tagged traffic), the per-face policer plus
+/// high watermark for unvouched edge Interests, and the bare watermark
+/// guarding upstream verifications.
+class AdmissionStage : public ValidationStage {
+ public:
+  enum class Gate {
+    kQueueCapacity,      // shed ALL tagged traffic at hard capacity
+    kUnvouchedInterest,  // edge: policer, then watermark, on BF misses
+    kWatermark,          // shed unvouched work past the high watermark
+  };
+  /// `shed_revalidating`: whether the watermark also sheds F-coin
+  /// re-validations.  Content routers treat them as vouched traffic
+  /// (Protocol 3 re-validates regardless of backlog); intermediate
+  /// routers shed them like any unvouched verification (Protocol 4).
+  explicit AdmissionStage(Gate gate, bool shed_revalidating = true)
+      : gate_(gate), shed_revalidating_(shed_revalidating) {}
+
+  const char* name() const override { return "admission"; }
+  Verdict run(ValidationContext& ctx) override;
+
+ private:
+  Gate gate_;
+  bool shed_revalidating_;
+};
+
+/// Bloom-filter vouching (Protocols 2-4), including the staged-reset
+/// drain window (via the engine's lookup) and the single authoritative
+/// implementation of the F-probability re-validation coin flip.
+class BloomVouchStage : public ValidationStage {
+ public:
+  enum class Mode {
+    /// Edge Interest (Protocol 2 lines 4-9): stamp F from this BF — a
+    /// hit vouches with the filter's FPP, a miss stamps F=0.
+    kStampInterest,
+    /// Edge aggregate (Protocol 2 lines 22-23): plain membership test;
+    /// a hit forwards, a miss falls through to verification.
+    kLookupOnly,
+    /// Content router (Protocol 3): with F=0 consult the local BF; with
+    /// F>0 echo F and re-validate with probability F.
+    kFlagAware,
+    /// Intermediate router (Protocol 4 lines 12-13): no local lookup —
+    /// trust the edge's F except with probability F.
+    kCoinOnly,
+  };
+  explicit BloomVouchStage(Mode mode) : mode_(mode) {}
+
+  const char* name() const override { return "bloom-vouch"; }
+  Verdict run(ValidationContext& ctx) override;
+
+ private:
+  /// The F-probability re-validation draw (Protocols 3 and 4 share it so
+  /// the two paths cannot drift): true when the coin elects a
+  /// re-validation, which is counted and marked in the context.
+  bool revalidation_coin(ValidationContext& ctx, double flag_f);
+
+  Mode mode_;
+};
+
+/// Full signature verification (through the engine's negative-cache-
+/// aware, charge-accounted primitive), with the per-role success and
+/// failure behaviour of Protocols 2-4.
+class SignatureVerifyStage : public ValidationStage {
+ public:
+  enum class Mode {
+    /// Edge aggregate: success inserts and forwards; failure drops the
+    /// aggregate silently ("drop otherwise").
+    kEdgeAggregate,
+    /// Content router: a fresh (F=0) success inserts and vouches F=0; a
+    /// re-validation success vouches the echoed F without inserting;
+    /// failure NACKs kInvalidSignature.
+    kCacheHit,
+    /// Intermediate router: success (fresh or re-validation) inserts
+    /// and vouches F=0; failure NACKs kInvalidSignature.
+    kCoreAggregate,
+    /// Baseline (ProbBf): charge and count a verification that always
+    /// succeeds — the authorized-set stage already filtered.
+    kChargeOnly,
+  };
+  explicit SignatureVerifyStage(Mode mode) : mode_(mode) {}
+
+  const char* name() const override { return "signature-verify"; }
+  Verdict run(ValidationContext& ctx) override;
+
+ private:
+  Mode mode_;
+};
+
+/// Baseline (ProbBf, Chen et al. [8]): BF membership of the requesting
+/// client's public key locator against the publisher-distributed
+/// authorized set.  The set is lazily loaded into the engine's BF by the
+/// owning policy (load timing is part of its observable behaviour).
+class AuthorizedSetStage : public ValidationStage {
+ public:
+  const char* name() const override { return "authorized-set"; }
+  Verdict run(ValidationContext& ctx) override;
+};
+
+/// An ordered stage list; run() stops at the first terminal verdict.
+class ValidationPipeline {
+ public:
+  ValidationPipeline() = default;
+  explicit ValidationPipeline(
+      std::vector<std::unique_ptr<ValidationStage>> stages)
+      : stages_(std::move(stages)) {}
+
+  Verdict run(ValidationContext& ctx) const;
+  void on_restart();
+  std::size_t size() const { return stages_.size(); }
+  const ValidationStage& stage(std::size_t i) const { return *stages_[i]; }
+
+  // --- role assemblies (see docs/ARCHITECTURE.md) ---
+  /// Edge Interest path (Protocol 2 "On Request" + Protocol 1 edge half).
+  static ValidationPipeline edge_interest();
+  /// Edge aggregated-Data path (Protocol 2 lines 22-23).
+  static ValidationPipeline edge_aggregate();
+  /// Content-router cache-hit path (Protocol 3 + Protocol 1 content half).
+  static ValidationPipeline content_cache_hit();
+  /// Intermediate-router aggregated-Data path (Protocol 4 lines 11-26).
+  static ValidationPipeline core_aggregate();
+  /// ProbBf baseline Interest path (authorized-set filter + per-hop
+  /// signature charge).
+  static ValidationPipeline prob_bf_interest();
+
+ private:
+  std::vector<std::unique_ptr<ValidationStage>> stages_;
+};
+
+}  // namespace tactic::core

@@ -4,153 +4,49 @@
 
 namespace tactic::core {
 
-bool is_registration_name(const ndn::Name& name, const TacticConfig& config) {
-  return name.size() >= 2 && name.at(1) == config.registration_component;
+namespace {
+
+/// Re-stamps this record's own tag over the echo meant for another
+/// downstream, clearing any NACK the incoming copy carried.
+void stamp_record_echo(const ndn::PitInRecord& record, ndn::Data& outgoing) {
+  outgoing.tag = record.tag;
+  outgoing.tag_wire_size = record.tag_wire_size;
+  outgoing.nack_attached = false;
+  outgoing.nack_reason = ndn::NackReason::kNone;
 }
 
-void RevocationBlacklist::blacklist(const Tag& tag,
-                                    std::size_t router_count) {
-  keys.insert(util::to_hex(tag.bloom_key()));
-  push_messages += router_count;
-}
-
-bool RevocationBlacklist::contains(const Tag& tag) const {
-  return keys.count(util::to_hex(tag.bloom_key())) > 0;
-}
-
-TacticRouterPolicy::TacticRouterPolicy(TacticConfig config,
-                                       const TrustAnchors& anchors,
-                                       ComputeModel compute, util::Rng rng)
-    : config_(std::move(config)),
-      anchors_(anchors),
-      compute_(compute),
-      rng_(rng),
-      bloom_(config_.bloom),
-      neg_cache_(config_.overload.neg_cache_capacity,
-                 config_.overload.neg_cache_ttl) {}
-
-void TacticRouterPolicy::charge(event::Time now, event::Time cost,
-                                event::Time& compute) {
-  counters_.compute_charged += cost;
-  if (!config_.overload.enabled) {
-    compute += cost;
-    return;
-  }
-  // Single crypto server: the op waits behind everything already pending
-  // on this router.  The packet leaves when its last op completes, so
-  // per-packet delay is the max, not the sum, of its ops' delays.
-  const event::Time delay = queue_.admit(now, cost);
-  counters_.validation_wait += delay - cost;
-  if (delay > compute) compute = delay;
-}
-
-TacticRouterPolicy::BloomVouch TacticRouterPolicy::bloom_lookup(
-    const Tag& tag, event::Time now, event::Time& compute) {
-  ++counters_.bf_lookups;
-  charge(now, compute_.bf_lookup_cost(rng_), compute);
-  if (bloom_.contains(tag.bloom_key())) {
-    return BloomVouch{true, bloom_.current_fpp()};
-  }
-  if (draining_) {
-    if (now >= draining_until_) {
-      draining_.reset();  // grace window over; the old bits finally go
-    } else {
-      // Staged reset drain: the saturated predecessor still vouches (at
-      // its own, higher FPP) for the cost of a second lookup.
-      ++counters_.bf_lookups;
-      charge(now, compute_.bf_lookup_cost(rng_), compute);
-      if (draining_->contains(tag.bloom_key())) {
-        ++counters_.draining_hits;
-        return BloomVouch{true, draining_->current_fpp()};
+/// The one shared Edge/Core translation of an aggregate-validation
+/// verdict into the per-record forwarding decision (the deduplicated
+/// NACK-attachment path): silent rejects drop the record, reasoned
+/// rejects and sheds forward it with the NACK attached.
+ndn::AccessControlPolicy::DownstreamDecision apply_aggregate_verdict(
+    const Verdict& verdict, const ValidationContext& ctx,
+    ndn::Data& outgoing) {
+  ndn::AccessControlPolicy::DownstreamDecision decision;
+  decision.compute = ctx.compute;
+  if (ctx.flag_f_out) outgoing.flag_f = *ctx.flag_f_out;
+  switch (verdict.kind) {
+    case Verdict::Kind::kContinue:
+    case Verdict::Kind::kVouch:
+      break;
+    case Verdict::Kind::kReject:
+      if (verdict.silent) {
+        decision.forward = false;
+        break;
       }
-    }
+      [[fallthrough]];
+    case Verdict::Kind::kShed:
+      decision.attach_nack = true;
+      decision.nack_reason = verdict.reason;
+      break;
   }
-  return BloomVouch{};
+  return decision;
 }
 
-void TacticRouterPolicy::bloom_insert(const Tag& tag, event::Time now,
-                                      event::Time& compute) {
-  ++counters_.bf_insertions;
-  charge(now, compute_.bf_insert_cost(rng_), compute);
-  bloom_.insert(tag.bloom_key());
-  // "Each router automatically resets its BF when it is saturated (its
-  // FPP reaches the maximum FPP)."
-  if (bloom_.saturated()) {
-    counters_.requests_per_reset.push_back(counters_.requests_since_reset);
-    counters_.requests_since_reset = 0;
-    if (config_.overload.enabled && config_.overload.staged_bf_reset) {
-      // Staged reset: keep the saturated filter readable through a grace
-      // window instead of turning every vouched tag into F=0 at once —
-      // the hysteresis that suppresses the upstream re-validation storm
-      // an instant wipe self-inflicts.
-      draining_ = bloom_;
-      draining_until_ = now + config_.overload.staged_reset_grace;
-      ++counters_.staged_resets;
-    }
-    bloom_.reset();
-  }
-}
-
-bool TacticRouterPolicy::verify_signature(const Tag& tag, event::Time now,
-                                          event::Time& compute) {
-  if (config_.overload.enabled) {
-    charge(now, compute_.neg_lookup_cost(rng_), compute);
-    if (neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
-      // Known-bad tag: same verdict, none of the signature work.
-      ++counters_.neg_cache_hits;
-      return false;
-    }
-  }
-  ++counters_.sig_verifications;
-  charge(now, compute_.sig_verify_cost(rng_), compute);
-  const bool ok = verify_tag_signature(tag, anchors_.pki);
-  if (!ok) {
-    ++counters_.sig_failures;
-    if (config_.overload.enabled) remember_invalid(tag, now);
-  }
-  return ok;
-}
-
-bool TacticRouterPolicy::neg_cache_rejects(const Tag& tag, event::Time now,
-                                           event::Time& compute) {
-  charge(now, compute_.neg_lookup_cost(rng_), compute);
-  if (!neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
-    return false;
-  }
-  ++counters_.neg_cache_hits;
-  return true;
-}
-
-void TacticRouterPolicy::remember_invalid(const Tag& tag, event::Time now) {
-  neg_cache_.insert(util::to_hex(tag.bloom_key()), now);
-  ++counters_.neg_cache_insertions;
-}
-
-bool TacticRouterPolicy::police_unvouched(ndn::FaceId face,
-                                          event::Time now) {
-  const auto [it, inserted] = buckets_.try_emplace(
-      face, config_.overload.policer_rate, config_.overload.policer_burst);
-  return it->second.try_take(now);
-}
-
-void TacticRouterPolicy::count_request() {
-  ++counters_.tagged_requests;
-  ++counters_.requests_since_reset;
-}
+}  // namespace
 
 void TacticRouterPolicy::on_restart(ndn::Forwarder& /*node*/) {
-  // Crash-lost state: the validated-tag cache.  wipe() leaves Table V's
-  // saturation-reset count untouched, and the inter-reset request window
-  // restarts without recording a partial sample.
-  bloom_.wipe();
-  counters_.requests_since_reset = 0;
-  // The overload layer's state is just as volatile: pending validation
-  // work dies with the router, and verdict/policing memory is lost.
-  queue_.reset();
-  neg_cache_.clear();
-  buckets_.clear();
-  draining_.reset();
-  draining_until_ = 0;
+  engine_.wipe_volatile();
 }
 
 // ---------------------------------------------------------------------------
@@ -178,114 +74,44 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
 
   // Registration Interests carry no tag by definition; let them through to
   // the provider.
-  if (is_registration_name(interest.name, config_)) return decision;
+  if (is_registration_name(interest.name, config())) return decision;
 
   // Public prefixes need no access control at the edge.
-  if (!anchors_.is_protected(interest.name)) return decision;
+  if (!engine_.anchors().is_protected(interest.name)) return decision;
 
   if (!interest.tag) {
     // Threat (a): private content requested without possessing a tag.
-    ++counters_.no_tag_rejections;
+    ++engine_.counters().no_tag_rejections;
     decision.action = InterestDecision::Action::kDropWithNack;
     decision.nack_reason = ndn::NackReason::kNoTag;
     return decision;
   }
 
-  count_request();
-  const Tag& tag = *interest.tag;
+  engine_.count_request();
+  ValidationContext ctx(engine_, *interest.tag, node.scheduler().now());
+  ctx.in_face = in_face;
+  ctx.interest_name = &interest.name;
+  ctx.access_path = interest.access_path;
+  const Verdict verdict = interest_pipeline_.run(ctx);
 
-  // Protocol 1, edge half: name-prefix and expiry pre-check before any BF
-  // or signature work.  Failures are silent drops ("drops the request"),
-  // matching the paper; only the access-path check NACKs.
-  if (config_.precheck) {
-    const PrecheckResult pre =
-        edge_precheck(tag, interest.name, node.scheduler().now());
-    const bool injected_miss = pre == PrecheckResult::kExpired &&
-                               config_.fault_skip_expiry_precheck;
-    if (pre != PrecheckResult::kOk && !injected_miss) {
-      ++counters_.precheck_rejections;
-      decision.action = InterestDecision::Action::kDrop;
-      decision.nack_reason = to_nack_reason(pre);
-      return decision;
-    }
-  }
-
-  // Eager-revocation extension: explicitly blacklisted tags die here no
-  // matter how much lifetime they have left.  Free when no revocation was
-  // ever pushed.
-  if (!anchors_.revocations.empty() && anchors_.revocations.contains(tag)) {
-    ++counters_.blacklist_rejections;
-    decision.action = InterestDecision::Action::kDropWithNack;
-    decision.nack_reason = ndn::NackReason::kExpiredTag;
-    return decision;
-  }
-
-  // Protocol 2, lines 1-2: access-path authentication ("drop the request
-  // and send NACK to u").
-  if (config_.enforce_access_path &&
-      tag.access_path() != interest.access_path) {
-    ++counters_.access_path_rejections;
-    if (tracer_ != nullptr) {
-      // Traitor tracing: the rejected tag names its owner (Pub_u).
-      tracer_->report(tag.client_key_locator(), tag.access_path(),
-                      interest.access_path, node.scheduler().now());
-    }
-    decision.action = InterestDecision::Action::kDropWithNack;
-    decision.nack_reason = ndn::NackReason::kAccessPathMismatch;
-    return decision;
-  }
-
-  const event::Time now = node.scheduler().now();
-  const OverloadConfig& ov = config_.overload;
-
-  // Overload layer: a tag already condemned by an upstream verifier dies
-  // here for the cost of a cache probe — the mechanism that bounds an
-  // invalid-tag flood to one signature verification per TTL window.
-  if (ov.enabled && neg_cache_rejects(tag, now, decision.compute)) {
-    decision.action = InterestDecision::Action::kDropWithNack;
-    decision.nack_reason = ndn::NackReason::kInvalidSignature;
-    return decision;
-  }
-
-  // Hard admission limit: at queue capacity, all tagged traffic is shed
-  // with an explicit back-off NACK (clients retry later instead of
-  // piling timeouts onto a saturated router).
-  if (ov.enabled && queue_depth(now) >= ov.queue_capacity) {
-    ++counters_.sheds_queue_full;
-    decision.action = InterestDecision::Action::kDropWithNack;
-    decision.nack_reason = ndn::NackReason::kRouterOverloaded;
-    return decision;
-  }
-
-  // Protocol 2, lines 4-9: stamp the cooperation flag F from this BF.
-  // With cooperation ablated, F stays 0 and upstream routers always treat
-  // the tag as unvouched.
-  BloomVouch vouch;
-  if (config_.flag_cooperation) {
-    vouch = bloom_lookup(tag, now, decision.compute);
-  }
-  if (vouch.hit) {
-    interest.flag_f = vouch.fpp;
-    return decision;
-  }
-  interest.flag_f = 0.0;
-
-  // Unvouched (F=0) traffic is the suspect class every flood lands in:
-  // police it per incoming face, then shed it past the high watermark —
-  // while BF-vouched traffic above kept flowing.
-  if (ov.enabled) {
-    if (ov.policer_rate > 0.0 && !police_unvouched(in_face, now)) {
-      ++counters_.policer_sheds;
+  decision.compute = ctx.compute;
+  if (ctx.flag_f_out) interest.flag_f = *ctx.flag_f_out;
+  switch (verdict.kind) {
+    case Verdict::Kind::kContinue:
+      break;
+    case Verdict::Kind::kVouch:
+      interest.flag_f = verdict.flag_f;
+      break;
+    case Verdict::Kind::kReject:
+      decision.action = verdict.silent
+                            ? InterestDecision::Action::kDrop
+                            : InterestDecision::Action::kDropWithNack;
+      decision.nack_reason = verdict.reason;
+      break;
+    case Verdict::Kind::kShed:
       decision.action = InterestDecision::Action::kDropWithNack;
-      decision.nack_reason = ndn::NackReason::kRouterOverloaded;
-      return decision;
-    }
-    if (queue_depth(now) >= ov.shed_watermark) {
-      ++counters_.sheds_unvouched;
-      decision.action = InterestDecision::Action::kDropWithNack;
-      decision.nack_reason = ndn::NackReason::kRouterOverloaded;
-      return decision;
-    }
+      decision.nack_reason = verdict.reason;
+      break;
   }
   return decision;
 }
@@ -298,20 +124,20 @@ event::Time EdgeTacticPolicy::on_data(ndn::Forwarder& node,
   if (data.is_registration_response && data.tag) {
     // Protocol 2, lines 11-12: a fresh tag from the producer is inserted
     // into the edge BF as it passes by.
-    bloom_insert(*data.tag, now, compute);
+    engine_.bloom_insert(*data.tag, now, compute);
     return compute;
   }
-  if (config_.overload.enabled && data.tag && data.nack_attached &&
+  if (config().overload.enabled && data.tag && data.nack_attached &&
       data.nack_reason == ndn::NackReason::kInvalidSignature) {
     // An upstream validator condemned this tag.  Remember the verdict so
     // the flood's repeats die at this edge without another round trip.
-    remember_invalid(*data.tag, now);
+    engine_.remember_invalid(*data.tag, now);
   }
   if (data.tag && !data.nack_attached && data.flag_f == 0.0) {
     // Protocol 2, lines 14-15: F == 0 in the returning content means the
     // tag was not in this BF at forwarding time and an upstream router
     // (or the provider) vouched for it; insert without re-verifying.
-    bloom_insert(*data.tag, now, compute);
+    engine_.bloom_insert(*data.tag, now, compute);
   }
   return compute;
 }
@@ -323,9 +149,6 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
                                         ndn::Data& outgoing) {
   DownstreamDecision decision;
   if (incoming.is_registration_response) return decision;  // forward as-is
-
-  const event::Time now = node.scheduler().now();
-  const OverloadConfig& ov = config_.overload;
 
   // Untagged record (public content request): forward without the tag
   // echo meant for someone else.
@@ -341,7 +164,7 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
       incoming.tag && incoming.tag->same_tag(*record.tag);
   if (is_primary) {
     if (incoming.nack_attached) {
-      if (ov.enabled &&
+      if (config().overload.enabled &&
           incoming.nack_reason == ndn::NackReason::kRouterOverloaded) {
         // An upstream router shed this request.  Unlike a validity NACK,
         // the client should hear about it (and back off) rather than
@@ -355,40 +178,12 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
     return decision;
   }
 
-  // Protocol 2, lines 22-23: validate every other aggregated tag; forward
-  // if it is in the BF, otherwise verify the signature and insert.
-  outgoing.tag = record.tag;
-  outgoing.tag_wire_size = record.tag_wire_size;
-  outgoing.nack_attached = false;
-  outgoing.nack_reason = ndn::NackReason::kNone;
-  // With the content in hand, the Protocol 1 content half applies before
-  // any BF/signature work: an aggregated tag whose access level cannot
-  // satisfy AL_D (or whose provider key mismatches) is dropped even if
-  // its signature is genuine.
-  if (config_.precheck && incoming.access_level != ndn::kPublicAccessLevel) {
-    if (content_precheck(*record.tag, incoming) != PrecheckResult::kOk) {
-      ++counters_.precheck_rejections;
-      decision.forward = false;
-      return decision;
-    }
-  }
-  if (bloom_lookup(*record.tag, now, decision.compute).hit) {
-    return decision;
-  }
-  if (ov.enabled && queue_depth(now) >= ov.shed_watermark) {
-    // Overloaded: shed the unvouched aggregate with a back-off NACK
-    // instead of queueing another verification.
-    ++counters_.sheds_unvouched;
-    decision.attach_nack = true;
-    decision.nack_reason = ndn::NackReason::kRouterOverloaded;
-    return decision;
-  }
-  if (verify_signature(*record.tag, now, decision.compute)) {
-    bloom_insert(*record.tag, now, decision.compute);
-    return decision;
-  }
-  decision.forward = false;  // "drop otherwise"
-  return decision;
+  // Protocol 2, lines 22-23: validate every other aggregated tag.
+  stamp_record_echo(record, outgoing);
+  ValidationContext ctx(engine_, *record.tag, node.scheduler().now());
+  ctx.content = &incoming;
+  return apply_aggregate_verdict(aggregate_pipeline_.run(ctx), ctx,
+                                 outgoing);
 }
 
 // ---------------------------------------------------------------------------
@@ -412,57 +207,20 @@ ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
     return decision;
   }
 
-  count_request();
-  const Tag& tag = *interest.tag;
+  engine_.count_request();
+  ValidationContext ctx(engine_, *interest.tag, node.scheduler().now());
+  ctx.content = &response;
+  ctx.flag_f_in = interest.flag_f;
+  const Verdict verdict = cache_hit_pipeline_.run(ctx);
 
-  // Protocol 1, content-router half.
-  if (config_.precheck) {
-    const PrecheckResult pre = content_precheck(tag, response);
-    if (pre != PrecheckResult::kOk) {
-      ++counters_.precheck_rejections;
-      response.nack_attached = true;
-      response.nack_reason = to_nack_reason(pre);
-      return decision;
-    }
-  }
-
-  const event::Time now = node.scheduler().now();
-  const OverloadConfig& ov = config_.overload;
-  const double flag_f = config_.flag_cooperation ? interest.flag_f : 0.0;
-  if (flag_f == 0.0) {
-    // Protocol 3, lines 1-10: the edge router could not vouch; check our
-    // own BF, then fall back to signature verification.
-    if (bloom_lookup(tag, now, decision.compute).hit) {
-      response.flag_f = 0.0;
-      return decision;
-    }
-    if (ov.enabled && queue_depth(now) >= ov.shed_watermark) {
-      // Overloaded: answer the unvouched request with a back-off NACK
-      // instead of queueing another verification.
-      ++counters_.sheds_unvouched;
-      response.nack_attached = true;
-      response.nack_reason = ndn::NackReason::kRouterOverloaded;
-      return decision;
-    }
-    if (verify_signature(tag, now, decision.compute)) {
-      bloom_insert(tag, now, decision.compute);
-      response.flag_f = 0.0;
-      return decision;
-    }
+  decision.compute = ctx.compute;
+  if (ctx.flag_f_out) response.flag_f = *ctx.flag_f_out;
+  if (verdict.kind == Verdict::Kind::kReject ||
+      verdict.kind == Verdict::Kind::kShed) {
+    // Unlike the Interest path, the content still flows (for any valid
+    // aggregates downstream), marked invalid or overloaded.
     response.nack_attached = true;
-    response.nack_reason = ndn::NackReason::kInvalidSignature;
-    return decision;
-  }
-
-  // Protocol 3, lines 11-16: the edge router vouched with FPP `F`;
-  // re-validate with probability F to bound false-positive leakage.
-  response.flag_f = interest.flag_f;  // copy received F into the content
-  if (rng_.bernoulli(flag_f)) {
-    ++counters_.probabilistic_revalidations;
-    if (!verify_signature(tag, now, decision.compute)) {
-      response.nack_attached = true;
-      response.nack_reason = ndn::NackReason::kInvalidSignature;
-    }
+    response.nack_reason = verdict.reason;
   }
   return decision;
 }
@@ -482,58 +240,23 @@ CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
   if (is_primary) return decision;
 
   // Aggregated requests (lines 11-26).
-  outgoing.tag = record.tag;
-  outgoing.tag_wire_size = record.tag_wire_size;
-  outgoing.nack_attached = false;
-  outgoing.nack_reason = ndn::NackReason::kNone;
+  stamp_record_echo(record, outgoing);
 
   if (!record.tag) {
     if (incoming.access_level != ndn::kPublicAccessLevel) {
-      outgoing.nack_attached = true;
-      outgoing.nack_reason = ndn::NackReason::kNoTag;
+      decision.attach_nack = true;
+      decision.nack_reason = ndn::NackReason::kNoTag;
     }
     return decision;
   }
   if (incoming.access_level == ndn::kPublicAccessLevel) return decision;
 
-  count_request();
-  const Tag& tag = *record.tag;
-  const event::Time now = node.scheduler().now();
-  const OverloadConfig& ov = config_.overload;
-
-  const double flag_f = config_.flag_cooperation ? record.flag_f : 0.0;
-  if (flag_f != 0.0 && !rng_.bernoulli(flag_f)) {
-    // Line 12-13: trust the edge router's vouching.
-    outgoing.flag_f = record.flag_f;
-    return decision;
-  }
-  if (flag_f != 0.0) ++counters_.probabilistic_revalidations;
-
-  // Lines 14-24: validate, insert on success, NACK on failure.
-  bool valid = config_.precheck
-                   ? content_precheck(tag, incoming) == PrecheckResult::kOk
-                   : true;
-  if (!valid) {
-    ++counters_.precheck_rejections;
-  } else {
-    if (ov.enabled && queue_depth(now) >= ov.shed_watermark) {
-      // Overloaded: shed the aggregate with a back-off NACK instead of
-      // queueing another verification.
-      ++counters_.sheds_unvouched;
-      outgoing.nack_attached = true;
-      outgoing.nack_reason = ndn::NackReason::kRouterOverloaded;
-      return decision;
-    }
-    valid = verify_signature(tag, now, decision.compute);
-  }
-  if (valid) {
-    bloom_insert(tag, now, decision.compute);
-    outgoing.flag_f = 0.0;
-    return decision;
-  }
-  outgoing.nack_attached = true;
-  outgoing.nack_reason = ndn::NackReason::kInvalidSignature;
-  return decision;
+  engine_.count_request();
+  ValidationContext ctx(engine_, *record.tag, node.scheduler().now());
+  ctx.content = &incoming;
+  ctx.flag_f_in = record.flag_f;
+  return apply_aggregate_verdict(aggregate_pipeline_.run(ctx), ctx,
+                                 outgoing);
 }
 
 }  // namespace tactic::core

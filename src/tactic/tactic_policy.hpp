@@ -8,155 +8,50 @@
 //    router (cache hit) and Protocol 4 when it is an intermediate router
 //    (PIT aggregation, per-aggregate validation on the data path).
 //
-// Each router owns its Bloom filter of validated tags; validated state is
-// never shared between nodes except through the flag-F cooperation the
-// paper defines.  All crypto is real: signature verification runs the RSA
-// code in crypto/ and its *simulated* cost is charged through the
-// ComputeModel.
+// The policies here are thin adapters: they translate Forwarder hooks
+// (packet fields, PIT records, NACK plumbing) into ValidationContext runs
+// over the stage pipelines of tactic/pipeline.hpp, where the actual
+// validation logic lives.  Each router owns one ValidationEngine (its
+// Bloom filter, counters and overload state); validated state is never
+// shared between nodes except through the flag-F cooperation the paper
+// defines.  All crypto is real: signature verification runs the RSA code
+// in crypto/ and its *simulated* cost is charged through the ComputeModel
+// via the engine's charge() seam.
 
-#include <memory>
-#include <optional>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
-
-#include "bloom/bloom_filter.hpp"
-#include "crypto/pki.hpp"
 #include "ndn/forwarder.hpp"
 #include "ndn/policy.hpp"
-#include "tactic/compute_model.hpp"
-#include "tactic/overload.hpp"
-#include "tactic/precheck.hpp"
-#include "tactic/tag.hpp"
-#include "tactic/traitor_tracing.hpp"
-#include "util/rng.hpp"
+#include "tactic/pipeline.hpp"
 
 namespace tactic::core {
 
-/// Network-distributed revocation blacklist — the *eager* revocation
-/// extension.  TACTIC's native revocation is tag expiry; the alternative
-/// class the paper compares against pushes per-revocation updates to
-/// every router.  This models such a push: the provider blacklists the
-/// revoked tag's Bloom key and pays one message per router (accounted in
-/// `push_messages`); edge routers then reject the tag immediately.
-struct RevocationBlacklist {
-  std::unordered_set<std::string> keys;  // hex of Tag::bloom_key()
-  std::uint64_t push_messages = 0;       // router-messages spent on pushes
-
-  /// Blacklists one tag, charging a push to `router_count` routers.
-  void blacklist(const Tag& tag, std::size_t router_count);
-  bool contains(const Tag& tag) const;
-  bool empty() const { return keys.empty(); }
-};
-
-/// Scenario-wide knowledge shared by all routers: the PKI, the set of
-/// access-controlled name prefixes (both written only at setup), and the
-/// eager-revocation blacklist (written by provider pushes at run time).
-struct TrustAnchors {
-  crypto::Pki pki;
-  /// URIs of name prefixes requiring tags (e.g. "/provider3").  Requests
-  /// under other prefixes are public and flow untouched.
-  std::unordered_set<std::string> protected_prefixes;
-  RevocationBlacklist revocations;
-
-  bool is_protected(const ndn::Name& name) const {
-    return protected_prefixes.count(name.prefix(1).to_uri()) > 0;
-  }
-};
-
-/// Per-router TACTIC configuration.
-struct TacticConfig {
-  bloom::BloomParams bloom;  // capacity, hashes = 5, max FPP = 1e-4
-  /// Enforce access-path authentication at edge routers (the paper's
-  /// future-work feature; off in paper-parity runs).
-  bool enforce_access_path = false;
-  /// Flag-F router cooperation (Protocols 2-3).  Disabling it is the
-  /// ablation: every router re-validates for itself.
-  bool flag_cooperation = true;
-  /// Protocol 1 pre-check before BF/signature work.  Disabling it is the
-  /// ablation: structurally invalid tags fall through to signature
-  /// verification.
-  bool precheck = true;
-  /// Name component marking registration Interests
-  /// ("/<provider>/register/...").
-  std::string registration_component = "register";
-  /// Fault injection for the invariant harness (`fuzz_scenarios
-  /// --inject-expiry-bug`): edge routers skip Protocol 1's tag-expiry
-  /// check, the regression the runtime invariants must catch.  Never
-  /// enable outside testing.
-  bool fault_skip_expiry_precheck = false;
-  /// Overload-resilience layer (validation queue, load shedding,
-  /// negative-tag cache, per-face policing, staged BF reset).  Disabled
-  /// by default; a disabled layer leaves the router bit-identical to the
-  /// instantaneous-charging model.  See docs/OVERLOAD.md.
-  OverloadConfig overload;
-};
-
-/// True when `name` is a registration Interest under the convention
-/// "/<provider>/<registration_component>/...".
-bool is_registration_name(const ndn::Name& name,
-                          const TacticConfig& config);
-
-/// Per-router TACTIC operation counters (Fig. 7 / Fig. 8 / Table V).
-struct TacticCounters {
-  std::uint64_t bf_lookups = 0;
-  std::uint64_t bf_insertions = 0;
-  std::uint64_t sig_verifications = 0;
-  std::uint64_t sig_failures = 0;
-  std::uint64_t precheck_rejections = 0;
-  std::uint64_t access_path_rejections = 0;
-  std::uint64_t no_tag_rejections = 0;
-  std::uint64_t blacklist_rejections = 0;  // eager-revocation hits
-  std::uint64_t probabilistic_revalidations = 0;
-  std::uint64_t tagged_requests = 0;
-  /// Total simulated compute time charged by this router's BF and
-  /// signature operations (the quantity the ComputeModel injects).
-  event::Time compute_charged = 0;
-  /// Requests handled since the router's last BF reset, and the completed
-  /// inter-reset request counts (Fig. 8's "# requests for a reset").
-  std::uint64_t requests_since_reset = 0;
-  std::vector<std::uint64_t> requests_per_reset;
-  // --- Overload-resilience layer (all zero while it is disabled) ---
-  /// Requests answered from the negative-tag verdict cache (each one a
-  /// signature verification the flood did not get to force).
-  std::uint64_t neg_cache_hits = 0;
-  std::uint64_t neg_cache_insertions = 0;
-  /// Load shedding, by reason: validation queue at hard capacity (all
-  /// tagged traffic), unvouched traffic past the high watermark, and
-  /// per-face policer refusals.
-  std::uint64_t sheds_queue_full = 0;
-  std::uint64_t sheds_unvouched = 0;
-  std::uint64_t policer_sheds = 0;
-  /// Staged BF resets taken (rotations into a drain window) and lookups
-  /// answered by the draining filter during its grace window.
-  std::uint64_t staged_resets = 0;
-  std::uint64_t draining_hits = 0;
-  /// Time validation jobs spent queued behind earlier work (the backlog
-  /// signal; excludes the jobs' own service time).
-  event::Time validation_wait = 0;
-};
-
-/// Common state for TACTIC routers: the Bloom filter, counters, compute
-/// charging, and the validation helpers shared by Protocols 2-4.
+/// Common base for TACTIC routers: owns the ValidationEngine and exposes
+/// its observable state (counters, BF, overload structures) under the
+/// pre-pipeline accessor names that tests, benches and the invariant
+/// checker consume.
 class TacticRouterPolicy : public ndn::AccessControlPolicy {
  public:
   TacticRouterPolicy(TacticConfig config, const TrustAnchors& anchors,
-                     ComputeModel compute, util::Rng rng);
+                     ComputeModel compute, util::Rng rng)
+      : engine_(std::move(config), anchors, compute, rng) {}
 
-  const TacticConfig& config() const { return config_; }
-  const TacticCounters& counters() const { return counters_; }
-  const bloom::BloomFilter& bloom() const { return bloom_; }
-  std::uint64_t bf_resets() const { return bloom_.reset_count(); }
-  const ValidationQueue& validation_queue() const { return queue_; }
-  const NegativeTagCache& neg_cache() const { return neg_cache_; }
+  const TacticConfig& config() const { return engine_.config(); }
+  const TacticCounters& counters() const { return engine_.counters(); }
+  const bloom::BloomFilter& bloom() const { return engine_.bloom(); }
+  std::uint64_t bf_resets() const { return engine_.bloom().reset_count(); }
+  const ValidationQueue& validation_queue() const {
+    return engine_.validation_queue();
+  }
+  const NegativeTagCache& neg_cache() const { return engine_.neg_cache(); }
   /// Whether a staged-reset drain window is open at `now`.
   bool draining_active(event::Time now) const {
-    return draining_.has_value() && now < draining_until_;
+    return engine_.draining_active(now);
   }
 
   /// Optional traitor tracer (non-owning; may be null).  Edge routers
   /// report access-path mismatches to it.
-  void set_traitor_tracer(TraitorTracer* tracer) { tracer_ = tracer; }
+  void set_traitor_tracer(TraitorTracer* tracer) {
+    engine_.set_tracer(tracer);
+  }
 
   /// Crash recovery: the Bloom filter of validated tags is volatile, so a
   /// restarted router wipes it (without counting a Table V saturation
@@ -166,58 +61,7 @@ class TacticRouterPolicy : public ndn::AccessControlPolicy {
   void on_restart(ndn::Forwarder& node) override;
 
  protected:
-  /// A BF membership result: hit, plus the vouching filter's FPP (the F
-  /// value Protocol 2 stamps).
-  struct BloomVouch {
-    bool hit = false;
-    double fpp = 0.0;
-  };
-
-  /// BF membership test with charging & counting.  With a staged reset
-  /// in its drain window, a miss in the active filter also consults the
-  /// draining one (a second, charged lookup).
-  BloomVouch bloom_lookup(const Tag& tag, event::Time now,
-                          event::Time& compute);
-  /// BF insertion with charging, counting, and saturation-triggered reset
-  /// (records the inter-reset request count; staged when configured).
-  void bloom_insert(const Tag& tag, event::Time now, event::Time& compute);
-  /// Signature verification with charging & counting.  With the overload
-  /// layer on, consults the negative-tag cache first (a known-bad tag
-  /// returns false for the cost of a probe) and records fresh failures.
-  bool verify_signature(const Tag& tag, event::Time now,
-                        event::Time& compute);
-  /// Charges one operation: instantaneous without the overload layer,
-  /// through the validation queue with it (the op waits behind every
-  /// pending job on this router's single crypto server).
-  void charge(event::Time now, event::Time cost, event::Time& compute);
-  /// True when the negative-tag cache condemns `tag` (charged probe).
-  bool neg_cache_rejects(const Tag& tag, event::Time now,
-                         event::Time& compute);
-  /// Records a failed-verification verdict for `tag`.
-  void remember_invalid(const Tag& tag, event::Time now);
-  /// Pending validation jobs at `now`.
-  std::size_t queue_depth(event::Time now) { return queue_.depth(now); }
-  /// Per-face token-bucket decision for one unvouched Interest.
-  bool police_unvouched(ndn::FaceId face, event::Time now);
-  /// Counts a tagged request against the inter-reset window.
-  void count_request();
-
-  TacticConfig config_;
-  const TrustAnchors& anchors_;
-  ComputeModel compute_;
-  util::Rng rng_;
-  bloom::BloomFilter bloom_;
-  TacticCounters counters_;
-  TraitorTracer* tracer_ = nullptr;
-  // Overload-resilience state (inert while config_.overload.enabled is
-  // false; all volatile, wiped by on_restart).
-  ValidationQueue queue_;
-  NegativeTagCache neg_cache_;
-  std::unordered_map<ndn::FaceId, TokenBucket> buckets_;
-  /// Staged reset: the saturated filter kept readable until
-  /// `draining_until_` while the active filter refills.
-  std::optional<bloom::BloomFilter> draining_;
-  event::Time draining_until_ = 0;
+  ValidationEngine engine_;
 };
 
 /// Access-point behaviour: fold this entity's identity hash into the
@@ -246,6 +90,11 @@ class EdgeTacticPolicy : public TacticRouterPolicy {
                                            const ndn::PitInRecord& record,
                                            const ndn::Data& incoming,
                                            ndn::Data& outgoing) override;
+
+ private:
+  ValidationPipeline interest_pipeline_ = ValidationPipeline::edge_interest();
+  ValidationPipeline aggregate_pipeline_ =
+      ValidationPipeline::edge_aggregate();
 };
 
 /// Protocols 3 & 4: the core-router policy (content-router behaviour on
@@ -261,6 +110,12 @@ class CoreTacticPolicy : public TacticRouterPolicy {
                                            const ndn::PitInRecord& record,
                                            const ndn::Data& incoming,
                                            ndn::Data& outgoing) override;
+
+ private:
+  ValidationPipeline cache_hit_pipeline_ =
+      ValidationPipeline::content_cache_hit();
+  ValidationPipeline aggregate_pipeline_ =
+      ValidationPipeline::core_aggregate();
 };
 
 }  // namespace tactic::core
