@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   bench::MaybeCsv csv(options.csv_path);
   csv.row({"topology", "router_class", "lookups", "insertions",
            "verifications", "compute_bf_s", "compute_sig_s",
-           "compute_neg_s"});
+           "compute_neg_s", "sig_batches", "sig_batched_items",
+           "batch_unbatched_equiv_s"});
 
   util::Table table({"Topology", "Class", "L (lookups)", "I (insertions)",
                      "V (verifications)"});
@@ -50,14 +51,20 @@ int main(int argc, char** argv) {
              util::CsvWriter::num(acc.edge_verifies.mean()),
              util::CsvWriter::num(acc.edge_compute_bf.mean()),
              util::CsvWriter::num(acc.edge_compute_sig.mean()),
-             util::CsvWriter::num(acc.edge_compute_neg.mean())});
+             util::CsvWriter::num(acc.edge_compute_neg.mean()),
+             util::CsvWriter::num(acc.edge_batches.mean()),
+             util::CsvWriter::num(acc.edge_batched_items.mean()),
+             util::CsvWriter::num(acc.edge_batch_equiv_s.mean())});
     csv.row({std::to_string(topo), "core",
              util::CsvWriter::num(acc.core_lookups.mean()),
              util::CsvWriter::num(acc.core_inserts.mean()),
              util::CsvWriter::num(acc.core_verifies.mean()),
              util::CsvWriter::num(acc.core_compute_bf.mean()),
              util::CsvWriter::num(acc.core_compute_sig.mean()),
-             util::CsvWriter::num(acc.core_compute_neg.mean())});
+             util::CsvWriter::num(acc.core_compute_neg.mean()),
+             util::CsvWriter::num(acc.core_batches.mean()),
+             util::CsvWriter::num(acc.core_batched_items.mean()),
+             util::CsvWriter::num(acc.core_batch_equiv_s.mean())});
   }
   table.print(std::cout);
   std::printf(

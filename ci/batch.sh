@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fixed-seed scenario-fuzz sweep with the batched-validation layer ON,
+# stacked on random fault plans and overload-resilience configurations,
+# under ASan+UBSan.  Exercises the batcher end to end: per-provider
+# signature batches flushing on size cap / deadline / queue drain,
+# deferred verdict delivery through the forwarder, batches dropped by
+# crash-restarts, and same-instant BF probe coalescing — all with the
+# runtime invariant checker armed.  Every scenario runs twice and is
+# byte-compared, so a batcher that breaks determinism (a flush-time RNG
+# draw, an unordered flush) fails the sweep.  Any sanitizer report
+# aborts the run (-fno-sanitize-recover=all) and fails the script.
+#
+# Usage: ci/batch.sh [build-dir]    (default: build-sanitize)
+#
+# Reuses the sanitizer build tree; run after (or instead of)
+# ci/sanitize.sh — the cmake step below is a no-op when it already ran.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_scenarios
+
+# Same fixed base seed as ci/flood.sh so the two sweeps share base, fault
+# and overload draws — the batch draws come strictly after, so a seed
+# failing here but not in ci/flood.sh isolates the batching layer.
+"$BUILD_DIR/fuzz_scenarios" --runs 16 --duration 10 --seed 9000 \
+  --faults --overload --batch
+
+echo "batch: OK"

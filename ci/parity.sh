@@ -10,7 +10,16 @@
 # The goldens were captured from the pre-pipeline monolith; regenerate
 # them ONLY for an intentional behaviour change, with
 #   build/fingerprint_corpus > tests/golden/fingerprints.txt
+#   build/fingerprint_corpus --verdicts > tests/golden/verdicts.txt
 # and say so in the commit message.
+#
+# The corpus runs with the batching layer OFF (the generator never
+# samples it without --batch), so this diff is also the bit-identity
+# check for a disabled batch layer: any batch code that leaks into the
+# unbatched path — a stray RNG draw, a rounded charge, a counter that
+# prints when it shouldn't — fails here.  The verdict corpus pins the
+# order-insensitive per-user verdict multisets the batching equivalence
+# harness (tests/batching_test.cpp) compares.
 #
 # Usage: ci/parity.sh [build-dir]    (default: build-sanitize)
 
@@ -19,6 +28,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-sanitize}"
 GOLDEN="tests/golden/fingerprints.txt"
+VERDICT_GOLDEN="tests/golden/verdicts.txt"
 
 cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target fingerprint_corpus
@@ -30,4 +40,12 @@ if ! diff -u "$GOLDEN" "$BUILD_DIR/fingerprints.txt"; then
   exit 1
 fi
 
-echo "parity: OK ($(wc -l < "$GOLDEN") fingerprints bit-identical)"
+"$BUILD_DIR/fingerprint_corpus" --verdicts > "$BUILD_DIR/verdicts.txt"
+
+if ! diff -u "$VERDICT_GOLDEN" "$BUILD_DIR/verdicts.txt"; then
+  echo "parity: VERDICT MISMATCH against $VERDICT_GOLDEN" >&2
+  exit 1
+fi
+
+echo "parity: OK ($(wc -l < "$GOLDEN") fingerprints and" \
+  "$(wc -l < "$VERDICT_GOLDEN") verdict multisets bit-identical)"

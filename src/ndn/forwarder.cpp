@@ -219,6 +219,18 @@ void Forwarder::on_interest(FaceId in_face, Interest&& interest) {
     auto hit = policy_->on_cache_hit(*this, in_face, interest, response);
     compute += hit.compute;
     if (hit.respond) {
+      if (hit.deferred) {
+        // Batched validation: the verdict leaves when the batch flushes.
+        // The epoch guard kills it if the router crashed in between.
+        hit.deferred->bind([this, in_face, epoch = epoch_, base = compute,
+                            packet = std::move(response)](
+                               event::Time extra) mutable {
+          if (epoch != epoch_) return;
+          ++counters_.data_sent;
+          send(in_face, std::move(packet), base + extra);
+        });
+        return;
+      }
       ++counters_.data_sent;
       send(in_face, std::move(response), compute);
       return;
@@ -302,6 +314,17 @@ void Forwarder::on_data(FaceId in_face, Data&& data) {
     if (decision.attach_nack) {
       outgoing.nack_attached = true;
       outgoing.nack_reason = decision.nack_reason;
+    }
+    if (decision.deferred) {
+      decision.deferred->bind([this, face = record.face, epoch = epoch_,
+                               base = compute + decision.compute,
+                               packet = std::move(outgoing)](
+                                  event::Time extra) mutable {
+        if (epoch != epoch_) return;
+        ++counters_.data_sent;
+        send(face, std::move(packet), base + extra);
+      });
+      continue;
     }
     ++counters_.data_sent;
     send(record.face, std::move(outgoing), compute + decision.compute);

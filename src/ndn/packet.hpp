@@ -17,6 +17,7 @@
 // as an immutable shared payload, keeping the NDN layer independent of the
 // access-control scheme (baseline policies reuse the same packets).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -45,6 +46,10 @@ enum class NackReason : std::uint8_t {
   kNoRoute,              // FIB miss
   kRouterOverloaded,     // validation queue shed the request (back off)
 };
+
+/// Number of NackReason values (for per-reason counter arrays).
+inline constexpr std::size_t kNackReasonCount =
+    static_cast<std::size_t>(NackReason::kRouterOverloaded) + 1;
 
 const char* to_string(NackReason reason);
 

@@ -8,7 +8,9 @@
 // because TACTIC state (the router's Bloom filter, operation counters) is
 // per-router.
 
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "event/time.hpp"
 #include "ndn/packet.hpp"
@@ -17,6 +19,58 @@
 namespace tactic::ndn {
 
 class Forwarder;
+
+/// Asynchronous verdict delivery for batched validation (see
+/// docs/ARCHITECTURE.md, "Batched stages").  A validation stage that
+/// joined a batch hands one of these back through its decision; the
+/// forwarder binds the deferred send closure, and the batch flush fires
+/// it with the batch's completion delay.  The two calls may arrive in
+/// either order: a size-cap flush can fire the handle inside the same
+/// policy call that created it (before the forwarder had a chance to
+/// bind), so fire() buffers until bind().  drop() kills the verdict
+/// outright (router crash mid-batch); the node-epoch guard inside the
+/// bound closure is the second line of defence.
+class DeferredVerdict {
+ public:
+  /// `extra_delay` is the batch-completion delay, measured from the
+  /// instant fire() ran.
+  using SendFn = std::function<void(event::Time extra_delay)>;
+
+  void bind(SendFn send) {
+    if (dropped_) return;
+    if (fired_) {
+      send(extra_);
+      return;
+    }
+    send_ = std::move(send);
+  }
+
+  void fire(event::Time extra_delay) {
+    if (dropped_ || fired_) return;
+    fired_ = true;
+    extra_ = extra_delay;
+    if (send_) {
+      SendFn send = std::move(send_);
+      send_ = nullptr;
+      send(extra_);
+    }
+  }
+
+  void drop() {
+    dropped_ = true;
+    send_ = nullptr;
+  }
+
+  /// Neither fired nor dropped yet (still waiting in a batch).
+  bool pending() const { return !fired_ && !dropped_; }
+  bool dropped() const { return dropped_; }
+
+ private:
+  SendFn send_;
+  event::Time extra_ = 0;
+  bool fired_ = false;
+  bool dropped_ = false;
+};
 
 class AccessControlPolicy {
  public:
@@ -50,6 +104,10 @@ class AccessControlPolicy {
     /// continues to PIT/FIB as a miss.
     bool respond = true;
     event::Time compute = 0;
+    /// Set when a batched validation stage deferred the verdict: the
+    /// forwarder must bind the response send to this handle instead of
+    /// sending after `compute`.  Null on the synchronous path.
+    std::shared_ptr<DeferredVerdict> deferred;
   };
 
   /// Called on a CS hit.  `response` is a mutable copy of the cached data
@@ -75,6 +133,8 @@ class AccessControlPolicy {
     bool attach_nack = false;
     NackReason nack_reason = NackReason::kNone;
     event::Time compute = 0;
+    /// See CacheHitDecision::deferred.
+    std::shared_ptr<DeferredVerdict> deferred;
   };
 
   /// Called for each PIT in-record when Data is consumed (TACTIC

@@ -19,6 +19,17 @@ RouterOps& RouterOps::operator+=(const RouterOps& other) {
   staged_resets += other.staged_resets;
   draining_hits += other.draining_hits;
   validation_wait_s += other.validation_wait_s;
+  sig_batches_flushed += other.sig_batches_flushed;
+  sig_batched_items += other.sig_batched_items;
+  sig_batch_flush_size_cap += other.sig_batch_flush_size_cap;
+  sig_batch_flush_deadline += other.sig_batch_flush_deadline;
+  sig_batch_flush_queue_drain += other.sig_batch_flush_queue_drain;
+  sig_batches_dropped += other.sig_batches_dropped;
+  if (other.sig_batch_peak > sig_batch_peak) {
+    sig_batch_peak = other.sig_batch_peak;
+  }
+  sig_batch_unbatched_equiv_s += other.sig_batch_unbatched_equiv_s;
+  bf_probes_coalesced += other.bf_probes_coalesced;
   return *this;
 }
 
@@ -77,6 +88,14 @@ void MetricsAccumulator::add(const Metrics& metrics) {
   core_compute_bf.add(metrics.core_ops.compute_bf_s);
   core_compute_sig.add(metrics.core_ops.compute_sig_s);
   core_compute_neg.add(metrics.core_ops.compute_neg_s);
+  edge_batches.add(static_cast<double>(metrics.edge_ops.sig_batches_flushed));
+  edge_batched_items.add(
+      static_cast<double>(metrics.edge_ops.sig_batched_items));
+  edge_batch_equiv_s.add(metrics.edge_ops.sig_batch_unbatched_equiv_s);
+  core_batches.add(static_cast<double>(metrics.core_ops.sig_batches_flushed));
+  core_batched_items.add(
+      static_cast<double>(metrics.core_ops.sig_batched_items));
+  core_batch_equiv_s.add(metrics.core_ops.sig_batch_unbatched_equiv_s);
   edge_reqs_per_reset.add(
       Metrics::mean_requests_per_reset(metrics.edge_requests_per_reset));
   core_reqs_per_reset.add(

@@ -36,6 +36,29 @@ struct RouterOps {
   std::uint64_t draining_hits = 0;
   /// Time validation jobs spent queued behind earlier work (seconds).
   double validation_wait_s = 0.0;
+  // Batched-validation layer (docs/ARCHITECTURE.md, "Batched stages";
+  // zero while disabled).
+  std::uint64_t sig_batches_flushed = 0;
+  std::uint64_t sig_batched_items = 0;
+  std::uint64_t sig_batch_flush_size_cap = 0;
+  std::uint64_t sig_batch_flush_deadline = 0;
+  std::uint64_t sig_batch_flush_queue_drain = 0;
+  std::uint64_t sig_batches_dropped = 0;
+  /// Largest pending-batch occupancy observed (max across routers).
+  std::uint64_t sig_batch_peak = 0;
+  /// What the flushed batches would have charged verified one by one
+  /// (seconds); amortization ratio = this / the batched share of
+  /// compute_sig_s.
+  double sig_batch_unbatched_equiv_s = 0.0;
+  std::uint64_t bf_probes_coalesced = 0;
+
+  /// Mean signature-batch occupancy at flush (1.0 = no amortization).
+  double mean_batch_occupancy() const {
+    return sig_batches_flushed == 0
+               ? 0.0
+               : static_cast<double>(sig_batched_items) /
+                     static_cast<double>(sig_batches_flushed);
+  }
 
   RouterOps& operator+=(const RouterOps& other);
 };
@@ -138,6 +161,9 @@ struct MetricsAccumulator {
   /// Per-stage compute breakdown (seconds per run; see RouterOps).
   util::RunningStats edge_compute_bf, edge_compute_sig, edge_compute_neg;
   util::RunningStats core_compute_bf, core_compute_sig, core_compute_neg;
+  /// Batched validation (zero while disabled; see RouterOps).
+  util::RunningStats edge_batches, edge_batched_items, edge_batch_equiv_s;
+  util::RunningStats core_batches, core_batched_items, core_batch_equiv_s;
   util::RunningStats edge_reqs_per_reset, core_reqs_per_reset;
   util::RunningStats provider_verifies;
   util::RunningStats cache_hit_ratio;

@@ -397,6 +397,18 @@ Metrics Scenario::harvest() {
       ops.staged_resets += c.staged_resets;
       ops.draining_hits += c.draining_hits;
       ops.validation_wait_s += event::to_seconds(c.validation_wait);
+      ops.sig_batches_flushed += c.sig_batches_flushed;
+      ops.sig_batched_items += c.sig_batched_items;
+      ops.sig_batch_flush_size_cap += c.sig_batch_flush_size_cap;
+      ops.sig_batch_flush_deadline += c.sig_batch_flush_deadline;
+      ops.sig_batch_flush_queue_drain += c.sig_batch_flush_queue_drain;
+      ops.sig_batches_dropped += c.sig_batches_dropped;
+      if (c.sig_batch_peak > ops.sig_batch_peak) {
+        ops.sig_batch_peak = c.sig_batch_peak;
+      }
+      ops.sig_batch_unbatched_equiv_s +=
+          event::to_seconds(c.sig_batch_unbatched_equiv);
+      ops.bf_probes_coalesced += c.bf_probes_coalesced;
       resets_samples.insert(resets_samples.end(),
                             c.requests_per_reset.begin(),
                             c.requests_per_reset.end());

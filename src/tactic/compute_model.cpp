@@ -41,4 +41,21 @@ event::Time ComputeModel::neg_lookup_cost(util::Rng& rng) {
   return clamp_to_time(params_.neg_lookup.sample(rng));
 }
 
+double ComputeModel::sig_batch_factor(std::size_t n) const {
+  if (n <= 1) return 1.0;
+  return 1.0 + static_cast<double>(n - 1) * params_.sig_batch_marginal;
+}
+
+event::Time ComputeModel::sig_verify_batch_cost(std::size_t n,
+                                                util::Rng& rng) {
+  if (n == 0) return 0;
+  // One draw for the whole batch: the first item's cost scaled by the
+  // batch factor.  Scaling the integer Time (not the raw double) keeps
+  // this bit-identical to how the engine charges a flushed batch from
+  // the first item's recorded draw.
+  const event::Time first = sig_verify_cost(rng);
+  return static_cast<event::Time>(static_cast<double>(first) *
+                                  sig_batch_factor(n));
+}
+
 }  // namespace tactic::core

@@ -20,6 +20,8 @@
 // printed (with clamping).  `deterministic()` uses the means only, and
 // `zero()` disables charging (unit tests).
 
+#include <cstddef>
+
 #include "event/time.hpp"
 #include "util/distributions.hpp"
 #include "util/rng.hpp"
@@ -35,6 +37,16 @@ class ComputeModel {
     /// Negative-tag verdict-cache probe (overload layer): a hash-map
     /// lookup, modeled at BF-lookup scale.  Not a paper quantity.
     util::NormalDist neg_lookup{1.5e-7, 1.0e-8};
+    /// Batched validation (docs/ARCHITECTURE.md, "Batched stages").
+    /// Marginal cost of each additional signature in a batch, as a
+    /// fraction of a full verification: batch-RSA pays one full-size
+    /// exponentiation plus cheap per-item combination work, so
+    /// sig_verify_batch_cost(n) = draw * (1 + (n - 1) * marginal).
+    double sig_batch_marginal = 0.125;
+    /// Marginal cost of each same-instant Bloom probe after the first
+    /// (SIMD multi-probe over one cache-resident filter), as a fraction
+    /// of a full lookup draw.
+    double bf_probe_marginal = 0.25;
   };
 
   ComputeModel() : ComputeModel(Params{}) {}
@@ -52,6 +64,27 @@ class ComputeModel {
   event::Time bf_insert_cost(util::Rng& rng);
   event::Time sig_verify_cost(util::Rng& rng);
   event::Time neg_lookup_cost(util::Rng& rng);
+
+  /// Amortized batch-RSA charge for verifying n signatures together:
+  /// one sig_verify draw scaled by sig_batch_factor(n).  n = 1 consumes
+  /// exactly one draw and charges exactly what sig_verify_cost would
+  /// have; the total is monotone in n and the per-item cost strictly
+  /// sub-linear (for marginal < 1).
+  event::Time sig_verify_batch_cost(std::size_t n, util::Rng& rng);
+
+  /// The batch scaling factor 1 + (n - 1) * sig_batch_marginal, exposed
+  /// separately so a caller that already drew the first item's cost can
+  /// scale it without consuming another draw.
+  double sig_batch_factor(std::size_t n) const;
+
+  double bf_probe_marginal() const { return params_.bf_probe_marginal; }
+  const Params& params() const { return params_; }
+  /// Adjust the batching marginals (fuzz generator); the draw
+  /// distributions stay untouched.
+  void set_batch_marginals(double sig_marginal, double bf_marginal) {
+    params_.sig_batch_marginal = sig_marginal;
+    params_.bf_probe_marginal = bf_marginal;
+  }
 
  private:
   static event::Time clamp_to_time(double seconds);

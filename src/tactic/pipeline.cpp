@@ -59,8 +59,25 @@ void ValidationEngine::charge(event::Time now, event::Time cost,
 
 BloomVouch ValidationEngine::bloom_lookup(const Tag& tag, event::Time now,
                                           event::Time& compute) {
+  // With batching on, lookup probes arriving in the same scheduler
+  // instant (one queue drain) coalesce into a SIMD-style multi-probe:
+  // every probe still consumes its full cost draw (RNG-stream parity
+  // with the unbatched path) but probes after the first charge only the
+  // marginal fraction.
+  const auto probe_cost = [&]() -> event::Time {
+    const event::Time drawn = compute_.bf_lookup_cost(rng_);
+    if (!config_.batch.enabled) return drawn;
+    const bool coalesced = bf_probe_seen_ && last_bf_probe_at_ == now;
+    bf_probe_seen_ = true;
+    last_bf_probe_at_ = now;
+    if (!coalesced) return drawn;
+    ++counters_.bf_probes_coalesced;
+    return static_cast<event::Time>(static_cast<double>(drawn) *
+                                    compute_.bf_probe_marginal());
+  };
+
   ++counters_.bf_lookups;
-  charge(now, compute_.bf_lookup_cost(rng_), compute, CostKind::kBf);
+  charge(now, probe_cost(), compute, CostKind::kBf);
   if (bloom_.contains(tag.bloom_key())) {
     return BloomVouch{true, bloom_.current_fpp()};
   }
@@ -71,7 +88,7 @@ BloomVouch ValidationEngine::bloom_lookup(const Tag& tag, event::Time now,
       // Staged reset drain: the saturated predecessor still vouches (at
       // its own, higher FPP) for the cost of a second lookup.
       ++counters_.bf_lookups;
-      charge(now, compute_.bf_lookup_cost(rng_), compute, CostKind::kBf);
+      charge(now, probe_cost(), compute, CostKind::kBf);
       if (draining_->contains(tag.bloom_key())) {
         ++counters_.draining_hits;
         return BloomVouch{true, draining_->current_fpp()};
@@ -126,6 +143,114 @@ bool ValidationEngine::verify_signature(const Tag& tag, event::Time now,
   return ok;
 }
 
+ValidationEngine::BatchedVerify ValidationEngine::verify_signature_batched(
+    const Tag& tag, event::Time now, event::Time& compute) {
+  // Mirror of verify_signature(): same verdict, counters and RNG draw
+  // order — only the signature charge moves to the batch flush.
+  // Idleness is sampled before this item's own neg-cache probe enters
+  // the validation queue, so the drain trigger sees the server as the
+  // item found it.
+  const bool queue_idle =
+      config_.overload.enabled && queue_.depth(now) == 0;
+  if (config_.overload.enabled) {
+    charge(now, compute_.neg_lookup_cost(rng_), compute,
+           CostKind::kNegCache);
+    if (neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
+      ++counters_.neg_cache_hits;
+      return BatchedVerify{false, nullptr};
+    }
+  }
+  ++counters_.sig_verifications;
+  const event::Time item_cost = compute_.sig_verify_cost(rng_);
+  const bool ok = verify_tag_signature(tag, anchors_.pki);
+  if (!ok) {
+    ++counters_.sig_failures;
+    if (config_.overload.enabled) remember_invalid(tag, now);
+  }
+  return BatchedVerify{ok, sig_batch_join(tag, now, item_cost, queue_idle)};
+}
+
+std::shared_ptr<ndn::DeferredVerdict> ValidationEngine::sig_batch_join(
+    const Tag& tag, event::Time now, event::Time item_cost,
+    bool queue_idle) {
+  const std::string& provider = tag.provider_key_locator();
+  SigBatch& batch = sig_batches_[provider];
+  if (batch.pending.empty()) {
+    batch.first_cost = item_cost;
+    batch.unbatched_cost = 0;
+    // Deadline flush.  max_hold == 0 degenerates to "end of the current
+    // instant" (scheduler FIFO runs the flush after all work already
+    // queued for now), which is what coalesces the verifications one
+    // Data packet triggers across its aggregated PIT records.
+    batch.deadline = scheduler_->schedule_at(
+        now + config_.batch.max_hold, [this, provider] {
+          sig_batch_flush(provider, FlushReason::kDeadline);
+        });
+  }
+  auto handle = std::make_shared<ndn::DeferredVerdict>();
+  batch.pending.push_back(handle);
+  batch.unbatched_cost += item_cost;
+  ++counters_.sig_batched_items;
+  if (batch.pending.size() > counters_.sig_batch_peak) {
+    counters_.sig_batch_peak = batch.pending.size();
+  }
+  if (batch.pending.size() >= config_.batch.max_batch) {
+    sig_batch_flush(provider, FlushReason::kSizeCap);
+  } else if (queue_idle) {
+    // Idle crypto server: holding the item adds latency without buying
+    // amortization partners any sooner than the deadline would — flush
+    // as part of this queue drain.
+    sig_batch_flush(provider, FlushReason::kQueueDrain);
+  }
+  return handle;
+}
+
+void ValidationEngine::sig_batch_flush(const std::string& provider,
+                                       FlushReason reason) {
+  auto it = sig_batches_.find(provider);
+  if (it == sig_batches_.end() || it->second.pending.empty()) return;
+  SigBatch batch = std::move(it->second);
+  sig_batches_.erase(it);
+  if (batch.deadline.valid()) scheduler_->cancel(batch.deadline);
+
+  // One amortized batch-RSA charge for the whole batch: the first item's
+  // recorded draw scaled by the batch factor.  No flush-time RNG draw —
+  // the engine's stream stays identical to unbatched charging, which is
+  // what makes verdict equivalence (and batch-off bit-identity) hold.
+  const std::size_t n = batch.pending.size();
+  const event::Time cost = static_cast<event::Time>(
+      static_cast<double>(batch.first_cost) * compute_.sig_batch_factor(n));
+  ++counters_.sig_batches_flushed;
+  switch (reason) {
+    case FlushReason::kSizeCap: ++counters_.sig_batch_flush_size_cap; break;
+    case FlushReason::kDeadline: ++counters_.sig_batch_flush_deadline; break;
+    case FlushReason::kQueueDrain:
+      ++counters_.sig_batch_flush_queue_drain;
+      break;
+  }
+  counters_.sig_batch_unbatched_equiv += batch.unbatched_cost;
+
+  event::Time done = 0;
+  charge(scheduler_->now(), cost, done, CostKind::kSignature);
+  for (const auto& handle : batch.pending) handle->fire(done);
+}
+
+void ValidationEngine::flush_all_batches() {
+  std::vector<std::string> providers;
+  providers.reserve(sig_batches_.size());
+  for (const auto& [provider, batch] : sig_batches_) {
+    providers.push_back(provider);
+  }
+  for (const auto& provider : providers) {
+    sig_batch_flush(provider, FlushReason::kDeadline);
+  }
+}
+
+std::size_t ValidationEngine::sig_batch_depth(const Tag& tag) const {
+  const auto it = sig_batches_.find(tag.provider_key_locator());
+  return it == sig_batches_.end() ? 0 : it->second.pending.size();
+}
+
 bool ValidationEngine::neg_cache_rejects(const Tag& tag, event::Time now,
                                          event::Time& compute) {
   charge(now, compute_.neg_lookup_cost(rng_), compute, CostKind::kNegCache);
@@ -165,6 +290,19 @@ void ValidationEngine::wipe_volatile() {
   buckets_.clear();
   draining_.reset();
   draining_until_ = 0;
+  // Pending validation batches (and their undelivered verdicts) die with
+  // the router; the forwarder's epoch guard catches any closure already
+  // bound.
+  for (auto& [provider, batch] : sig_batches_) {
+    if (batch.deadline.valid() && scheduler_ != nullptr) {
+      scheduler_->cancel(batch.deadline);
+    }
+    for (const auto& handle : batch.pending) handle->drop();
+    ++counters_.sig_batches_dropped;
+  }
+  sig_batches_.clear();
+  bf_probe_seen_ = false;
+  last_bf_probe_at_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -363,7 +501,17 @@ Verdict SignatureVerifyStage::run(ValidationContext& ctx) {
     return Verdict::vouch(0.0);
   }
 
-  const bool valid = engine.verify_signature(ctx.tag, ctx.now, ctx.compute);
+  bool valid = false;
+  if (engine.batching_active()) {
+    // Batched path: the verdict is known now; the signature charge (and
+    // the packet's departure) waits for the provider batch to flush.
+    auto batched =
+        engine.verify_signature_batched(ctx.tag, ctx.now, ctx.compute);
+    valid = batched.ok;
+    ctx.deferred = std::move(batched.deferred);
+  } else {
+    valid = engine.verify_signature(ctx.tag, ctx.now, ctx.compute);
+  }
   if (!valid) {
     if (mode_ == Mode::kEdgeAggregate) {
       return Verdict::reject(ndn::NackReason::kNone, /*silently=*/true);

@@ -31,8 +31,10 @@
 
 #include "bloom/bloom_filter.hpp"
 #include "crypto/pki.hpp"
+#include "event/scheduler.hpp"
 #include "ndn/fib.hpp"
 #include "ndn/packet.hpp"
+#include "ndn/policy.hpp"
 #include "tactic/compute_model.hpp"
 #include "tactic/overload.hpp"
 #include "tactic/precheck.hpp"
@@ -73,6 +75,25 @@ struct TrustAnchors {
   }
 };
 
+/// Batched-validation layer (docs/ARCHITECTURE.md, "Batched stages").
+/// Signature verifications for the same provider join a per-provider
+/// batch charged one amortized batch-RSA cost at flush time; same-instant
+/// Bloom probes coalesce into a SIMD-style multi-probe.  Disabled by
+/// default; a disabled layer leaves the router bit-identical to
+/// per-operation charging (parity-pinned like the overload layer).
+struct BatchConfig {
+  bool enabled = false;
+  /// Flush a provider's batch as soon as it holds this many pending
+  /// verifications.
+  std::size_t max_batch = 8;
+  /// Longest a pending verification waits for company before the
+  /// deadline flush.  0 still defers: the flush runs at the end of the
+  /// current scheduler instant (scheduler FIFO), coalescing all
+  /// same-provider verifications triggered by the same event — e.g. one
+  /// Data packet satisfying several aggregated requests.
+  event::Time max_hold = 0;
+};
+
 /// Per-router TACTIC configuration.
 struct TacticConfig {
   bloom::BloomParams bloom;  // capacity, hashes = 5, max FPP = 1e-4
@@ -99,6 +120,9 @@ struct TacticConfig {
   /// by default; a disabled layer leaves the router bit-identical to the
   /// instantaneous-charging model.  See docs/OVERLOAD.md.
   OverloadConfig overload;
+  /// Batched validation (amortized batch-RSA + multi-probe BF).  Disabled
+  /// by default; see docs/ARCHITECTURE.md, "Batched stages".
+  BatchConfig batch;
 };
 
 /// True when `name` is a registration Interest under the convention
@@ -148,6 +172,28 @@ struct TacticCounters {
   /// Time validation jobs spent queued behind earlier work (the backlog
   /// signal; excludes the jobs' own service time).
   event::Time validation_wait = 0;
+  // --- Batched-validation layer (all zero while it is disabled) ---
+  /// Signature batches flushed, items that went through them, and the
+  /// flush-trigger breakdown (size cap / hold deadline / idle-queue
+  /// drain).  flush_size_cap + flush_deadline + flush_queue_drain ==
+  /// sig_batches_flushed.
+  std::uint64_t sig_batches_flushed = 0;
+  std::uint64_t sig_batched_items = 0;
+  std::uint64_t sig_batch_flush_size_cap = 0;
+  std::uint64_t sig_batch_flush_deadline = 0;
+  std::uint64_t sig_batch_flush_queue_drain = 0;
+  /// Batches destroyed by a crash before flushing (their verdicts died
+  /// with the router).
+  std::uint64_t sig_batches_dropped = 0;
+  /// Largest pending-batch occupancy observed.
+  std::uint64_t sig_batch_peak = 0;
+  /// What the flushed batches' items would have charged verified one by
+  /// one (sum of the recorded per-item draws) — the amortization ratio
+  /// is sig_batch_unbatched_equiv / the batched signature charge.
+  event::Time sig_batch_unbatched_equiv = 0;
+  /// Same-instant Bloom lookups coalesced into a multi-probe (charged at
+  /// the marginal probe cost instead of a full lookup).
+  std::uint64_t bf_probes_coalesced = 0;
 };
 
 /// A BF membership result: hit, plus the vouching filter's FPP (the F
@@ -211,6 +257,48 @@ class ValidationEngine {
   /// True when the negative-tag cache condemns `tag` (charged probe).
   bool neg_cache_rejects(const Tag& tag, event::Time now,
                          event::Time& compute);
+
+  // --- batched validation (docs/ARCHITECTURE.md, "Batched stages") ---
+  /// Binds the owning node's scheduler, which the batcher needs for
+  /// deadline flushes.  Idempotent; the policy hooks call it on every
+  /// packet (a pointer store).
+  void bind_scheduler(event::Scheduler* scheduler) { scheduler_ = scheduler; }
+  /// Whether signature batching is live (configured on and a scheduler
+  /// is bound).
+  bool batching_active() const {
+    return config_.batch.enabled && scheduler_ != nullptr;
+  }
+  /// Outcome of a batched verify_signature(): the verdict is known
+  /// immediately (the crypto result does not depend on when the cost is
+  /// charged); `deferred` fires when the batch flushes and carries the
+  /// amortized completion delay.  `deferred` is null when the negative
+  /// cache answered (only its probe was charged).
+  struct BatchedVerify {
+    bool ok = false;
+    std::shared_ptr<ndn::DeferredVerdict> deferred;
+  };
+  /// Batched counterpart of verify_signature(): identical verdict,
+  /// counters and RNG draw order, but the signature charge is deferred
+  /// into the tag provider's pending batch (`compute` only accumulates
+  /// the synchronous negative-cache probe).
+  BatchedVerify verify_signature_batched(const Tag& tag, event::Time now,
+                                         event::Time& compute);
+  /// Joins the per-provider signature batch with a recorded per-item
+  /// cost draw; never returns null while batching_active().  Flushes
+  /// synchronously on the size cap, or immediately when `queue_idle` —
+  /// the overload layer's validation queue had no pending work when this
+  /// item arrived (sampled *before* the item's own neg-cache probe was
+  /// charged): holding buys no amortization partner faster than the
+  /// deadline, and an idle crypto server makes waiting pure added
+  /// latency under light load.
+  std::shared_ptr<ndn::DeferredVerdict> sig_batch_join(const Tag& tag,
+                                                       event::Time now,
+                                                       event::Time item_cost,
+                                                       bool queue_idle);
+  /// Flushes every pending batch (tests / orderly shutdown).
+  void flush_all_batches();
+  /// Pending signature verifications for `tag`'s provider.
+  std::size_t sig_batch_depth(const Tag& tag) const;
   /// Records a failed-verification verdict for `tag`.
   void remember_invalid(const Tag& tag, event::Time now);
   /// Pending validation jobs at `now`.
@@ -242,6 +330,28 @@ class ValidationEngine {
   /// `draining_until_` while the active filter refills.
   std::optional<bloom::BloomFilter> draining_;
   event::Time draining_until_ = 0;
+
+  // --- batched validation (inert while config_.batch.enabled is false;
+  // volatile, wiped by wipe_volatile) ---
+  enum class FlushReason { kSizeCap, kDeadline, kQueueDrain };
+  struct SigBatch {
+    std::vector<std::shared_ptr<ndn::DeferredVerdict>> pending;
+    /// The first joined item's cost draw; the flush charges it scaled by
+    /// ComputeModel::sig_batch_factor(n) — no flush-time draw, so the
+    /// RNG stream is identical to unbatched charging.
+    event::Time first_cost = 0;
+    /// Sum of all recorded per-item draws (amortization accounting).
+    event::Time unbatched_cost = 0;
+    event::EventId deadline;
+  };
+  void sig_batch_flush(const std::string& provider, FlushReason reason);
+
+  std::unordered_map<std::string, SigBatch> sig_batches_;
+  event::Scheduler* scheduler_ = nullptr;
+  /// Same-instant BF multi-probe coalescing: timestamp of the last
+  /// charged lookup probe (valid when bf_probe_seen_).
+  event::Time last_bf_probe_at_ = 0;
+  bool bf_probe_seen_ = false;
 };
 
 /// What one stage decided about the request under validation.
@@ -303,6 +413,11 @@ struct ValidationContext {
   std::optional<double> flag_f_out;
   /// Compute consumed by this run (the decision's latency charge).
   event::Time compute = 0;
+  /// Set by SignatureVerifyStage when the verification joined a batch:
+  /// the adapter must hand this to the forwarder (through its decision)
+  /// so the verdict packet leaves at batch-flush time instead of after
+  /// `compute`.  Null on the synchronous path.
+  std::shared_ptr<ndn::DeferredVerdict> deferred;
 };
 
 /// One composable check.  Stages are stateless where possible; a stage

@@ -24,6 +24,7 @@ ndn::AccessControlPolicy::DownstreamDecision apply_aggregate_verdict(
     ndn::Data& outgoing) {
   ndn::AccessControlPolicy::DownstreamDecision decision;
   decision.compute = ctx.compute;
+  decision.deferred = ctx.deferred;  // batched verdicts leave at flush time
   if (ctx.flag_f_out) outgoing.flag_f = *ctx.flag_f_out;
   switch (verdict.kind) {
     case Verdict::Kind::kContinue:
@@ -180,6 +181,7 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
 
   // Protocol 2, lines 22-23: validate every other aggregated tag.
   stamp_record_echo(record, outgoing);
+  engine_.bind_scheduler(&node.scheduler());
   ValidationContext ctx(engine_, *record.tag, node.scheduler().now());
   ctx.content = &incoming;
   return apply_aggregate_verdict(aggregate_pipeline_.run(ctx), ctx,
@@ -208,12 +210,14 @@ ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
   }
 
   engine_.count_request();
+  engine_.bind_scheduler(&node.scheduler());
   ValidationContext ctx(engine_, *interest.tag, node.scheduler().now());
   ctx.content = &response;
   ctx.flag_f_in = interest.flag_f;
   const Verdict verdict = cache_hit_pipeline_.run(ctx);
 
   decision.compute = ctx.compute;
+  decision.deferred = ctx.deferred;  // batched verdicts leave at flush time
   if (ctx.flag_f_out) response.flag_f = *ctx.flag_f_out;
   if (verdict.kind == Verdict::Kind::kReject ||
       verdict.kind == Verdict::Kind::kShed) {
@@ -252,6 +256,7 @@ CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
   if (incoming.access_level == ndn::kPublicAccessLevel) return decision;
 
   engine_.count_request();
+  engine_.bind_scheduler(&node.scheduler());
   ValidationContext ctx(engine_, *record.tag, node.scheduler().now());
   ctx.content = &incoming;
   ctx.flag_f_in = record.flag_f;

@@ -1,8 +1,11 @@
 #include "testing/fingerprint.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "crypto/sha256.hpp"
+#include "sim/scenario.hpp"
 #include "util/bytes.hpp"
 
 namespace tactic::testing {
@@ -68,6 +71,31 @@ void put_ops(std::string& out, const char* key, const sim::RouterOps& ops) {
   put(out, (prefix + ".staged_resets").c_str(), ops.staged_resets);
   put(out, (prefix + ".draining_hits").c_str(), ops.draining_hits);
   put(out, (prefix + ".validation_wait_s").c_str(), ops.validation_wait_s);
+  // The batch block prints only when the batching layer did something,
+  // so batch-off fingerprints stay byte-identical to the pre-batching
+  // goldens (same precedent as omitting the compute breakdown).
+  const bool batched = ops.sig_batches_flushed != 0 ||
+                       ops.sig_batched_items != 0 ||
+                       ops.sig_batches_dropped != 0 ||
+                       ops.bf_probes_coalesced != 0;
+  if (batched) {
+    put(out, (prefix + ".sig_batches_flushed").c_str(),
+        ops.sig_batches_flushed);
+    put(out, (prefix + ".sig_batched_items").c_str(), ops.sig_batched_items);
+    put(out, (prefix + ".sig_batch_flush_size_cap").c_str(),
+        ops.sig_batch_flush_size_cap);
+    put(out, (prefix + ".sig_batch_flush_deadline").c_str(),
+        ops.sig_batch_flush_deadline);
+    put(out, (prefix + ".sig_batch_flush_queue_drain").c_str(),
+        ops.sig_batch_flush_queue_drain);
+    put(out, (prefix + ".sig_batches_dropped").c_str(),
+        ops.sig_batches_dropped);
+    put(out, (prefix + ".sig_batch_peak").c_str(), ops.sig_batch_peak);
+    put(out, (prefix + ".sig_batch_unbatched_equiv_s").c_str(),
+        ops.sig_batch_unbatched_equiv_s);
+    put(out, (prefix + ".bf_probes_coalesced").c_str(),
+        ops.bf_probes_coalesced);
+  }
 }
 
 void put_vector(std::string& out, const char* key,
@@ -122,6 +150,48 @@ std::string fingerprint(const sim::Metrics& metrics) {
 
 std::string fingerprint_digest(const sim::Metrics& metrics) {
   return util::to_hex(crypto::Sha256::digest(fingerprint(metrics)));
+}
+
+std::string verdict_multiset(sim::Scenario& scenario) {
+  std::vector<std::string> lines;
+  const auto fold = [&lines](const std::string& label,
+                             const workload::UserCounters& c) {
+    std::string line = label;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " received=%llu",
+                  static_cast<unsigned long long>(c.chunks_received));
+    line += buf;
+    for (std::size_t r = 1; r < ndn::kNackReasonCount; ++r) {
+      const auto reason = static_cast<ndn::NackReason>(r);
+      // Back-pressure is a load signal, not a verdict: a batched run may
+      // shed at different instants than an unbatched one.
+      if (reason == ndn::NackReason::kRouterOverloaded) continue;
+      if (c.nacks_by_reason[r] == 0) continue;
+      std::snprintf(buf, sizeof(buf), " nack.%s=%llu",
+                    ndn::to_string(reason),
+                    static_cast<unsigned long long>(c.nacks_by_reason[r]));
+      line += buf;
+    }
+    lines.push_back(std::move(line));
+  };
+  for (const auto& client : scenario.clients()) {
+    fold(client->label(), client->counters());
+  }
+  for (const auto& attacker : scenario.attackers()) {
+    fold(attacker->label(), attacker->counters());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  out.reserve(lines.size() * 48);
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string verdict_digest(sim::Scenario& scenario) {
+  return util::to_hex(crypto::Sha256::digest(verdict_multiset(scenario)));
 }
 
 }  // namespace tactic::testing

@@ -31,7 +31,10 @@ constexpr const char* kUsage =
     "  --seeds N      seeds per mode (default 16)\n"
     "  --base S       first seed (default 9000)\n"
     "  --duration D   base simulated seconds per run (default 6)\n"
-    "  --mode NAME    one of plain|faults|faults+overload|all (default all)\n";
+    "  --mode NAME    one of plain|faults|faults+overload|all (default all)\n"
+    "  --verdicts     emit per-run verdict-multiset digests instead of\n"
+    "                 metrics digests (order-insensitive per-user verdict\n"
+    "                 counts; pinned by tests/golden/verdicts.txt)\n";
 
 struct Mode {
   const char* name;
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(flags.get_int("base", 9000));
     const double duration_s = flags.get_double("duration", 6.0);
     const std::string only = flags.get_string("mode", "all");
+    const bool verdicts = flags.get_bool("verdicts", false);
     if (seeds < 0 || !(duration_s > 0.0)) {
       std::fputs(kUsage, stderr);
       return 2;
@@ -76,9 +80,11 @@ int main(int argc, char** argv) {
             testing::random_config(seed, generator);
         sim::Scenario scenario(config);
         scenario.run();
+        const std::string digest =
+            verdicts ? testing::verdict_digest(scenario)
+                     : testing::fingerprint_digest(scenario.harvest());
         std::printf("%s %llu %s\n", mode.name,
-                    static_cast<unsigned long long>(seed),
-                    testing::fingerprint_digest(scenario.harvest()).c_str());
+                    static_cast<unsigned long long>(seed), digest.c_str());
         std::fflush(stdout);
       }
     }

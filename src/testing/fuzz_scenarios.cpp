@@ -42,6 +42,10 @@ constexpr const char* kUsage =
     "                       seed (validation queue, shedding, negative\n"
     "                       cache, staged reset, bounded PIT), often with\n"
     "                       an attacker flood\n"
+    "  --batch              sample the batched-validation layer per seed\n"
+    "                       (per-provider signature batches, same-instant\n"
+    "                       BF multi-probe); batch draws come after\n"
+    "                       base+fault+overload draws\n"
     "  --no-differential    skip the TACTIC vs no-AC parity pass\n"
     "  --parity-tolerance T allowed client delivery-ratio gap (default 0.1)\n"
     "  --inject-expiry-bug  edge routers skip the Protocol-1 expiry check\n"
@@ -99,7 +103,7 @@ int main(int argc, char** argv) {
         "runs",   "seed",        "duration",          "policy",
         "repro",  "verbose",     "differential",      "parity-tolerance",
         "help",   "inject-expiry-bug",                "faults",
-        "overload"};
+        "overload", "batch"};
     for (const auto& name : flags.names()) {
       if (known.count(name) == 0) {
         std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), kUsage);
@@ -136,6 +140,7 @@ int main(int argc, char** argv) {
     generator.inject_expiry_bug = flags.get_bool("inject-expiry-bug", false);
     generator.with_faults = flags.get_bool("faults", false);
     generator.with_overload = flags.get_bool("overload", false);
+    generator.with_batch = flags.get_bool("batch", false);
     if (flags.has("policy")) {
       const std::string name = flags.get_string("policy", "");
       const auto policy = parse_policy(name);
@@ -207,7 +212,8 @@ int main(int argc, char** argv) {
         // (as fault plans do).
         const double tolerance =
             parity_tolerance + (config.faults.any() ? 0.15 : 0.0) +
-            (config.tactic.overload.enabled ? 0.15 : 0.0);
+            (config.tactic.overload.enabled ? 0.15 : 0.0) +
+            (config.tactic.batch.enabled ? 0.05 : 0.0);
         const bool parity_ok =
             first.client_ratio + tolerance >= open.client_ratio;
         const bool blocked = open.attacker_requested == 0 ||
@@ -231,12 +237,13 @@ int main(int argc, char** argv) {
         }
       }
       if (failed) {
-        std::printf("  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s\n",
-                    static_cast<unsigned long long>(seed),
-                    generator.inject_expiry_bug ? " --inject-expiry-bug"
-                                                : "",
-                    generator.with_faults ? " --faults" : "",
-                    generator.with_overload ? " --overload" : "");
+        std::printf(
+            "  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s%s\n",
+            static_cast<unsigned long long>(seed),
+            generator.inject_expiry_bug ? " --inject-expiry-bug" : "",
+            generator.with_faults ? " --faults" : "",
+            generator.with_overload ? " --overload" : "",
+            generator.with_batch ? " --batch" : "");
       }
     }
 

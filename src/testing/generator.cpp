@@ -104,6 +104,24 @@ void sample_overload(util::Rng& rng, sim::ScenarioConfig& config) {
   }
 }
 
+// Samples the batched-validation layer (docs/ARCHITECTURE.md, "Batched
+// stages").  ~85% of seeds enable it, spanning degenerate (n = 1-ish)
+// through deep batches and zero through multi-millisecond hold times.
+void sample_batch(util::Rng& rng, sim::ScenarioConfig& config) {
+  if (!rng.bernoulli(0.85)) return;  // layer-off control group
+  core::BatchConfig& batch = config.tactic.batch;
+  batch.enabled = true;
+  batch.max_batch = 1 + rng.uniform(16);
+  // Half the seeds coalesce only within a scheduler instant (hold 0);
+  // the rest hold up to ~5 ms for company.
+  batch.max_hold = rng.bernoulli(0.5)
+                       ? 0
+                       : static_cast<event::Time>(
+                             rng.uniform(5 * event::kMillisecond + 1));
+  config.compute.set_batch_marginals(0.05 + 0.3 * rng.uniform_double(),
+                                     0.1 + 0.5 * rng.uniform_double());
+}
+
 }  // namespace
 
 sim::ScenarioConfig random_config(std::uint64_t seed,
@@ -182,6 +200,10 @@ sim::ScenarioConfig random_config(std::uint64_t seed,
   if (options.with_overload) {
     sample_overload(rng, config);
   }
+  // And batch draws come last of all.
+  if (options.with_batch) {
+    sample_batch(rng, config);
+  }
   return config;
 }
 
@@ -228,6 +250,12 @@ std::string describe(const sim::ScenarioConfig& config) {
         ov.staged_bf_reset ? 1 : 0,
         event::to_seconds(ov.staged_reset_grace),
         config.router_pit_capacity);
+    out += buffer;
+  }
+  if (config.tactic.batch.enabled) {
+    std::snprintf(buffer, sizeof(buffer), " batch[n=%zu hold=%.1fms]",
+                  config.tactic.batch.max_batch,
+                  event::to_seconds(config.tactic.batch.max_hold) * 1e3);
     out += buffer;
   }
   return out;

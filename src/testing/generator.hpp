@@ -36,6 +36,12 @@ struct GeneratorOptions {
   /// overload draws come strictly after the fault draws, so base and
   /// fault configurations stay identical with or without this option.
   bool with_overload = false;
+  /// Sample the batched-validation layer (per-provider signature batches
+  /// + same-instant BF multi-probe; docs/ARCHITECTURE.md, "Batched
+  /// stages") on most seeds.  The batch draws come strictly after the
+  /// overload draws, so base, fault and overload configurations stay
+  /// identical with or without this option.
+  bool with_batch = false;
 };
 
 /// Deterministically samples one scenario configuration from `seed`.

@@ -68,6 +68,10 @@ void AttackerApp::schedule_slot_fill() {
 
 void AttackerApp::fill_one_slot() {
   if (!running_ || outstanding_.size() >= config_.window) return;
+  if (config_.max_chunks > 0 &&
+      counters_.chunks_requested >= config_.max_chunks) {
+    return;  // closed-loop cap reached: the slot retires
+  }
 
   // Pick a target chunk by the same popularity law clients use (attackers
   // want content that is likely cached).
@@ -110,6 +114,7 @@ void AttackerApp::on_data(const ndn::Data& data) {
   node_.scheduler().cancel(it->second.timeout);
   if (data.nack_attached) {
     ++counters_.nacks_received;
+    ++counters_.nacks_by_reason[static_cast<std::size_t>(data.nack_reason)];
   } else {
     // Unauthorized delivery — the event TACTIC exists to prevent.
     ++counters_.chunks_received;
@@ -124,6 +129,7 @@ void AttackerApp::on_nack(const ndn::Nack& nack) {
   node_.scheduler().cancel(it->second.timeout);
   outstanding_.erase(it);
   ++counters_.nacks_received;
+  ++counters_.nacks_by_reason[static_cast<std::size_t>(nack.reason)];
   schedule_slot_fill();
 }
 

@@ -42,6 +42,10 @@ struct AttackerConfig {
   event::Time think_time_mean = 90 * event::kSecond;
   double zipf_alpha = 0.7;
   event::Time start_jitter = event::kSecond;
+  /// Closed-loop cap on probe Interests (attackers never retransmit, so
+  /// this caps `chunks_requested` directly).  0 = unlimited.  See
+  /// ClientConfig::max_chunks.
+  std::size_t max_chunks = 0;
 };
 
 class AttackerApp {

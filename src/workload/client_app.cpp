@@ -95,6 +95,9 @@ void ClientApp::advance_stream() {
 
 void ClientApp::fill_one_slot() {
   if (!running_) return;
+  if (config_.max_chunks > 0 && chunks_started_ >= config_.max_chunks) {
+    return;  // closed-loop cap reached: the slot retires
+  }
   if (outstanding_.size() >= config_.window) return;  // window full
 
   if (next_chunk_ >=
@@ -150,6 +153,7 @@ void ClientApp::send_chunk_interest() {
       config_.interest_lifetime, [this, name] { on_timeout(name); });
   outstanding_[name] = out;
   ++counters_.chunks_requested;
+  ++chunks_started_;
   node_.inject_from_app(face_, interest);
 }
 
@@ -258,6 +262,7 @@ void ClientApp::on_data(const ndn::Data& data) {
 
   if (data.nack_attached) {
     ++counters_.nacks_received;
+    ++counters_.nacks_by_reason[static_cast<std::size_t>(data.nack_reason)];
     if (data.nack_reason == ndn::NackReason::kRouterOverloaded) {
       // A router shed this request under load; the timer is already
       // cancelled, so back off and retry without burning the slot.
@@ -303,6 +308,7 @@ void ClientApp::on_nack(const ndn::Nack& nack) {
   if (it == outstanding_.end()) return;
   node_.scheduler().cancel(it->second.timeout);
   ++counters_.nacks_received;
+  ++counters_.nacks_by_reason[static_cast<std::size_t>(nack.reason)];
   if (nack.reason == ndn::NackReason::kRouterOverloaded) {
     on_overload_nack(nack.name);
     return;

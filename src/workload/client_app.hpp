@@ -9,6 +9,7 @@
 // slot.  A think-time gap paces each slot (calibrated in EXPERIMENTS.md to
 // the paper's observed per-client request rates).
 
+#include <array>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -56,6 +57,12 @@ struct ClientConfig {
   /// sign content.
   bool verify_content = false;
   const crypto::Pki* verify_pki = nullptr;
+  /// Closed-loop cap on *distinct* chunk requests (first attempts;
+  /// retransmissions are free).  0 = unlimited (the default open loop).
+  /// The differential batching harness uses this so batched and
+  /// unbatched runs issue the exact same request population regardless
+  /// of timing shifts near the scenario end.
+  std::size_t max_chunks = 0;
 };
 
 /// Per-user traffic counters (Table IV's rows; Fig. 6's tag rates).
@@ -81,6 +88,11 @@ struct UserCounters {
   /// each also counts in `nacks_received`.  These retry with backoff
   /// immediately instead of waiting out the chunk timeout.
   std::uint64_t overload_nacks = 0;
+  /// Per-reason breakdown of `nacks_received` (chunk verdicts only;
+  /// registration NACKs are excluded just as they are from
+  /// `nacks_received`).  Indexed by ndn::NackReason.  The batching
+  /// equivalence harness compares these as a verdict multiset.
+  std::array<std::uint64_t, ndn::kNackReasonCount> nacks_by_reason{};
 };
 
 class ClientApp {
@@ -177,6 +189,8 @@ class ClientApp {
 
   std::unordered_map<ndn::Name, Outstanding> outstanding_;
   UserCounters counters_;
+  /// Distinct chunks started (first attempts), against `max_chunks`.
+  std::size_t chunks_started_ = 0;
 };
 
 }  // namespace tactic::workload
