@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fixed-seed scenario-fuzz sweep in bigtables mode under ASan+UBSan:
+# every edge/core router FIB is pre-populated with 10^4-10^5 random
+# prefixes before the workload, pushing the interned-name tables (LC-trie
+# FIB, slab PIT, interned-key CS) toward the million-entry regime while
+# the runtime invariant checker stays armed.  Each scenario additionally
+# re-runs on the retained linear-reference FIB and the metrics
+# fingerprint + packet-trace digest are byte-compared — the trie must be
+# a pure lookup-structure swap, bit-identical to the reference.  Random
+# fault plans and overload configurations stay on, so crash-restarts
+# wipe and rebuild the big tables mid-run.  Any sanitizer report aborts
+# the run (-fno-sanitize-recover=all) and fails the script.
+#
+# Usage: ci/scale.sh [build-dir]    (default: build-sanitize)
+#
+# Reuses the sanitizer build tree; run after (or instead of)
+# ci/sanitize.sh — the cmake step below is a no-op when it already ran.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_scenarios
+
+# Same base-seed convention as ci/flood.sh / ci/batch.sh: failures
+# reproduce locally with the printed --seed/--repro line.  Prepopulation
+# makes each run markedly heavier (two extra passes per seed: repeat +
+# linear reference), so the sweep trades run count for table size.
+"$BUILD_DIR/fuzz_scenarios" --runs 10 --duration 8 --seed 9000 \
+  --faults --overload --bigtables
+
+echo "scale: OK"

@@ -36,6 +36,7 @@ void ContentStore::insert(const Data& data) {
   if (index_.size() > capacity_) {
     index_.erase(lru_.back().name);
     lru_.pop_back();
+    ++evictions_;
   }
 }
 

@@ -39,13 +39,19 @@ class ContentStore {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Capacity evictions performed (always O(1): the LRU tail pops — never
+  /// a table scan).  For sim::RouterOps; never fingerprinted.
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   std::size_t capacity_;
   std::list<Data> lru_;  // front = most recent
-  std::unordered_map<Name, std::list<Data>::iterator> index_;
+  /// Keyed on the interned-ID hash: insert/find never re-hash name bytes.
+  std::unordered_map<Name, std::list<Data>::iterator, InternedNameHash>
+      index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace tactic::ndn

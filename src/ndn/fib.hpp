@@ -1,9 +1,27 @@
 #pragma once
 // Forwarding Information Base: longest-prefix-match routing of Interests
 // toward providers, with equal-cost multipath next hops for failover.
+//
+// Two interchangeable lookup structures live here:
+//
+//  - `Fib` (the default, Impl::kLcTrie): a path-compressed radix trie over
+//    interned name components with level compression at high-fanout nodes
+//    (sorted-vector children promote to an open-addressing table).  Lookup
+//    cost is O(#components) independent of table size — the structure that
+//    carries million-prefix tables (docs/ARCHITECTURE.md, "Name interning
+//    and table structures").
+//  - `LinearFib`: the original hash-map implementation that probes every
+//    prefix length, retained verbatim as the differential reference.  The
+//    property suite in tests/table_diff_test.cpp asserts trie LPM ≡ linear
+//    LPM over randomized and adversarial prefix sets, and `Fib` can be
+//    switched wholesale to it (Impl::kLinear) for end-to-end equivalence
+//    runs (`fuzz_scenarios --bigtables`).
+//
+// Both structures implement identical semantics; which one backs a router
+// is unobservable in fingerprints, verdicts, and traces.
 
 #include <cstdint>
-#include <optional>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -15,25 +33,63 @@ namespace tactic::ndn {
 using FaceId = std::uint32_t;
 constexpr FaceId kInvalidFace = ~0u;
 
+struct FibNextHop {
+  FaceId face = kInvalidFace;
+  std::uint32_t cost = 0;  // routing metric (hop count)
+};
+
+struct FibEntry {
+  Name prefix;
+  /// Candidate upstream faces, sorted by (cost, face).  The forwarder
+  /// tries them in order and fails over when a link refuses the frame
+  /// (down or queue-full).
+  std::vector<FibNextHop> next_hops;
+
+  /// Best (lowest-cost) next hop; kInvalidFace when empty.
+  FaceId next_hop() const {
+    return next_hops.empty() ? kInvalidFace : next_hops.front().face;
+  }
+};
+
+/// The pre-trie FIB: unordered_map keyed by prefix Name, longest-prefix
+/// match by probing every prefix length longest-first.  O(#components)
+/// hash lookups per match, each hashing the full prefix bytes.  Kept as
+/// the executable specification the trie is differentially tested against.
+class LinearFib {
+ public:
+  using NextHop = FibNextHop;
+  using Entry = FibEntry;
+
+  void add_route(const Name& prefix, FaceId next_hop, std::uint32_t cost = 0);
+  void remove_next_hop(const Name& prefix, FaceId next_hop);
+  void remove_route(const Name& prefix);
+  void set_routes(const Name& prefix, std::vector<NextHop> next_hops);
+  const Entry* lookup(const Name& name) const;
+  const Entry* find_exact(const Name& prefix) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  static void sort_hops(std::vector<NextHop>& hops);
+
+  std::unordered_map<Name, Entry> entries_;
+};
+
 class Fib {
  public:
-  struct NextHop {
-    FaceId face = kInvalidFace;
-    std::uint32_t cost = 0;  // routing metric (hop count)
-  };
+  using NextHop = FibNextHop;
+  using Entry = FibEntry;
 
-  struct Entry {
-    Name prefix;
-    /// Candidate upstream faces, sorted by (cost, face).  The forwarder
-    /// tries them in order and fails over when a link refuses the frame
-    /// (down or queue-full).
-    std::vector<NextHop> next_hops;
+  /// Which lookup structure backs this FIB.  Semantics are identical; the
+  /// linear reference exists for differential testing and benchmarking.
+  enum class Impl { kLcTrie, kLinear };
 
-    /// Best (lowest-cost) next hop; kInvalidFace when empty.
-    FaceId next_hop() const {
-      return next_hops.empty() ? kInvalidFace : next_hops.front().face;
-    }
-  };
+  Fib();
+
+  /// Selects the backing structure.  Only legal while the table is empty
+  /// (the switch does not migrate entries); throws std::logic_error
+  /// otherwise.
+  void set_impl(Impl impl);
+  Impl impl() const { return impl_; }
 
   /// Adds (or updates the cost of) one next hop for `prefix`, keeping the
   /// hop list sorted by (cost, face).
@@ -49,18 +105,92 @@ class Fib {
   void set_routes(const Name& prefix, std::vector<NextHop> next_hops);
 
   /// Longest-prefix match; nullptr when no entry covers `name`.
-  /// O(#components) hash lookups.
+  /// Trie: one walk over the components.  Linear: O(#components) map probes.
   const Entry* lookup(const Name& name) const;
 
   /// Exact-prefix find (no LPM).
   const Entry* find_exact(const Name& prefix) const;
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const;
+
+  /// Hot-path work counters, for regression tests pinning lookup cost and
+  /// for sim::RouterOps aggregation.  Never fingerprinted.
+  struct Counters {
+    std::uint64_t lookups = 0;        // lookup() calls
+    std::uint64_t nodes_visited = 0;  // trie nodes touched during lookups
+  };
+  const Counters& counters() const { return counters_; }
 
  private:
-  static void sort_hops(std::vector<NextHop>& hops);
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+  static constexpr std::int32_t kNoEntry = -1;
 
-  std::unordered_map<Name, Entry> entries_;
+  /// Child table of one trie node, keyed by the first component of each
+  /// outgoing edge.  Starts as a vector sorted by ComponentId (binary
+  /// search); promotes to an open-addressing hash table once fanout
+  /// exceeds kPromote — the "level compression" that keeps huge root
+  /// fanouts (10^6 distinct first components) O(1) per probe.
+  class ChildMap {
+   public:
+    std::uint32_t find(ComponentId c) const;
+    /// Insert-or-replace the node mapped from `c`.
+    void upsert(ComponentId c, std::uint32_t node);
+    void erase(ComponentId c);
+    std::size_t size() const { return hashed_ ? count_ : slots_.size(); }
+    /// The single element; requires size() == 1 (edge-merge on prune).
+    std::pair<ComponentId, std::uint32_t> only() const;
+
+   private:
+    static constexpr std::size_t kPromote = 16;
+    static std::size_t probe_start(ComponentId c, std::size_t mask);
+    void rehash(std::size_t capacity);
+
+    /// Sorted (id, node) pairs in vector mode; open-addressing slots with
+    /// first == kInvalidComponent marking empties in hash mode.
+    std::vector<std::pair<ComponentId, std::uint32_t>> slots_;
+    std::size_t count_ = 0;  // live entries (hash mode only)
+    bool hashed_ = false;
+  };
+
+  /// One trie node.  `label` is the path-compressed component run on the
+  /// edge from the parent into this node (empty only for the root);
+  /// invariant: every non-root node holds an entry or has ≥2 children.
+  struct Node {
+    std::vector<ComponentId> label;
+    std::int32_t entry = kNoEntry;  // index into entries_, kNoEntry if none
+    ChildMap children;
+  };
+
+  std::uint32_t alloc_node();
+  void free_node(std::uint32_t n);
+  std::int32_t alloc_entry();
+  void free_entry(std::int32_t e);
+  /// Finds-or-creates the node whose full path equals `ids`, splitting
+  /// edges as needed; appends the root-to-node index path to `path`.
+  std::uint32_t ensure_node(const std::vector<ComponentId>& ids,
+                            std::vector<std::uint32_t>& path);
+  /// Read-only exact walk; kNoNode when `ids` does not end on a node.
+  std::uint32_t walk_exact(const std::vector<ComponentId>& ids,
+                           std::vector<std::uint32_t>* path) const;
+  /// Restores the trie invariant along `path` (root..target) after the
+  /// target's entry was cleared: drops empty leaves, merges single-child
+  /// pass-through nodes into their child.
+  void prune(const std::vector<std::uint32_t>& path);
+  Entry& entry_for(std::uint32_t node, const Name& prefix);
+  void drop_entry(std::uint32_t node, const std::vector<std::uint32_t>& path);
+
+  Impl impl_ = Impl::kLcTrie;
+  LinearFib linear_;  // backing store in Impl::kLinear mode
+
+  std::vector<Node> nodes_;  // [0] is the root
+  std::vector<std::uint32_t> free_nodes_;
+  /// Entry slab: deque for pointer stability (lookup() returns raw
+  /// pointers), free list for slot reuse.
+  std::deque<Entry> entries_;
+  std::vector<std::int32_t> free_entries_;
+  std::size_t entry_count_ = 0;
+
+  mutable Counters counters_;
 };
 
 }  // namespace tactic::ndn

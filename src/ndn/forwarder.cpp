@@ -182,7 +182,7 @@ void Forwarder::send_interest(const std::vector<Fib::NextHop>& next_hops,
 
 void Forwarder::schedule_pit_expiry(PitEntry& entry, event::Time expiry) {
   if (entry.expiry_event.valid()) scheduler_.cancel(entry.expiry_event);
-  entry.expiry_time = expiry;
+  pit_.set_expiry(entry, expiry);  // updates expiry_time + the expiry heap
   const Name name = entry.name;
   entry.expiry_event = scheduler_.schedule_at(expiry, [this, name] {
     if (pit_.find(name) != nullptr) {
@@ -340,9 +340,9 @@ void Forwarder::crash() {
   ++counters_.crashes;
   // Volatile forwarding state is lost: every PIT entry (with its expiry
   // timer) and the whole Content Store.
-  for (const auto& [name, entry] : pit_.entries()) {
+  pit_.for_each([this](const PitEntry& entry) {
     if (entry.expiry_event.valid()) scheduler_.cancel(entry.expiry_event);
-  }
+  });
   pit_.clear();
   cs_.clear();
 }

@@ -5,6 +5,7 @@
 namespace tactic::ndn {
 
 Name::Name(std::string_view uri) {
+  NameTable& table = NameTable::instance();
   std::size_t start = 0;
   while (start < uri.size()) {
     if (uri[start] == '/') {
@@ -13,47 +14,81 @@ Name::Name(std::string_view uri) {
     }
     std::size_t end = uri.find('/', start);
     if (end == std::string_view::npos) end = uri.size();
-    components_.emplace_back(uri.substr(start, end - start));
+    ids_.push_back(table.intern(uri.substr(start, end - start)));
     start = end + 1;
   }
 }
 
-Name::Name(std::initializer_list<std::string> components)
-    : components_(components) {}
+Name::Name(std::initializer_list<std::string> components) {
+  NameTable& table = NameTable::instance();
+  ids_.reserve(components.size());
+  for (const std::string& component : components) {
+    ids_.push_back(table.intern(component));
+  }
+}
 
 Name Name::from_components(std::vector<std::string> components) {
   Name n;
-  n.components_ = std::move(components);
+  NameTable& table = NameTable::instance();
+  n.ids_.reserve(components.size());
+  for (const std::string& component : components) {
+    n.ids_.push_back(table.intern(component));
+  }
   return n;
 }
 
+Name Name::from_ids(std::vector<ComponentId> ids) {
+  Name n;
+  n.ids_ = std::move(ids);
+  return n;
+}
+
+std::vector<std::string> Name::components() const {
+  const NameTable& table = NameTable::instance();
+  std::vector<std::string> out;
+  out.reserve(ids_.size());
+  for (const ComponentId id : ids_) out.push_back(table.text(id));
+  return out;
+}
+
 std::string Name::to_uri() const {
-  if (components_.empty()) return "/";
+  if (ids_.empty()) return "/";
+  const NameTable& table = NameTable::instance();
   std::string out;
-  for (const auto& c : components_) {
+  out.reserve(uri_size());
+  for (const ComponentId id : ids_) {
     out += '/';
-    out += c;
+    out += table.text(id);
   }
   return out;
 }
 
+std::size_t Name::uri_size() const {
+  if (ids_.empty()) return 1;  // "/"
+  const NameTable& table = NameTable::instance();
+  std::size_t size = ids_.size();  // one '/' per component
+  for (const ComponentId id : ids_) size += table.text(id).size();
+  return size;
+}
+
 Name Name::prefix(std::size_t n) const {
   Name out;
-  const std::size_t take = std::min(n, components_.size());
-  out.components_.assign(components_.begin(),
-                         components_.begin() + static_cast<std::ptrdiff_t>(take));
+  const std::size_t take = std::min(n, ids_.size());
+  out.ids_.assign(ids_.begin(),
+                  ids_.begin() + static_cast<std::ptrdiff_t>(take));
   return out;
 }
 
 bool Name::is_prefix_of(const Name& other) const {
-  if (components_.size() > other.components_.size()) return false;
-  return std::equal(components_.begin(), components_.end(),
-                    other.components_.begin());
+  if (ids_.size() > other.ids_.size()) return false;
+  return std::equal(ids_.begin(), ids_.end(), other.ids_.begin());
 }
 
 Name Name::append(std::string_view component) const {
-  Name out = *this;
-  out.components_.emplace_back(component);
+  Name out;
+  out.ids_.reserve(ids_.size() + 1);
+  out.ids_ = ids_;
+  out.ids_.push_back(NameTable::instance().intern(component));
   return out;
 }
 
@@ -62,26 +97,45 @@ Name Name::append_number(std::uint64_t number) const {
 }
 
 int Name::compare(const Name& other) const {
-  const std::size_t n = std::min(components_.size(), other.components_.size());
+  if (ids_ == other.ids_) return 0;  // common case, no table walk
+  const NameTable& table = NameTable::instance();
+  const std::size_t n = std::min(ids_.size(), other.ids_.size());
   for (std::size_t i = 0; i < n; ++i) {
-    const int c = components_[i].compare(other.components_[i]);
+    if (ids_[i] == other.ids_[i]) continue;  // same interned component
+    const int c = table.text(ids_[i]).compare(table.text(other.ids_[i]));
     if (c != 0) return c < 0 ? -1 : 1;
   }
-  if (components_.size() == other.components_.size()) return 0;
-  return components_.size() < other.components_.size() ? -1 : 1;
+  if (ids_.size() == other.ids_.size()) return 0;
+  return ids_.size() < other.ids_.size() ? -1 : 1;
 }
 
 std::uint64_t Name::hash() const {
+  if (hash_cached_) return hash_;
   // FNV-1a over components with a separator byte, so /ab/c and /a/bc
-  // hash differently.
+  // hash differently.  Must stay byte-identical to the pre-interning
+  // definition: this value is the std::hash<Name> seed everywhere.
+  const NameTable& table = NameTable::instance();
   std::uint64_t h = 14695981039346656037ULL;
   auto mix = [&h](unsigned char byte) {
     h ^= byte;
     h *= 1099511628211ULL;
   };
-  for (const auto& c : components_) {
+  for (const ComponentId id : ids_) {
     mix('/');
-    for (unsigned char byte : c) mix(byte);
+    for (unsigned char byte : table.text(id)) mix(byte);
+  }
+  hash_ = h;
+  hash_cached_ = true;
+  return h;
+}
+
+std::uint64_t Name::id_hash() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const ComponentId id : ids_) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (id >> shift) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
   }
   return h;
 }

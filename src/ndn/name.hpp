@@ -1,10 +1,19 @@
 #pragma once
-// Hierarchical NDN names.
+// Hierarchical NDN names over interned components.
 //
 // A name is an ordered list of components, written as a URI like
 // "/provider3/obj12/chunk7".  Names identify content, name prefixes
 // identify providers (FIB entries), and public-key locators are themselves
 // names (paper Section 3.B).
+//
+// Representation: every component string is interned once in the global
+// NameTable and a Name holds a small vector of dense 32-bit ComponentIds.
+// Component equality is an integer compare, prefix slicing copies a few
+// words, and the container hash is a handful of integer multiplies — the
+// foundation for million-entry FIB/PIT/CS tables.  All *semantics* stay
+// string-defined: equality, ordering (compare/<), and hash() are functions
+// of the component strings alone, so interning order is unobservable and
+// fingerprints are unaffected by the representation.
 
 #include <cstddef>
 #include <cstdint>
@@ -12,6 +21,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "ndn/name_table.hpp"
 
 namespace tactic::ndn {
 
@@ -24,14 +35,27 @@ class Name {
   Name(std::initializer_list<std::string> components);
 
   static Name from_components(std::vector<std::string> components);
+  /// Builds a name directly from interned component IDs (table lookups
+  /// already paid).  IDs must come from NameTable::instance().
+  static Name from_ids(std::vector<ComponentId> ids);
 
-  bool empty() const { return components_.empty(); }
-  std::size_t size() const { return components_.size(); }
-  const std::string& at(std::size_t i) const { return components_.at(i); }
-  const std::vector<std::string>& components() const { return components_; }
+  bool empty() const { return ids_.empty(); }
+  std::size_t size() const { return ids_.size(); }
+  /// Component text; the reference is stable for the process lifetime
+  /// (it aliases the global interning table).
+  const std::string& at(std::size_t i) const {
+    return NameTable::instance().text(ids_.at(i));
+  }
+  /// The interned component IDs (the representation tables key on).
+  const std::vector<ComponentId>& component_ids() const { return ids_; }
+  /// Materialized component strings (compatibility helper; allocates).
+  std::vector<std::string> components() const;
 
   /// Canonical URI form, "/a/b/c"; the root name renders as "/".
   std::string to_uri() const;
+  /// Length of to_uri() in bytes, computed without allocating (wire-size
+  /// accounting on the forwarding hot path).
+  std::size_t uri_size() const;
 
   /// First `n` components (n clamped to size()).
   Name prefix(std::size_t n) const;
@@ -43,21 +67,42 @@ class Name {
   Name append(std::string_view component) const;
   Name append_number(std::uint64_t number) const;
 
-  /// Lexicographic comparison by components (shorter-is-smaller ties).
+  /// Lexicographic comparison by component strings (shorter-is-smaller
+  /// ties).  Interning IDs are order-free, so this walks the table text.
   int compare(const Name& other) const;
   friend bool operator==(const Name& a, const Name& b) {
-    return a.components_ == b.components_;
+    return a.ids_ == b.ids_;  // interning makes string equality an ID compare
   }
   friend bool operator!=(const Name& a, const Name& b) { return !(a == b); }
   friend bool operator<(const Name& a, const Name& b) {
     return a.compare(b) < 0;
   }
 
-  /// Stable 64-bit hash of the canonical URI (FNV-1a), for hash maps.
+  /// Stable 64-bit hash of the canonical URI (FNV-1a over the bytes), for
+  /// hash maps and any fingerprint-visible use.  Cached after the first
+  /// computation; identical to the pre-interning definition.
   std::uint64_t hash() const;
 
+  /// Cheap container hash over the interned IDs (FNV-1a over the 32-bit
+  /// words).  Values are interning-order-dependent — use only for
+  /// in-process hash tables (PIT/CS keys), never for anything a
+  /// fingerprint or wire format observes.
+  std::uint64_t id_hash() const;
+
  private:
-  std::vector<std::string> components_;
+  std::vector<ComponentId> ids_;
+  /// Lazily cached hash() value (byte FNV-1a; 0 == not yet computed is
+  /// disambiguated by the flag, not the value).
+  mutable std::uint64_t hash_ = 0;
+  mutable bool hash_cached_ = false;
+};
+
+/// Hasher keying on Name::id_hash() — the interned-name key the PIT and
+/// Content Store tables use.  Equality stays Name::operator== (ID vectors).
+struct InternedNameHash {
+  std::size_t operator()(const Name& name) const noexcept {
+    return static_cast<std::size_t>(name.id_hash());
+  }
 };
 
 }  // namespace tactic::ndn

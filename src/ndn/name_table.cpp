@@ -1,0 +1,24 @@
+#include "ndn/name_table.hpp"
+
+#include <stdexcept>
+
+namespace tactic::ndn {
+
+NameTable& NameTable::instance() {
+  static NameTable table;
+  return table;
+}
+
+ComponentId NameTable::intern(std::string_view text) {
+  const auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  if (components_.size() >= kInvalidComponent) {
+    throw std::length_error("NameTable: component id space exhausted");
+  }
+  const ComponentId id = static_cast<ComponentId>(components_.size());
+  components_.emplace_back(text);
+  ids_.emplace(std::string_view(components_.back()), id);
+  return id;
+}
+
+}  // namespace tactic::ndn

@@ -1,0 +1,65 @@
+#pragma once
+// Global name-component interning table.
+//
+// Every name component string is registered here exactly once and mapped
+// to a dense 32-bit ComponentId; Names then hold small ID vectors instead
+// of string vectors, making component comparison O(1) and name hashing a
+// few integer multiplies.  This is the substrate the LC-trie FIB and the
+// interned-hash PIT/CS keys are built on (docs/ARCHITECTURE.md, "Name
+// interning and table structures").
+//
+// The table is process-global and append-only: IDs are never recycled and
+// interned strings are never moved, so `text(id)` references stay valid
+// for the life of the process.  In particular the table survives router
+// crash/restart cycles that wipe all volatile forwarding state (FIB, PIT,
+// CS, Bloom filters) — it models the *vocabulary* of names, not any
+// router's state.  ID values depend on interning order and carry no
+// meaning: Name equality, ordering, and the byte-level hash used for
+// fingerprints are all defined over the component *strings*, so two runs
+// that intern in different orders still behave identically.
+//
+// The simulator is single-threaded; the table is not synchronized.  The
+// planned multi-lane router work must either shard it or add a lock.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tactic::ndn {
+
+/// Dense identifier of one interned name component.
+using ComponentId = std::uint32_t;
+
+/// Reserved non-component value (open-addressing sentinels and the like).
+inline constexpr ComponentId kInvalidComponent = 0xFFFFFFFFu;
+
+class NameTable {
+ public:
+  /// The process-global table every Name interns through.
+  static NameTable& instance();
+
+  /// Returns the ID for `text`, registering it on first sight.  Re-interning
+  /// the same string always yields the same ID (ID stability).
+  ComponentId intern(std::string_view text);
+
+  /// The component string for `id`.  The reference is stable forever (the
+  /// backing deque never moves strings).  Throws std::out_of_range for
+  /// unregistered IDs.
+  const std::string& text(ComponentId id) const {
+    return components_.at(id);
+  }
+
+  /// Number of distinct components registered so far.
+  std::size_t size() const { return components_.size(); }
+
+ private:
+  NameTable() = default;
+
+  std::deque<std::string> components_;  // id -> text, addresses stable
+  /// text -> id; keys view the deque-owned strings (stable storage).
+  std::unordered_map<std::string_view, ComponentId> ids_;
+};
+
+}  // namespace tactic::ndn

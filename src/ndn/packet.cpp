@@ -25,7 +25,7 @@ constexpr std::size_t kHeaderOverhead = 16;
 }  // namespace
 
 std::size_t Interest::wire_size() const {
-  std::size_t size = kHeaderOverhead + name.to_uri().size() + 4 /*nonce*/ +
+  std::size_t size = kHeaderOverhead + name.uri_size() + 4 /*nonce*/ +
                      4 /*lifetime*/ + payload_size;
   if (tag) size += tag_wire_size + 8 /*F*/ + 8 /*access path*/;
   return size;
@@ -41,7 +41,7 @@ util::Bytes Data::signed_portion() const {
 }
 
 std::size_t Data::wire_size() const {
-  std::size_t size = kHeaderOverhead + name.to_uri().size() + content_size +
+  std::size_t size = kHeaderOverhead + name.uri_size() + content_size +
                      4 /*access level*/ + provider_key_locator.size() +
                      signature_size;
   if (tag) size += tag_wire_size + 8 /*F*/;
@@ -50,7 +50,7 @@ std::size_t Data::wire_size() const {
 }
 
 std::size_t Nack::wire_size() const {
-  return kHeaderOverhead + name.to_uri().size() + 1 /*reason*/;
+  return kHeaderOverhead + name.uri_size() + 1 /*reason*/;
 }
 
 }  // namespace tactic::ndn

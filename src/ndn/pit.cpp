@@ -4,36 +4,141 @@
 
 namespace tactic::ndn {
 
+void Pit::lru_unlink(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  if (slot.lru_prev != kNil) {
+    slots_[slot.lru_prev].lru_next = slot.lru_next;
+  } else {
+    lru_head_ = slot.lru_next;
+  }
+  if (slot.lru_next != kNil) {
+    slots_[slot.lru_next].lru_prev = slot.lru_prev;
+  } else {
+    lru_tail_ = slot.lru_prev;
+  }
+  slot.lru_prev = slot.lru_next = kNil;
+}
+
+void Pit::lru_push_back(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.lru_prev = lru_tail_;
+  slot.lru_next = kNil;
+  if (lru_tail_ != kNil) {
+    slots_[lru_tail_].lru_next = s;
+  } else {
+    lru_head_ = s;
+  }
+  lru_tail_ = s;
+}
+
+std::uint32_t Pit::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  const auto s = static_cast<std::uint32_t>(slots_.size() - 1);
+  slots_[s].entry.slot = s;
+  return s;
+}
+
+void Pit::free_slot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.entry.name = Name();
+  slot.entry.in_records.clear();  // keeps capacity — the arena win
+  slot.entry.forwarded = false;
+  slot.entry.expiry_event = event::EventId();
+  slot.entry.expiry_time = 0;
+  ++slot.gen;  // invalidates any expiry-heap records for this slot
+  slot.live = false;
+  free_slots_.push_back(s);
+}
+
 PitEntry* Pit::find(const Name& name) {
-  const auto it = entries_.find(name);
-  if (it == entries_.end()) return nullptr;
-  lru_.splice(lru_.end(), lru_, it->second.lru_it);  // touch
-  return &it->second;
+  ++counters_.lookups;
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  const std::uint32_t s = it->second;
+  lru_unlink(s);
+  lru_push_back(s);  // touch
+  return &slots_[s].entry;
 }
 
 PitEntry& Pit::get_or_create(const Name& name) {
-  auto [it, inserted] = entries_.try_emplace(name);
-  if (inserted) {
-    it->second.name = name;
-    lru_.push_back(name);
-    it->second.lru_it = std::prev(lru_.end());
-  } else {
-    lru_.splice(lru_.end(), lru_, it->second.lru_it);  // touch
+  ++counters_.lookups;
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    const std::uint32_t s = it->second;
+    lru_unlink(s);
+    lru_push_back(s);  // touch
+    return slots_[s].entry;
   }
-  return it->second;
+  ++counters_.inserts;
+  const std::uint32_t s = alloc_slot();
+  Slot& slot = slots_[s];
+  slot.entry.name = name;
+  slot.live = true;
+  index_.emplace(name, s);
+  lru_push_back(s);
+  return slot.entry;
 }
 
 void Pit::erase(const Name& name) {
-  const auto it = entries_.find(name);
-  if (it == entries_.end()) return;
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return;
+  const std::uint32_t s = it->second;
+  index_.erase(it);
+  lru_unlink(s);
+  free_slot(s);
+}
+
+void Pit::clear() {
+  index_.clear();
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].live) {
+      lru_unlink(s);
+      free_slot(s);
+    }
+  }
+  expiry_heap_.clear();
+  lru_head_ = lru_tail_ = kNil;
 }
 
 PitEntry* Pit::lru_victim() {
-  if (lru_.empty()) return nullptr;
-  const auto it = entries_.find(lru_.front());
-  return it == entries_.end() ? nullptr : &it->second;
+  if (lru_head_ == kNil) return nullptr;
+  return &slots_[lru_head_].entry;
+}
+
+void Pit::set_expiry(PitEntry& entry, event::Time expiry) {
+  entry.expiry_time = expiry;
+  const std::uint32_t s = entry.slot;
+  expiry_heap_.push_back(ExpiryRec{expiry, s, slots_[s].gen});
+  std::push_heap(expiry_heap_.begin(), expiry_heap_.end(),
+                 [](const ExpiryRec& a, const ExpiryRec& b) {
+                   return a.expiry > b.expiry;  // min-heap
+                 });
+}
+
+bool Pit::rec_current(const ExpiryRec& rec) const {
+  const Slot& slot = slots_[rec.slot];
+  return slot.live && slot.gen == rec.gen &&
+         slot.entry.expiry_time == rec.expiry;
+}
+
+std::optional<event::Time> Pit::min_expiry() {
+  const auto greater = [](const ExpiryRec& a, const ExpiryRec& b) {
+    return a.expiry > b.expiry;
+  };
+  while (!expiry_heap_.empty()) {
+    ++counters_.expiry_polls;
+    if (rec_current(expiry_heap_.front())) {
+      return expiry_heap_.front().expiry;
+    }
+    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), greater);
+    expiry_heap_.pop_back();
+  }
+  return std::nullopt;
 }
 
 bool Pit::has_nonce(const PitEntry& entry, std::uint64_t nonce) {

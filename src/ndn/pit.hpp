@@ -5,10 +5,20 @@
 // downstream faces), TACTIC's Protocol 4 requires each aggregated request
 // to record the 3-tuple <tag T, flag F, incoming face>, so intermediate
 // routers can validate every aggregated tag when the content returns.
+//
+// Storage is a slab arena: entries live in a deque of reusable slots
+// (stable addresses — callers hold PitEntry references across inserts),
+// indexed by an interned-name hash map, with recency kept as an intrusive
+// doubly-linked list of slot indices.  Freed slots keep their in_records
+// vector capacity, so steady-state operation allocates nothing per
+// Interest.  Expiry bookkeeping is a lazy min-heap: the invariant sampler
+// asks for the earliest live deadline in O(1) amortized instead of
+// scanning the whole table (see Pit::min_expiry).
 
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -38,9 +48,10 @@ struct PitEntry {
   bool forwarded = false;
   event::EventId expiry_event;
   /// Absolute time at which the whole entry expires (max over records).
+  /// Keep in sync via Pit::set_expiry so the expiry heap sees updates.
   event::Time expiry_time = 0;
-  /// Position in the PIT's recency list (maintained by Pit itself).
-  std::list<Name>::iterator lru_it;
+  /// Arena slot this entry occupies (maintained by Pit itself).
+  std::uint32_t slot = 0;
 };
 
 class Pit {
@@ -50,39 +61,89 @@ class Pit {
   PitEntry* find(const Name& name);
 
   /// Creates (or returns the existing) entry; either way the entry
-  /// becomes most-recently used.
+  /// becomes most-recently used.  References remain valid across later
+  /// inserts (slab storage).
   PitEntry& get_or_create(const Name& name);
 
   void erase(const Name& name);
 
   /// Drops every entry.  Callers owning scheduler events (expiry timers)
   /// must cancel them first — the PIT does not know the scheduler.
-  void clear() {
-    entries_.clear();
-    lru_.clear();
-  }
+  void clear();
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return index_.size(); }
 
   /// The least-recently-used entry (the eviction victim when the owner
   /// enforces a capacity); nullptr when empty.  Does not touch recency.
   PitEntry* lru_victim();
 
-  /// Read-only view of all live entries — the invariant checker walks
-  /// this to assert no entry outlives its expiry.
-  const std::unordered_map<Name, PitEntry>& entries() const {
-    return entries_;
+  /// Visits every live entry (slot order).  Used for crash-time timer
+  /// cancellation and invariant-failure reporting — never on a per-packet
+  /// path, and nothing fingerprint-visible may depend on the order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.live) fn(slot.entry);
+    }
   }
+
+  /// Records the entry's expiry deadline (sets entry.expiry_time and
+  /// pushes a heap record).  Callers must route every expiry_time update
+  /// through here or min_expiry() goes stale.
+  void set_expiry(PitEntry& entry, event::Time expiry);
+
+  /// Earliest expiry deadline over all live entries; nullopt when none
+  /// has a deadline.  Lazily discards records for erased or re-scheduled
+  /// entries, so the amortized cost is O(1) per set_expiry call — the
+  /// invariant sampler polls this instead of scanning the table.
+  std::optional<event::Time> min_expiry();
 
   /// Whether a downstream face already requested this name with this nonce
   /// (duplicate/looping Interest detection).
   static bool has_nonce(const PitEntry& entry, std::uint64_t nonce);
 
+  /// Hot-path work counters for sim::RouterOps aggregation and the
+  /// regression tests pinning table costs.  Never fingerprinted.
+  struct Counters {
+    std::uint64_t lookups = 0;       // find() + get_or_create() probes
+    std::uint64_t inserts = 0;       // entries created
+    std::uint64_t expiry_polls = 0;  // heap records examined by min_expiry
+  };
+  const Counters& counters() const { return counters_; }
+
  private:
-  std::unordered_map<Name, PitEntry> entries_;
-  /// Recency order, front = least recently used.  Entries hold their own
-  /// position (`PitEntry::lru_it`) so touch/erase stay O(1).
-  std::list<Name> lru_;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    PitEntry entry;
+    /// Bumped on free; stale expiry-heap records fail the gen check.
+    std::uint32_t gen = 0;
+    bool live = false;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+  };
+
+  struct ExpiryRec {
+    event::Time expiry = 0;
+    std::uint32_t slot = kNil;
+    std::uint32_t gen = 0;
+  };
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t s);
+  void lru_unlink(std::uint32_t s);
+  void lru_push_back(std::uint32_t s);
+  /// True when the heap record still describes a live, current deadline.
+  bool rec_current(const ExpiryRec& rec) const;
+
+  std::deque<Slot> slots_;  // stable addresses; freed slots keep capacity
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<Name, std::uint32_t, InternedNameHash> index_;
+  std::uint32_t lru_head_ = kNil;  // least recently used
+  std::uint32_t lru_tail_ = kNil;  // most recently used
+  /// Min-heap by expiry with lazy deletion (gen + expiry_time checks).
+  std::vector<ExpiryRec> expiry_heap_;
+  mutable Counters counters_;
 };
 
 }  // namespace tactic::ndn

@@ -30,6 +30,12 @@ RouterOps& RouterOps::operator+=(const RouterOps& other) {
   }
   sig_batch_unbatched_equiv_s += other.sig_batch_unbatched_equiv_s;
   bf_probes_coalesced += other.bf_probes_coalesced;
+  fib_lookups += other.fib_lookups;
+  fib_nodes_visited += other.fib_nodes_visited;
+  pit_lookups += other.pit_lookups;
+  pit_inserts += other.pit_inserts;
+  pit_expiry_polls += other.pit_expiry_polls;
+  cs_evictions += other.cs_evictions;
   return *this;
 }
 

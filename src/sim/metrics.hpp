@@ -51,6 +51,15 @@ struct RouterOps {
   /// compute_sig_s.
   double sig_batch_unbatched_equiv_s = 0.0;
   std::uint64_t bf_probes_coalesced = 0;
+  // Name-table work (FIB trie / PIT slab / CS index; see
+  // docs/ARCHITECTURE.md "Name interning and table structures").  Used by
+  // cost-regression tests and bench/scalability; never fingerprinted.
+  std::uint64_t fib_lookups = 0;
+  std::uint64_t fib_nodes_visited = 0;  // trie nodes touched by lookups
+  std::uint64_t pit_lookups = 0;
+  std::uint64_t pit_inserts = 0;
+  std::uint64_t pit_expiry_polls = 0;  // lazy-heap records examined
+  std::uint64_t cs_evictions = 0;
 
   /// Mean signature-batch occupancy at flush (1.0 = no amortization).
   double mean_batch_occupancy() const {

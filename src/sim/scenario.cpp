@@ -21,11 +21,53 @@ Scenario::Scenario(ScenarioConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
   network_ = std::make_unique<topology::Network>(scheduler_,
                                                  config_.topology, rng_);
+  // Select the FIB structure while every table is still empty (set_impl
+  // refuses otherwise); routes are installed below.
+  if (config_.fib_impl != ndn::Fib::Impl::kLcTrie) {
+    for (std::size_t i = 0; i < network_->node_count(); ++i) {
+      network_->node(static_cast<net::NodeId>(i))
+          .fib()
+          .set_impl(config_.fib_impl);
+    }
+  }
   build_providers();
   install_policies();
   build_clients();
   build_attackers();
   install_faults();
+  prepopulate_fib();
+}
+
+void Scenario::prepopulate_fib() {
+  if (config_.prepopulate_fib_prefixes == 0) return;
+  // Dedicated stream: the workload's rng_ fork sequence must be identical
+  // with and without prepopulation (parity).
+  util::Rng rng(config_.seed ^ 0xB16FAB1E5ULL);
+  std::vector<ndn::Name> prefixes;
+  prefixes.reserve(config_.prepopulate_fib_prefixes);
+  for (std::size_t i = 0; i < config_.prepopulate_fib_prefixes; ++i) {
+    // First component "xfib<hex>": never a prefix of the workload's
+    // /providerN/... names, so these entries are forwarding-invisible.
+    char head[32];
+    std::snprintf(head, sizeof(head), "xfib%016llx",
+                  static_cast<unsigned long long>(rng()));
+    ndn::Name name = ndn::Name().append(head);
+    const std::uint64_t extra = rng.uniform(3);  // depth 1–3
+    for (std::uint64_t d = 0; d < extra; ++d) {
+      name = name.append_number(rng.uniform(1 << 20));
+    }
+    prefixes.push_back(std::move(name));
+  }
+  auto install = [&](net::NodeId id) {
+    ndn::Fib& fib = network_->node(id).fib();
+    for (const ndn::Name& prefix : prefixes) {
+      // Face 0 always exists on a router (its first adjacency); the
+      // enormous cost keeps the hop ordered behind any real route.
+      fib.add_route(prefix, 0, 0xFFFFFF);
+    }
+  };
+  for (const net::NodeId id : network_->edge_routers()) install(id);
+  for (const net::NodeId id : network_->core_routers()) install(id);
 }
 
 void Scenario::build_providers() {
@@ -377,6 +419,12 @@ Metrics Scenario::harvest() {
     out.cs_hits += node.cs().hits();
     out.cs_misses += node.cs().misses();
     out.pit_evictions += node.counters().pit_evictions;
+    ops.fib_lookups += node.fib().counters().lookups;
+    ops.fib_nodes_visited += node.fib().counters().nodes_visited;
+    ops.pit_lookups += node.pit().counters().lookups;
+    ops.pit_inserts += node.pit().counters().inserts;
+    ops.pit_expiry_polls += node.pit().counters().expiry_polls;
+    ops.cs_evictions += node.cs().evictions();
     const auto* tactic =
         dynamic_cast<const core::TacticRouterPolicy*>(&node.policy());
     if (tactic != nullptr) {

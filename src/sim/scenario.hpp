@@ -11,6 +11,7 @@
 
 #include "baselines/baselines.hpp"
 #include "event/scheduler.hpp"
+#include "ndn/fib.hpp"
 #include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "tactic/compute_model.hpp"
@@ -60,6 +61,19 @@ struct ScenarioConfig {
   /// evicted to admit a new Interest (counted in `pit_evictions`).  0
   /// keeps the PIT unbounded (the pre-overload-layer behaviour).
   std::size_t router_pit_capacity = 0;
+
+  /// Lookup structure backing every node's FIB.  kLinear selects the
+  /// retained reference implementation — metrics, verdicts, and traces
+  /// must not change (the differential gate `fuzz_scenarios --bigtables`
+  /// runs both and compares fingerprints).
+  ndn::Fib::Impl fib_impl = ndn::Fib::Impl::kLcTrie;
+
+  /// Installs this many random junk prefixes (first component "xfib…",
+  /// never matching workload names) into every edge/core router FIB
+  /// before the run — the bigtables mode exercising table behaviour at
+  /// 10^4–10^6 entries.  Draws from a dedicated RNG stream, so enabling
+  /// it does not perturb the workload's randomness.
+  std::size_t prepopulate_fib_prefixes = 0;
 
   /// Fault injection (chaos layer).  The default (empty) plan leaves the
   /// run bit-identical to a faultless build; see docs/FAULTS.md.
@@ -148,6 +162,8 @@ class Scenario {
   /// fault models and the corruption probe, schedules crashes and flaps.
   /// No-op for an empty plan.  Implemented in fault.cpp.
   void install_faults();
+  /// Applies config_.prepopulate_fib_prefixes (no-op at 0).
+  void prepopulate_fib();
   workload::AttackerApp::TagStrategy make_strategy(
       workload::AttackerMode mode, std::size_t attacker_index,
       net::NodeId node_id);

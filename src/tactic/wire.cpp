@@ -46,8 +46,8 @@ ndn::Name read_name(TlvReader& reader) {
 
 util::Bytes encode_name(const ndn::Name& name) {
   util::Bytes inner;
-  for (const std::string& component : name.components()) {
-    append_tlv(inner, kTlvNameComponent, util::to_bytes(component));
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    append_tlv(inner, kTlvNameComponent, util::to_bytes(name.at(i)));
   }
   util::Bytes out;
   append_tlv(out, kTlvName, inner);

@@ -46,6 +46,10 @@ constexpr const char* kUsage =
     "                       (per-provider signature batches, same-instant\n"
     "                       BF multi-probe); batch draws come after\n"
     "                       base+fault+overload draws\n"
+    "  --bigtables          pre-populate every router FIB with 10^4-10^5\n"
+    "                       random prefixes, and re-run each scenario on\n"
+    "                       the linear reference FIB asserting bit-equal\n"
+    "                       fingerprints and traces (trie ≡ linear)\n"
     "  --no-differential    skip the TACTIC vs no-AC parity pass\n"
     "  --parity-tolerance T allowed client delivery-ratio gap (default 0.1)\n"
     "  --inject-expiry-bug  edge routers skip the Protocol-1 expiry check\n"
@@ -103,7 +107,7 @@ int main(int argc, char** argv) {
         "runs",   "seed",        "duration",          "policy",
         "repro",  "verbose",     "differential",      "parity-tolerance",
         "help",   "inject-expiry-bug",                "faults",
-        "overload", "batch"};
+        "overload", "batch",     "bigtables"};
     for (const auto& name : flags.names()) {
       if (known.count(name) == 0) {
         std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), kUsage);
@@ -141,6 +145,7 @@ int main(int argc, char** argv) {
     generator.with_faults = flags.get_bool("faults", false);
     generator.with_overload = flags.get_bool("overload", false);
     generator.with_batch = flags.get_bool("batch", false);
+    generator.with_bigtables = flags.get_bool("bigtables", false);
     if (flags.has("policy")) {
       const std::string name = flags.get_string("policy", "");
       const auto policy = parse_policy(name);
@@ -155,6 +160,7 @@ int main(int argc, char** argv) {
     std::uint64_t violation_runs = 0;
     std::uint64_t repro_mismatches = 0;
     std::uint64_t parity_failures = 0;
+    std::uint64_t impl_mismatches = 0;
     std::uint64_t differential_runs = 0;
 
     for (std::uint64_t i = 0; i < runs; ++i) {
@@ -193,6 +199,28 @@ int main(int argc, char** argv) {
         std::printf("  metrics=%s\n  trace=%s\n",
                     first.metrics_fingerprint.c_str(),
                     first.trace_digest.c_str());
+      }
+
+      // Table-structure differential: the same scenario on the linear
+      // reference FIB must be bit-identical — the trie is a pure lookup
+      // structure, never a semantics change.
+      if (generator.with_bigtables) {
+        sim::ScenarioConfig linear = config;
+        linear.fib_impl = ndn::Fib::Impl::kLinear;
+        const PassResult ref = run_pass(linear);
+        if (first.metrics_fingerprint != ref.metrics_fingerprint ||
+            first.trace_digest != ref.trace_digest) {
+          ++impl_mismatches;
+          failed = true;
+          std::printf(
+              "  FIB IMPL MISMATCH (trie vs linear):\n"
+              "    trie:   metrics=%s trace=%s\n"
+              "    linear: metrics=%s trace=%s\n",
+              first.metrics_fingerprint.c_str(), first.trace_digest.c_str(),
+              ref.metrics_fingerprint.c_str(), ref.trace_digest.c_str());
+        } else if (verbose) {
+          std::printf("  fib impls agree (trie == linear)\n");
+        }
       }
 
       // The parity pass keeps the fault plan: TACTIC and no-AC face the
@@ -238,26 +266,28 @@ int main(int argc, char** argv) {
       }
       if (failed) {
         std::printf(
-            "  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s%s\n",
+            "  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s%s%s\n",
             static_cast<unsigned long long>(seed),
             generator.inject_expiry_bug ? " --inject-expiry-bug" : "",
             generator.with_faults ? " --faults" : "",
             generator.with_overload ? " --overload" : "",
-            generator.with_batch ? " --batch" : "");
+            generator.with_batch ? " --batch" : "",
+            generator.with_bigtables ? " --bigtables" : "");
       }
     }
 
-    const std::uint64_t failures =
-        violation_runs + repro_mismatches + parity_failures;
+    const std::uint64_t failures = violation_runs + repro_mismatches +
+                                   parity_failures + impl_mismatches;
     std::printf(
         "fuzz_scenarios: %llu runs (%llu differential) — "
         "%llu with violations, %llu repro mismatches, %llu parity "
-        "failures\n",
+        "failures, %llu fib-impl mismatches\n",
         static_cast<unsigned long long>(runs),
         static_cast<unsigned long long>(differential_runs),
         static_cast<unsigned long long>(violation_runs),
         static_cast<unsigned long long>(repro_mismatches),
-        static_cast<unsigned long long>(parity_failures));
+        static_cast<unsigned long long>(parity_failures),
+        static_cast<unsigned long long>(impl_mismatches));
     return failures == 0 ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fuzz_scenarios: %s\n%s", error.what(), kUsage);

@@ -200,9 +200,16 @@ sim::ScenarioConfig random_config(std::uint64_t seed,
   if (options.with_overload) {
     sample_overload(rng, config);
   }
-  // And batch draws come last of all.
+  // And batch draws come after overload.
   if (options.with_batch) {
     sample_batch(rng, config);
+  }
+  // The bigtables draw comes last of all: 10^4–10^5 junk FIB prefixes
+  // per router (the prefixes themselves come from a dedicated stream in
+  // Scenario::prepopulate_fib, not from this rng).
+  if (options.with_bigtables) {
+    config.prepopulate_fib_prefixes =
+        static_cast<std::size_t>(1 + rng.uniform(10)) * 10000;
   }
   return config;
 }
@@ -256,6 +263,11 @@ std::string describe(const sim::ScenarioConfig& config) {
     std::snprintf(buffer, sizeof(buffer), " batch[n=%zu hold=%.1fms]",
                   config.tactic.batch.max_batch,
                   event::to_seconds(config.tactic.batch.max_hold) * 1e3);
+    out += buffer;
+  }
+  if (config.prepopulate_fib_prefixes > 0) {
+    std::snprintf(buffer, sizeof(buffer), " bigtables[fib=%zu]",
+                  config.prepopulate_fib_prefixes);
     out += buffer;
   }
   return out;

@@ -42,6 +42,13 @@ struct GeneratorOptions {
   /// overload draws, so base, fault and overload configurations stay
   /// identical with or without this option.
   bool with_batch = false;
+  /// Pre-populate every edge/core router FIB with 10^4–10^5 random junk
+  /// prefixes (sim::ScenarioConfig::prepopulate_fib_prefixes), pushing
+  /// the tables toward the million-entry regime.  The single bigtables
+  /// draw comes last of all (after batch), and prepopulation itself uses
+  /// a dedicated RNG stream, so all prior layers stay identical with or
+  /// without this option.
+  bool with_bigtables = false;
 };
 
 /// Deterministically samples one scenario configuration from `seed`.
