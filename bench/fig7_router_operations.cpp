@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
   csv.row({"topology", "router_class", "lookups", "insertions",
            "verifications", "compute_bf_s", "compute_sig_s",
            "compute_neg_s", "sig_batches", "sig_batched_items",
-           "batch_unbatched_equiv_s"});
+           "batch_unbatched_equiv_s", "validation_wait_p50_s",
+           "validation_wait_p95_s", "validation_wait_p99_s",
+           "adaptive_gradient", "adaptive_limit", "quarantine_ejections"});
 
   util::Table table({"Topology", "Class", "L (lookups)", "I (insertions)",
                      "V (verifications)"});
@@ -54,7 +56,13 @@ int main(int argc, char** argv) {
              util::CsvWriter::num(acc.edge_compute_neg.mean()),
              util::CsvWriter::num(acc.edge_batches.mean()),
              util::CsvWriter::num(acc.edge_batched_items.mean()),
-             util::CsvWriter::num(acc.edge_batch_equiv_s.mean())});
+             util::CsvWriter::num(acc.edge_batch_equiv_s.mean()),
+             util::CsvWriter::num(acc.edge_wait_p50.mean()),
+             util::CsvWriter::num(acc.edge_wait_p95.mean()),
+             util::CsvWriter::num(acc.edge_wait_p99.mean()),
+             util::CsvWriter::num(acc.adaptive_gradient.mean()),
+             util::CsvWriter::num(acc.adaptive_limit.mean()),
+             util::CsvWriter::num(acc.quarantine_ejections.mean())});
     csv.row({std::to_string(topo), "core",
              util::CsvWriter::num(acc.core_lookups.mean()),
              util::CsvWriter::num(acc.core_inserts.mean()),
@@ -64,7 +72,13 @@ int main(int argc, char** argv) {
              util::CsvWriter::num(acc.core_compute_neg.mean()),
              util::CsvWriter::num(acc.core_batches.mean()),
              util::CsvWriter::num(acc.core_batched_items.mean()),
-             util::CsvWriter::num(acc.core_batch_equiv_s.mean())});
+             util::CsvWriter::num(acc.core_batch_equiv_s.mean()),
+             util::CsvWriter::num(acc.core_wait_p50.mean()),
+             util::CsvWriter::num(acc.core_wait_p95.mean()),
+             util::CsvWriter::num(acc.core_wait_p99.mean()),
+             util::CsvWriter::num(acc.adaptive_gradient.mean()),
+             util::CsvWriter::num(acc.adaptive_limit.mean()),
+             util::CsvWriter::num(acc.quarantine_ejections.mean())});
   }
   table.print(std::cout);
   std::printf(

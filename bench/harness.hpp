@@ -13,9 +13,12 @@
 //   --csv <path>             also write a CSV with the full-resolution data
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/scenario.hpp"
@@ -95,6 +98,78 @@ inline void print_header(const std::string& title,
       options.duration_s, static_cast<long long>(options.runs),
       options.full ? " [FULL]" : "");
 }
+
+/// Machine-readable result sink: one top-level object with a "bench"
+/// name, a flat "meta" object and a "rows" array of flat objects,
+/// written to BENCH_<name>.json (or --json PATH).  Values are
+/// pre-rendered by the caller via num()/str()/boolean() so the emitter
+/// stays a dumb concatenator; keys must be plain identifiers.
+class BenchJson {
+ public:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  explicit BenchJson(std::string bench_name, std::string path = "")
+      : bench_name_(std::move(bench_name)),
+        path_(path.empty() ? "BENCH_" + bench_name_ + ".json"
+                           : std::move(path)) {}
+
+  void meta(Fields fields) { meta_ = std::move(fields); }
+  void row(Fields fields) { rows_.push_back(std::move(fields)); }
+
+  /// Writes the accumulated document; throws std::runtime_error when the
+  /// file cannot be opened.
+  void write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      throw std::runtime_error("BenchJson: cannot open " + path_);
+    }
+    out << "{\n  \"bench\": " << str(bench_name_) << ",\n  \"meta\": ";
+    put_object(out, meta_, "  ");
+    out << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << (i == 0 ? "\n    " : ",\n    ");
+      put_object(out, rows_[i], "    ");
+    }
+    out << (rows_.empty() ? "]" : "\n  ]") << "\n}\n";
+    std::printf("wrote %s\n", path_.c_str());
+  }
+
+  static std::string num(double v) { return util::CsvWriter::num(v); }
+  static std::string num(std::uint64_t v) { return util::CsvWriter::num(v); }
+  static std::string boolean(bool v) { return v ? "true" : "false"; }
+  static std::string str(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+ private:
+  static void put_object(std::ofstream& out, const Fields& fields,
+                         const char* indent) {
+    out << "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n" << indent << "  "
+          << str(fields[i].first) << ": " << fields[i].second;
+    }
+    if (!fields.empty()) out << "\n" << indent;
+    out << "}";
+  }
+
+  std::string bench_name_;
+  std::string path_;
+  Fields meta_;
+  std::vector<Fields> rows_;
+};
 
 /// Optional CSV sink (no-op when the user gave no --csv).
 class MaybeCsv {

@@ -16,6 +16,8 @@
 //
 // Knobs beyond the shared harness set:
 //   --backbone-mbps M    shared router-link capacity (default 4)
+//   --json PATH          machine-readable results (default
+//                        BENCH_resilience_attacker_flood.json)
 
 #include "harness.hpp"
 #include "util/stats.hpp"
@@ -122,6 +124,11 @@ int main(int argc, char** argv) {
   util::Table table({"Overload layer", "Flood", "Delivery",
                      "p95 latency (s)", "Sheds", "Policer", "Neg hits",
                      "Verifier sigs", "Client overload NACKs"});
+  bench::BenchJson json("resilience_attacker_flood",
+                        flags.get_string("json", ""));
+  json.meta({{"duration_s", bench::BenchJson::num(options.duration_s)},
+             {"seed", bench::BenchJson::num(options.seed)},
+             {"backbone_mbps", bench::BenchJson::num(backbone_mbps)}});
   bench::MaybeCsv csv(options.csv_path);
   csv.row({"overload_layer", "flood_intensity", "delivery_ratio",
            "p95_latency_s", "sheds", "policer_sheds", "neg_cache_hits",
@@ -151,9 +158,22 @@ int main(int argc, char** argv) {
                std::to_string(result.neg_cache_hits),
                std::to_string(result.verifier_sigs),
                std::to_string(result.overload_nacks)});
+      json.row(
+          {{"overload_layer", bench::BenchJson::boolean(with_layer)},
+           {"flood_intensity", bench::BenchJson::num(
+                                   static_cast<std::uint64_t>(intensity))},
+           {"delivery_ratio", bench::BenchJson::num(result.delivery_ratio)},
+           {"p95_latency_s", bench::BenchJson::num(result.p95_latency)},
+           {"sheds", bench::BenchJson::num(result.sheds)},
+           {"policer_sheds", bench::BenchJson::num(result.policer_sheds)},
+           {"neg_cache_hits", bench::BenchJson::num(result.neg_cache_hits)},
+           {"verifier_sigs", bench::BenchJson::num(result.verifier_sigs)},
+           {"client_overload_nacks",
+            bench::BenchJson::num(result.overload_nacks)}});
     }
   }
   table.print(std::cout);
+  json.write();
   std::printf(
       "\nexpected: without the layer, delivery collapses as the flood's "
       "NACK-carrying Data saturates the shared backbone and verifier work "

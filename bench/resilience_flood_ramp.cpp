@@ -1,0 +1,444 @@
+// Resilience: adaptive overload control under a flood RAMP, in ONE run.
+//
+// Static overload knobs (queue capacity, shed watermark, policer rate)
+// have to be tuned to one attack intensity: a loose setting rides out
+// light load but lets a heavy flood queue ahead of legitimate traffic,
+// while a tight setting survives the flood by over-shedding the
+// unvouched tail (tag renewals, post-reset re-validation herds) that
+// light load is made of.  The adaptive layer (docs/OVERLOAD.md,
+// "Adaptive control & face quarantine") replaces both knobs with
+// measured signals — a gradient concurrency controller over validation
+// sojourn times plus per-face outlier quarantine — and should hold
+// delivery AND latency across the whole ramp with no retuning.
+//
+// Scenario 1 (ramp): a churning-forger flood (fresh forgery per
+// Interest, so no cache absorbs the verifications) ramps 1x -> 10x -> 2x
+// across three equal phases of a single run.  Gates:
+//   - adaptive: >= 99% client delivery and p95 latency <= 1.5x the
+//     unloaded baseline in the 1x and 2x end phases (the middle is
+//     reported too);
+//   - each static tuning fails at least one phase on those criteria.
+//
+// Scenario 2 (compromised AP): every station behind one wireless AP
+// turns hostile and floods its edge router at a rate no static knob
+// survives — the policer-admitted slice alone saturates the validation
+// queue, so vouched traffic sheds at capacity either way.  Per-face
+// quarantine ejects the hostile faces after a handful of verdicts and
+// restores client delivery to >= 99% where both static tunings drop
+// below 90%.
+//
+// Knobs beyond the shared harness set:
+//   --backbone-mbps M    shared router-link capacity (default 4)
+//   --json PATH          machine-readable results (default
+//                        BENCH_resilience_flood_ramp.json)
+//
+// Exit status 0 = every gate above holds; 1 = any gate failed.
+
+#include <array>
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace tactic;
+
+enum class Arm {
+  kUnloaded,
+  kStaticLoose,
+  kStaticTight,
+  kGradientOnly,  // controller without quarantine (reported, not gated)
+  kAdaptive,
+};
+
+const char* arm_name(Arm arm) {
+  switch (arm) {
+    case Arm::kUnloaded: return "unloaded";
+    case Arm::kStaticLoose: return "static-loose";
+    case Arm::kStaticTight: return "static-tight";
+    case Arm::kGradientOnly: return "gradient-only";
+    case Arm::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// Loose fallbacks shared by every arm; the adaptive arm layers the
+/// controller on top of exactly these, so the comparison isolates the
+/// adaptive subsystem.
+void apply_overload_arm(sim::ScenarioConfig& config, Arm arm) {
+  core::OverloadConfig& ov = config.tactic.overload;
+  ov.enabled = true;
+  ov.neg_cache_capacity = 512;
+  ov.neg_cache_ttl = 5 * event::kSecond;
+  ov.staged_bf_reset = true;
+  config.router_pit_capacity = 512;
+  switch (arm) {
+    case Arm::kUnloaded:
+    case Arm::kStaticLoose:
+    case Arm::kGradientOnly:
+    case Arm::kAdaptive:
+      ov.queue_capacity = 64;
+      ov.shed_watermark = 32;
+      ov.policer_rate = 0.0;
+      break;
+    case Arm::kStaticTight:
+      ov.queue_capacity = 16;
+      ov.shed_watermark = 2;
+      ov.policer_rate = 40.0;
+      ov.policer_burst = 10.0;
+      break;
+  }
+  if (arm == Arm::kAdaptive || arm == Arm::kGradientOnly) {
+    config.tactic.adaptive.enabled = true;  // defaults; no per-load tuning
+    if (arm == Arm::kGradientOnly) {
+      config.tactic.adaptive.quarantine_consecutive = 0;
+    }
+  }
+}
+
+/// Validation cost on constrained wireless-edge hardware: ~`sig_ms` per
+/// RSA verification, deterministic (means-only) otherwise.
+core::ComputeModel edge_compute(double sig_ms) {
+  core::ComputeModel::Params params;
+  params.bf_lookup = {9.14e-7, 0.0};
+  params.bf_insert = {3.35e-7, 0.0};
+  params.sig_verify = {sig_ms * 1e-3, 0.0};
+  params.neg_lookup = {1.5e-7, 0.0};
+  return core::ComputeModel(params);
+}
+
+struct PhaseStats {
+  std::uint64_t requested = 0;
+  std::uint64_t received = 0;
+  double p95_latency = 0.0;  // seconds; 0 when nothing was delivered
+  double delivery() const {
+    return requested == 0 ? 1.0
+                          : static_cast<double>(received) /
+                                static_cast<double>(requested);
+  }
+};
+
+struct RampResult {
+  std::array<PhaseStats, 3> phases;
+  double overall_p95 = 0.0;
+  double adaptive_gradient = 0.0;
+  std::uint64_t adaptive_limit = 0;
+  std::uint64_t quarantine_ejections = 0;
+  std::uint64_t quarantine_sheds = 0;
+  std::uint64_t sheds = 0;
+};
+
+struct Snapshot {
+  std::uint64_t requested = 0;
+  std::uint64_t received = 0;
+};
+
+Snapshot snapshot_clients(sim::Scenario& scenario) {
+  Snapshot snap;
+  for (const auto& client : scenario.clients()) {
+    snap.requested += client->counters().chunks_requested;
+    snap.received += client->counters().chunks_received;
+  }
+  return snap;
+}
+
+RampResult run_ramp(Arm arm, const bench::HarnessOptions& options,
+                    double backbone_mbps) {
+  sim::ScenarioConfig config;
+  config.topology.core_routers = 8;
+  config.topology.edge_routers = 3;
+  config.topology.providers = 2;
+  config.topology.clients = 8;
+  config.topology.attackers = arm == Arm::kUnloaded ? 0 : 6;
+  config.topology.core_cs_capacity = 200;
+  config.topology.core_link.bits_per_second = backbone_mbps * 1e6;
+  config.provider.key_bits = options.full ? 1024 : 512;
+  // Short validity + small BF: tag renewals and post-reset re-validation
+  // herds keep an unvouched legitimate tail alive at every phase — the
+  // traffic a too-tight watermark over-sheds.
+  config.provider.tag_validity = 10 * event::kSecond;
+  config.tactic.bloom.capacity = 60;
+  config.compute = edge_compute(1.0);
+  config.duration = event::from_seconds(options.duration_s);
+  config.seed = options.seed;
+  config.attacker_mix = {workload::AttackerMode::kForgedTagChurn};
+  config.attacker.window = 8;  // 1x; the ramp scales this mid-run
+  config.attacker.think_time_mean = 100 * event::kMillisecond;
+  config.attacker.interest_lifetime = 50 * event::kMillisecond;
+  apply_overload_arm(config, arm);
+
+  sim::Scenario scenario(config);
+  const event::Time t1 = config.duration / 3;
+  const event::Time t2 = 2 * (config.duration / 3);
+
+  // Phase-bucketed latency capture + phase boundary snapshots.
+  auto phase = std::make_shared<std::size_t>(0);
+  std::array<util::SampleSet, 3> latencies;
+  util::SampleSet all_latencies;
+  for (auto& client : scenario.clients()) {
+    client->on_latency_sample =
+        [&latencies, &all_latencies, phase,
+         base = client->on_latency_sample](event::Time when, double latency) {
+          if (base) base(when, latency);
+          latencies[*phase].add(latency);
+          all_latencies.add(latency);
+        };
+  }
+  std::array<Snapshot, 2> cuts;
+  const auto ramp_to = [&scenario](std::size_t intensity) {
+    for (auto& attacker : scenario.attackers()) {
+      attacker->set_tempo(8 * intensity, 100 * event::kMillisecond);
+    }
+  };
+  scenario.scheduler().schedule(t1, [&] {
+    cuts[0] = snapshot_clients(scenario);
+    *phase = 1;
+    ramp_to(10);
+  });
+  scenario.scheduler().schedule(t2, [&] {
+    cuts[1] = snapshot_clients(scenario);
+    *phase = 2;
+    ramp_to(2);
+  });
+
+  const sim::Metrics& metrics = scenario.run();
+  const Snapshot end = snapshot_clients(scenario);
+
+  RampResult result;
+  const std::array<Snapshot, 3> starts = {Snapshot{}, cuts[0], cuts[1]};
+  const std::array<Snapshot, 3> ends = {cuts[0], cuts[1], end};
+  for (std::size_t p = 0; p < 3; ++p) {
+    result.phases[p].requested = ends[p].requested - starts[p].requested;
+    result.phases[p].received = ends[p].received - starts[p].received;
+    result.phases[p].p95_latency =
+        latencies[p].empty() ? 0.0 : latencies[p].percentile(95.0);
+  }
+  result.overall_p95 =
+      all_latencies.empty() ? 0.0 : all_latencies.percentile(95.0);
+  for (const sim::RouterOps* ops : {&metrics.edge_ops, &metrics.core_ops}) {
+    result.sheds += ops->sheds_queue_full + ops->sheds_unvouched +
+                    ops->policer_sheds;
+    result.quarantine_sheds += ops->quarantine_sheds;
+    result.quarantine_ejections += ops->quarantine_ejections;
+    if (ops->adaptive_gradient > result.adaptive_gradient) {
+      result.adaptive_gradient = ops->adaptive_gradient;
+    }
+    if (ops->adaptive_limit > result.adaptive_limit) {
+      result.adaptive_limit = ops->adaptive_limit;
+    }
+  }
+  return result;
+}
+
+struct ApResult {
+  double delivery = 0.0;
+  double p95_latency = 0.0;
+  std::uint64_t quarantine_ejections = 0;
+  std::uint64_t quarantine_sheds = 0;
+  std::uint64_t sheds = 0;
+};
+
+/// Compromised AP: one edge router, every attacker station behind it,
+/// flooding at a constant 10x on IoT-class validation hardware (~5 ms
+/// per verification) — the policer-admitted slice alone oversubscribes
+/// the validation queue, so no static knob protects vouched traffic.
+ApResult run_compromised_ap(Arm arm, const bench::HarnessOptions& options,
+                            double backbone_mbps) {
+  sim::ScenarioConfig config;
+  config.topology.core_routers = 4;
+  config.topology.edge_routers = 1;
+  config.topology.aps_per_edge = 1;
+  config.topology.providers = 2;
+  config.topology.clients = 8;
+  config.topology.attackers = arm == Arm::kUnloaded ? 0 : 6;
+  config.topology.core_cs_capacity = 200;
+  config.topology.core_link.bits_per_second = backbone_mbps * 1e6;
+  config.provider.key_bits = options.full ? 1024 : 512;
+  config.provider.tag_validity = 10 * event::kSecond;
+  config.tactic.bloom.capacity = 60;
+  config.compute = edge_compute(5.0);
+  config.duration = event::from_seconds(options.duration_s);
+  config.seed = options.seed;
+  config.attacker_mix = {workload::AttackerMode::kForgedTagChurn};
+  config.attacker.window = 80;  // constant 10x
+  config.attacker.think_time_mean = 100 * event::kMillisecond;
+  config.attacker.interest_lifetime = 50 * event::kMillisecond;
+  apply_overload_arm(config, arm);
+
+  sim::Scenario scenario(config);
+  util::SampleSet latencies;
+  for (auto& client : scenario.clients()) {
+    client->on_latency_sample = [&latencies,
+                                 base = client->on_latency_sample](
+                                    event::Time when, double latency) {
+      if (base) base(when, latency);
+      latencies.add(latency);
+    };
+  }
+  const sim::Metrics& metrics = scenario.run();
+
+  ApResult result;
+  result.delivery = metrics.clients.delivery_ratio();
+  result.p95_latency = latencies.empty() ? 0.0 : latencies.percentile(95.0);
+  for (const sim::RouterOps* ops : {&metrics.edge_ops, &metrics.core_ops}) {
+    result.sheds += ops->sheds_queue_full + ops->sheds_unvouched +
+                    ops->policer_sheds;
+    result.quarantine_sheds += ops->quarantine_sheds;
+    result.quarantine_ejections += ops->quarantine_ejections;
+  }
+  return result;
+}
+
+bool phase_ok(const PhaseStats& phase, double baseline_p95) {
+  return phase.delivery() >= 0.99 &&
+         phase.p95_latency <= 1.5 * baseline_p95;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tactic;
+  const bench::HarnessOptions options =
+      bench::HarnessOptions::parse(argc, argv, {1}, 60.0);
+  util::Flags flags(argc, argv);
+  const double backbone_mbps = flags.get_double("backbone-mbps", 4.0);
+  bench::print_header(
+      "Resilience: flood ramp 1x->10x->2x, adaptive vs static overload "
+      "control",
+      options);
+
+  bench::BenchJson json("resilience_flood_ramp",
+                        flags.get_string("json", ""));
+  json.meta({{"duration_s", bench::BenchJson::num(options.duration_s)},
+             {"seed", bench::BenchJson::num(options.seed)},
+             {"backbone_mbps", bench::BenchJson::num(backbone_mbps)}});
+  bench::MaybeCsv csv(options.csv_path);
+  csv.row({"scenario", "arm", "phase", "delivery_ratio", "p95_latency_s",
+           "sheds", "quarantine_ejections", "quarantine_sheds",
+           "adaptive_gradient", "adaptive_limit"});
+
+  // --- Scenario 1: the ramp ---------------------------------------------
+  const RampResult baseline =
+      run_ramp(Arm::kUnloaded, options, backbone_mbps);
+  const double baseline_p95 = baseline.overall_p95;
+  std::printf(
+      "ramp: churning-forger flood 1x -> 10x -> 2x over three equal "
+      "phases; unloaded baseline p95 = %.4fs\n\n",
+      baseline_p95);
+
+  util::Table table({"Arm", "Phase", "Flood", "Delivery",
+                     "p95 latency (s)", "Sheds", "Quarantined"});
+  const char* kPhaseFlood[3] = {"1x", "10x", "2x"};
+  bool adaptive_ends_ok = true;
+  bool statics_each_fail = true;
+  for (const Arm arm : {Arm::kStaticLoose, Arm::kStaticTight,
+                        Arm::kGradientOnly, Arm::kAdaptive}) {
+    const RampResult result = run_ramp(arm, options, backbone_mbps);
+    std::size_t failed_phases = 0;
+    for (std::size_t p = 0; p < 3; ++p) {
+      const PhaseStats& phase = result.phases[p];
+      if (!phase_ok(phase, baseline_p95)) ++failed_phases;
+      table.add_row(
+          {p == 0 ? arm_name(arm) : "", "phase " + std::to_string(p + 1),
+           kPhaseFlood[p],
+           util::Table::fmt_percent(100 * phase.delivery()),
+           util::Table::fmt(phase.p95_latency, 6),
+           p == 0 ? std::to_string(result.sheds) : "",
+           p == 0 ? std::to_string(result.quarantine_sheds) : ""});
+      csv.row({"ramp", arm_name(arm), std::to_string(p + 1),
+               util::CsvWriter::num(phase.delivery()),
+               util::CsvWriter::num(phase.p95_latency),
+               std::to_string(result.sheds),
+               std::to_string(result.quarantine_ejections),
+               std::to_string(result.quarantine_sheds),
+               util::CsvWriter::num(result.adaptive_gradient),
+               std::to_string(result.adaptive_limit)});
+      json.row({{"scenario", bench::BenchJson::str("ramp")},
+                {"arm", bench::BenchJson::str(arm_name(arm))},
+                {"phase", bench::BenchJson::num(
+                              static_cast<std::uint64_t>(p + 1))},
+                {"flood", bench::BenchJson::str(kPhaseFlood[p])},
+                {"delivery_ratio", bench::BenchJson::num(phase.delivery())},
+                {"p95_latency_s",
+                 bench::BenchJson::num(phase.p95_latency)},
+                {"baseline_p95_s", bench::BenchJson::num(baseline_p95)},
+                {"phase_ok", bench::BenchJson::boolean(
+                                 phase_ok(phase, baseline_p95))}});
+    }
+    if (arm == Arm::kAdaptive || arm == Arm::kGradientOnly) {
+      if (arm == Arm::kAdaptive) {
+        adaptive_ends_ok = phase_ok(result.phases[0], baseline_p95) &&
+                           phase_ok(result.phases[2], baseline_p95);
+      }
+      std::printf(
+          "%s telemetry: gradient=%.3f limit=%llu ejections=%llu "
+          "quarantine_sheds=%llu\n",
+          arm_name(arm), result.adaptive_gradient,
+          static_cast<unsigned long long>(result.adaptive_limit),
+          static_cast<unsigned long long>(result.quarantine_ejections),
+          static_cast<unsigned long long>(result.quarantine_sheds));
+    } else if (failed_phases == 0) {
+      statics_each_fail = false;
+    }
+  }
+  table.print(std::cout);
+
+  // --- Scenario 2: the compromised AP -----------------------------------
+  std::printf(
+      "\ncompromised AP: every station behind one AP floods its edge "
+      "router at 10x on IoT-class hardware (5 ms/verification)\n\n");
+  util::Table ap_table({"Arm", "Delivery", "p95 latency (s)", "Sheds",
+                        "Ejections", "Quarantine sheds"});
+  double ap_adaptive_delivery = 0.0;
+  double ap_worst_static = 1.0;
+  for (const Arm arm :
+       {Arm::kStaticLoose, Arm::kStaticTight, Arm::kAdaptive}) {
+    const ApResult result = run_compromised_ap(arm, options, backbone_mbps);
+    if (arm == Arm::kAdaptive) {
+      ap_adaptive_delivery = result.delivery;
+    } else if (result.delivery < ap_worst_static) {
+      ap_worst_static = result.delivery;
+    }
+    ap_table.add_row({arm_name(arm),
+                      util::Table::fmt_percent(100 * result.delivery),
+                      util::Table::fmt(result.p95_latency, 6),
+                      std::to_string(result.sheds),
+                      std::to_string(result.quarantine_ejections),
+                      std::to_string(result.quarantine_sheds)});
+    csv.row({"compromised_ap", arm_name(arm), "-",
+             util::CsvWriter::num(result.delivery),
+             util::CsvWriter::num(result.p95_latency),
+             std::to_string(result.sheds),
+             std::to_string(result.quarantine_ejections),
+             std::to_string(result.quarantine_sheds), "0", "0"});
+    json.row({{"scenario", bench::BenchJson::str("compromised_ap")},
+              {"arm", bench::BenchJson::str(arm_name(arm))},
+              {"delivery_ratio", bench::BenchJson::num(result.delivery)},
+              {"p95_latency_s", bench::BenchJson::num(result.p95_latency)},
+              {"quarantine_ejections",
+               bench::BenchJson::num(result.quarantine_ejections)},
+              {"quarantine_sheds",
+               bench::BenchJson::num(result.quarantine_sheds)}});
+  }
+  ap_table.print(std::cout);
+
+  // --- Gates -------------------------------------------------------------
+  const bool ap_gate =
+      ap_adaptive_delivery >= 0.99 && ap_worst_static < 0.90;
+  std::printf(
+      "\ngates: adaptive ramp ends (>=99%% delivery, p95 <= 1.5x "
+      "baseline): %s\n"
+      "       every static tuning fails >= 1 ramp phase: %s\n"
+      "       compromised AP (adaptive >= 99%%, worst static < 90%%): "
+      "%s\n",
+      adaptive_ends_ok ? "PASS" : "FAIL",
+      statics_each_fail ? "PASS" : "FAIL", ap_gate ? "PASS" : "FAIL");
+  json.row({{"scenario", bench::BenchJson::str("gates")},
+            {"adaptive_ends_ok", bench::BenchJson::boolean(adaptive_ends_ok)},
+            {"statics_each_fail",
+             bench::BenchJson::boolean(statics_each_fail)},
+            {"compromised_ap_ok", bench::BenchJson::boolean(ap_gate)}});
+  json.write();
+  return (adaptive_ends_ok && statics_each_fail && ap_gate) ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fixed-seed scenario-fuzz sweep with random fault plans, random
+# overload-resilience configurations AND the adaptive overload-control
+# layer (gradient admission controller + per-face outlier quarantine)
+# under ASan+UBSan.  The adaptive knobs are sampled strictly after every
+# other layer's draws, so the base/fault/overload/batch configurations
+# for a seed are identical to the ci/flood.sh sweep — only the adaptive
+# layer differs.  The runtime invariant checker stays armed: a disabled
+# adaptive layer must be perfectly inert, and the security invariants
+# must hold under any admission or quarantine decision.  Every scenario
+# runs twice and is byte-compared, so a controller or quarantine clock
+# that leaks nondeterminism fails the sweep.  Any sanitizer report
+# aborts the run (-fno-sanitize-recover=all) and fails the script.
+#
+# Usage: ci/adaptive.sh [build-dir]    (default: build-sanitize)
+#
+# Reuses the sanitizer build tree; run after (or instead of)
+# ci/sanitize.sh — the cmake step below is a no-op when it already ran.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_scenarios
+
+# Same fixed base seed as ci/flood.sh so the two sweeps cover the same
+# base scenarios with and without the adaptive layer armed.
+"$BUILD_DIR/fuzz_scenarios" --runs 16 --duration 10 --seed 9000 \
+  --faults --overload --adaptive
+
+echo "adaptive: OK"

@@ -30,6 +30,19 @@ RouterOps& RouterOps::operator+=(const RouterOps& other) {
   }
   sig_batch_unbatched_equiv_s += other.sig_batch_unbatched_equiv_s;
   bf_probes_coalesced += other.bf_probes_coalesced;
+  adaptive_windows += other.adaptive_windows;
+  adaptive_minrtt_probes += other.adaptive_minrtt_probes;
+  quarantine_sheds += other.quarantine_sheds;
+  quarantine_ejections += other.quarantine_ejections;
+  quarantine_probes += other.quarantine_probes;
+  quarantine_readmissions += other.quarantine_readmissions;
+  if (other.adaptive_gradient > adaptive_gradient) {
+    adaptive_gradient = other.adaptive_gradient;
+  }
+  if (other.adaptive_limit > adaptive_limit) {
+    adaptive_limit = other.adaptive_limit;
+  }
+  validation_wait_hist.merge(other.validation_wait_hist);
   fib_lookups += other.fib_lookups;
   fib_nodes_visited += other.fib_nodes_visited;
   pit_lookups += other.pit_lookups;
@@ -102,6 +115,23 @@ void MetricsAccumulator::add(const Metrics& metrics) {
   core_batched_items.add(
       static_cast<double>(metrics.core_ops.sig_batched_items));
   core_batch_equiv_s.add(metrics.core_ops.sig_batch_unbatched_equiv_s);
+  edge_wait_p50.add(metrics.edge_ops.validation_wait_p50_s());
+  edge_wait_p95.add(metrics.edge_ops.validation_wait_p95_s());
+  edge_wait_p99.add(metrics.edge_ops.validation_wait_p99_s());
+  core_wait_p50.add(metrics.core_ops.validation_wait_p50_s());
+  core_wait_p95.add(metrics.core_ops.validation_wait_p95_s());
+  core_wait_p99.add(metrics.core_ops.validation_wait_p99_s());
+  adaptive_gradient.add(
+      metrics.edge_ops.adaptive_gradient > metrics.core_ops.adaptive_gradient
+          ? metrics.edge_ops.adaptive_gradient
+          : metrics.core_ops.adaptive_gradient);
+  adaptive_limit.add(static_cast<double>(
+      metrics.edge_ops.adaptive_limit > metrics.core_ops.adaptive_limit
+          ? metrics.edge_ops.adaptive_limit
+          : metrics.core_ops.adaptive_limit));
+  quarantine_ejections.add(
+      static_cast<double>(metrics.edge_ops.quarantine_ejections +
+                          metrics.core_ops.quarantine_ejections));
   edge_reqs_per_reset.add(
       Metrics::mean_requests_per_reset(metrics.edge_requests_per_reset));
   core_reqs_per_reset.add(

@@ -51,6 +51,22 @@ struct RouterOps {
   /// compute_sig_s.
   double sig_batch_unbatched_equiv_s = 0.0;
   std::uint64_t bf_probes_coalesced = 0;
+  // Adaptive overload control (docs/OVERLOAD.md, "Adaptive control &
+  // face quarantine"; zero while disabled).
+  std::uint64_t adaptive_windows = 0;
+  std::uint64_t adaptive_minrtt_probes = 0;
+  std::uint64_t quarantine_sheds = 0;
+  std::uint64_t quarantine_ejections = 0;
+  std::uint64_t quarantine_probes = 0;
+  std::uint64_t quarantine_readmissions = 0;
+  /// End-of-run gradient and concurrency limit (max across routers).
+  double adaptive_gradient = 0.0;
+  std::uint64_t adaptive_limit = 0;
+  /// Streaming quantile sketch of per-op validation queue wait
+  /// (seconds; empty while the overload layer is off).  Merged
+  /// bucket-wise across routers, so class-level quantiles are exact
+  /// over the union of samples.  Never fingerprinted.
+  util::QuantileHistogram validation_wait_hist;
   // Name-table work (FIB trie / PIT slab / CS index; see
   // docs/ARCHITECTURE.md "Name interning and table structures").  Used by
   // cost-regression tests and bench/scalability; never fingerprinted.
@@ -60,6 +76,17 @@ struct RouterOps {
   std::uint64_t pit_inserts = 0;
   std::uint64_t pit_expiry_polls = 0;  // lazy-heap records examined
   std::uint64_t cs_evictions = 0;
+
+  /// Validation-wait quantiles (seconds) from the merged sketch.
+  double validation_wait_p50_s() const {
+    return validation_wait_hist.quantile(0.50);
+  }
+  double validation_wait_p95_s() const {
+    return validation_wait_hist.quantile(0.95);
+  }
+  double validation_wait_p99_s() const {
+    return validation_wait_hist.quantile(0.99);
+  }
 
   /// Mean signature-batch occupancy at flush (1.0 = no amortization).
   double mean_batch_occupancy() const {
@@ -173,6 +200,12 @@ struct MetricsAccumulator {
   /// Batched validation (zero while disabled; see RouterOps).
   util::RunningStats edge_batches, edge_batched_items, edge_batch_equiv_s;
   util::RunningStats core_batches, core_batched_items, core_batch_equiv_s;
+  /// Validation-wait quantiles and adaptive overload control (zero while
+  /// the overload / adaptive layers are disabled; see RouterOps).
+  util::RunningStats edge_wait_p50, edge_wait_p95, edge_wait_p99;
+  util::RunningStats core_wait_p50, core_wait_p95, core_wait_p99;
+  util::RunningStats adaptive_gradient, adaptive_limit,
+      quarantine_ejections;
   util::RunningStats edge_reqs_per_reset, core_reqs_per_reset;
   util::RunningStats provider_verifies;
   util::RunningStats cache_hit_ratio;

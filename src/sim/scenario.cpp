@@ -212,6 +212,17 @@ workload::AttackerApp::TagStrategy Scenario::make_strategy(
           forger_key_, label, config_.provider.tag_validity);
     }
 
+    case AttackerMode::kForgedTagChurn: {
+      if (!forger_key_) {
+        auto pair = crypto::generate_rsa_keypair(
+            rng_, config_.provider.key_bits);
+        forger_key_ = std::make_shared<const crypto::RsaPrivateKey>(
+            pair.private_key);
+      }
+      return workload::attacker_strategies::forged_churn(
+          forger_key_, label, config_.provider.tag_validity);
+    }
+
     case AttackerMode::kExpiredTag: {
       // Genuinely provider-signed tags that expired before the run: a
       // stale credential kept after revocation.  One per provider.
@@ -457,6 +468,19 @@ Metrics Scenario::harvest() {
       ops.sig_batch_unbatched_equiv_s +=
           event::to_seconds(c.sig_batch_unbatched_equiv);
       ops.bf_probes_coalesced += c.bf_probes_coalesced;
+      ops.adaptive_windows += c.adaptive_windows;
+      ops.adaptive_minrtt_probes += c.adaptive_minrtt_probes;
+      ops.quarantine_sheds += c.quarantine_sheds;
+      ops.quarantine_ejections += c.quarantine_ejections;
+      ops.quarantine_probes += c.quarantine_probes;
+      ops.quarantine_readmissions += c.quarantine_readmissions;
+      if (tactic->adaptive_gradient() > ops.adaptive_gradient) {
+        ops.adaptive_gradient = tactic->adaptive_gradient();
+      }
+      if (tactic->adaptive_limit() > ops.adaptive_limit) {
+        ops.adaptive_limit = tactic->adaptive_limit();
+      }
+      ops.validation_wait_hist.merge(c.validation_wait_hist);
       resets_samples.insert(resets_samples.end(),
                             c.requests_per_reset.begin(),
                             c.requests_per_reset.end());

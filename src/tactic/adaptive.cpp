@@ -1,0 +1,189 @@
+#include "tactic/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tactic::core {
+
+// ---------------------------------------------------------------------------
+// GradientController
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t clamp_limit(double value, const AdaptiveConfig& config) {
+  const double lo = static_cast<double>(config.min_limit);
+  const double hi = static_cast<double>(config.max_limit);
+  return static_cast<std::size_t>(
+      std::llround(std::clamp(value, lo, hi)));
+}
+
+}  // namespace
+
+GradientController::GradientController(const AdaptiveConfig& config,
+                                       std::size_t initial_limit,
+                                       util::Rng* rng)
+    : config_(config),
+      initial_limit_(clamp_limit(static_cast<double>(initial_limit), config)),
+      rng_(rng),
+      limit_(initial_limit_) {
+  schedule_next_probe();
+}
+
+void GradientController::schedule_next_probe() {
+  const std::uint32_t base = std::max<std::uint32_t>(
+      1, config_.probe_interval_windows);
+  const std::uint64_t jitter =
+      config_.probe_jitter_windows == 0
+          ? 0
+          : rng_->uniform(config_.probe_jitter_windows + 1);
+  windows_until_probe_ = base + static_cast<std::uint32_t>(jitter);
+}
+
+std::size_t GradientController::shed_watermark() const {
+  if (probing_) return config_.min_limit;
+  const double mark =
+      config_.watermark_fraction * static_cast<double>(limit_);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      std::llround(mark)));
+}
+
+void GradientController::record(event::Time now, event::Time sojourn) {
+  if (window_start_ < 0) window_start_ = now;
+  if (now - window_start_ >= config_.sample_window) {
+    close_window();
+    // Advance to the window containing `now`; intervening empty windows
+    // carry no signal and are skipped in one step.
+    const event::Time elapsed = now - window_start_;
+    window_start_ = now - (elapsed % config_.sample_window);
+  }
+  window_.add(event::to_seconds(sojourn));
+}
+
+void GradientController::close_window() {
+  ++windows_closed_;
+  const bool informative = window_.count() >= config_.min_window_samples;
+  if (informative) {
+    const double p50 = window_.quantile(0.5);
+    if (probing_ || !have_min_rtt_) {
+      // The probe window's p50 (measured with the unvouched watermark
+      // held at min_limit, so the queue ran near its baseline) becomes
+      // the new minRTT.  The very first informative window seeds it.
+      min_rtt_s_ = p50;
+      have_min_rtt_ = true;
+      if (probing_) ++minrtt_probes_;
+    }
+    gradient_ = p50 <= 0.0
+                    ? config_.gradient_max
+                    : std::clamp(min_rtt_s_ * (1.0 + config_.headroom) / p50,
+                                 config_.gradient_min, config_.gradient_max);
+    // Envoy's update rule: multiplicative gradient step plus an additive
+    // sqrt headroom term so a saturated limit can still grow.
+    const double next = gradient_ * static_cast<double>(limit_) +
+                        std::sqrt(static_cast<double>(limit_));
+    limit_ = clamp_limit(next, config_);
+  }
+  if (probing_) {
+    probing_ = false;
+    schedule_next_probe();
+  } else if (informative && --windows_until_probe_ == 0) {
+    probing_ = true;
+  }
+  window_.reset();
+}
+
+void GradientController::reset() {
+  limit_ = initial_limit_;
+  gradient_ = 1.0;
+  min_rtt_s_ = 0.0;
+  have_min_rtt_ = false;
+  probing_ = false;
+  window_start_ = -1;
+  window_.reset();
+  schedule_next_probe();
+}
+
+// ---------------------------------------------------------------------------
+// FaceOutlierDetector
+// ---------------------------------------------------------------------------
+
+FaceOutlierDetector::FaceOutlierDetector(const AdaptiveConfig& config,
+                                         util::Rng* rng)
+    : config_(config), rng_(rng) {}
+
+bool FaceOutlierDetector::admits(std::uint64_t face, event::Time now) {
+  const auto it = faces_.find(face);
+  if (it == faces_.end()) return true;
+  FaceState& state = it->second;
+  if (state.until == 0) return true;
+  if (now < state.until) return false;
+  // Probation: the ejection interval elapsed; admit traffic again and
+  // let the next verdict decide (good => healthy, bad => re-eject).
+  if (!state.probing) {
+    state.probing = true;
+    ++probes_;
+  }
+  return true;
+}
+
+void FaceOutlierDetector::eject(FaceState& state, event::Time now) {
+  ++ejections_;
+  ++state.ejection_count;
+  state.consecutive_bad = 0;
+  state.probing = false;
+  double interval = event::to_seconds(config_.quarantine_base);
+  for (std::uint32_t i = 1; i < state.ejection_count; ++i) {
+    interval *= config_.quarantine_factor;
+    if (interval >= event::to_seconds(config_.quarantine_max)) break;
+  }
+  interval =
+      std::min(interval, event::to_seconds(config_.quarantine_max));
+  const double jitter =
+      1.0 + config_.quarantine_jitter * (2.0 * rng_->uniform_double() - 1.0);
+  state.until = now + std::max<event::Time>(
+                          1, event::from_seconds(interval * jitter));
+}
+
+void FaceOutlierDetector::on_bad_verdict(std::uint64_t face,
+                                         event::Time now) {
+  if (config_.quarantine_consecutive == 0) return;
+  FaceState& state = faces_[face];
+  if (state.until != 0) {
+    if (now < state.until) return;  // in-flight verdict from before
+    // Failed re-admission probe: straight back out, longer interval.
+    eject(state, now);
+    return;
+  }
+  if (++state.consecutive_bad >= config_.quarantine_consecutive) {
+    eject(state, now);
+  }
+}
+
+void FaceOutlierDetector::on_good_verdict(std::uint64_t face,
+                                          event::Time now) {
+  const auto it = faces_.find(face);
+  if (it == faces_.end()) return;
+  FaceState& state = it->second;
+  if (state.until != 0) {
+    if (now < state.until) return;  // in-flight verdict from before
+    // Successful probe: re-admit; one level of ejection history decays
+    // so a recovered face is not penalized forever.
+    state.until = 0;
+    state.probing = false;
+    if (state.ejection_count > 0) --state.ejection_count;
+    ++readmissions_;
+  }
+  state.consecutive_bad = 0;
+}
+
+std::size_t FaceOutlierDetector::quarantined_faces(event::Time now) const {
+  std::size_t n = 0;
+  for (const auto& [face, state] : faces_) {
+    if (state.until != 0 && now < state.until) ++n;
+  }
+  return n;
+}
+
+void FaceOutlierDetector::reset() { faces_.clear(); }
+
+}  // namespace tactic::core

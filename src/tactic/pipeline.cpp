@@ -35,7 +35,42 @@ ValidationEngine::ValidationEngine(TacticConfig config,
       rng_(rng),
       bloom_(config_.bloom),
       neg_cache_(config_.overload.neg_cache_capacity,
-                 config_.overload.neg_cache_ttl) {}
+                 config_.overload.neg_cache_ttl) {
+  if (config_.adaptive.enabled && config_.overload.enabled) {
+    // The adaptive layer's dedicated RNG stream is forked only here, so
+    // a disabled layer consumes zero draws from the engine's stream and
+    // stays bit-identical to the static watermarks (ci/parity.sh).
+    adaptive_ = std::make_unique<AdaptiveState>(
+        config_.adaptive, config_.overload.queue_capacity, rng_.fork());
+  }
+}
+
+void ValidationEngine::sync_adaptive_counters() {
+  counters_.adaptive_windows = adaptive_->controller.windows_closed();
+  counters_.adaptive_minrtt_probes = adaptive_->controller.minrtt_probes();
+  counters_.quarantine_ejections = adaptive_->outliers.ejections();
+  counters_.quarantine_probes = adaptive_->outliers.probes();
+  counters_.quarantine_readmissions = adaptive_->outliers.readmissions();
+}
+
+bool ValidationEngine::quarantine_admits(ndn::FaceId face, event::Time now) {
+  if (!adaptive_) return true;
+  const bool admitted = adaptive_->outliers.admits(face, now);
+  if (!admitted) ++counters_.quarantine_sheds;
+  sync_adaptive_counters();
+  return admitted;
+}
+
+void ValidationEngine::observe_face_verdict(ndn::FaceId face, bool good,
+                                            event::Time now) {
+  if (!adaptive_) return;
+  if (good) {
+    adaptive_->outliers.on_good_verdict(face, now);
+  } else {
+    adaptive_->outliers.on_bad_verdict(face, now);
+  }
+  sync_adaptive_counters();
+}
 
 void ValidationEngine::charge(event::Time now, event::Time cost,
                               event::Time& compute, CostKind kind) {
@@ -54,6 +89,14 @@ void ValidationEngine::charge(event::Time now, event::Time cost,
   // per-packet delay is the max, not the sum, of its ops' delays.
   const event::Time delay = queue_.admit(now, cost);
   counters_.validation_wait += delay - cost;
+  counters_.validation_wait_hist.add(event::to_seconds(delay - cost));
+  if (adaptive_) {
+    // The job's sojourn (wait + service) is the gradient controller's
+    // latency signal; pure wait has an uncongested baseline of zero.
+    adaptive_->controller.record(now, delay);
+    counters_.adaptive_windows = adaptive_->controller.windows_closed();
+    counters_.adaptive_minrtt_probes = adaptive_->controller.minrtt_probes();
+  }
   if (delay > compute) compute = delay;
 }
 
@@ -303,6 +346,12 @@ void ValidationEngine::wipe_volatile() {
   sig_batches_.clear();
   bf_probe_seen_ = false;
   last_bf_probe_at_ = 0;
+  if (adaptive_) {
+    // The controller's baseline and the quarantine's per-face memory are
+    // as volatile as the queue they watch; lifetime counters survive.
+    adaptive_->controller.reset();
+    adaptive_->outliers.reset();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -384,8 +433,11 @@ Verdict AdmissionStage::run(ValidationContext& ctx) {
     case Gate::kQueueCapacity:
       // Hard admission limit: at queue capacity, all tagged traffic is
       // shed with an explicit back-off NACK (clients retry later instead
-      // of piling timeouts onto a saturated router).
-      if (ctx.engine.queue_depth(ctx.now) >= ov.queue_capacity) {
+      // of piling timeouts onto a saturated router).  With the adaptive
+      // layer on, the capacity is the gradient controller's concurrency
+      // limit instead of the static constant.
+      if (ctx.engine.queue_depth(ctx.now) >=
+          ctx.engine.effective_queue_capacity()) {
         ++counters.sheds_queue_full;
         return Verdict::shed(ndn::NackReason::kRouterOverloaded);
       }
@@ -404,7 +456,8 @@ Verdict AdmissionStage::run(ValidationContext& ctx) {
 
     case Gate::kWatermark:
       if (ctx.revalidating && !shed_revalidating_) return Verdict::next();
-      if (ctx.engine.queue_depth(ctx.now) >= ov.shed_watermark) {
+      if (ctx.engine.queue_depth(ctx.now) >=
+          ctx.engine.effective_shed_watermark()) {
         ++counters.sheds_unvouched;
         return Verdict::shed(ndn::NackReason::kRouterOverloaded);
       }

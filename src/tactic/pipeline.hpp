@@ -35,6 +35,7 @@
 #include "ndn/fib.hpp"
 #include "ndn/packet.hpp"
 #include "ndn/policy.hpp"
+#include "tactic/adaptive.hpp"
 #include "tactic/compute_model.hpp"
 #include "tactic/overload.hpp"
 #include "tactic/precheck.hpp"
@@ -123,6 +124,13 @@ struct TacticConfig {
   /// Batched validation (amortized batch-RSA + multi-probe BF).  Disabled
   /// by default; see docs/ARCHITECTURE.md, "Batched stages".
   BatchConfig batch;
+  /// Adaptive overload control (gradient admission controller + per-face
+  /// outlier quarantine) on top of the overload layer.  Disabled by
+  /// default and only active while `overload.enabled` is also set; a
+  /// disabled layer leaves the router bit-identical to the static
+  /// watermarks.  See docs/OVERLOAD.md, "Adaptive control & face
+  /// quarantine".
+  AdaptiveConfig adaptive;
 };
 
 /// True when `name` is a registration Interest under the convention
@@ -194,6 +202,20 @@ struct TacticCounters {
   /// Same-instant Bloom lookups coalesced into a multi-probe (charged at
   /// the marginal probe cost instead of a full lookup).
   std::uint64_t bf_probes_coalesced = 0;
+  // --- Adaptive overload control (all zero while it is disabled) ---
+  /// Gradient-controller sample windows closed and minRTT re-measurement
+  /// probe windows completed.
+  std::uint64_t adaptive_windows = 0;
+  std::uint64_t adaptive_minrtt_probes = 0;
+  /// Per-face quarantine: Interests refused from quarantined faces,
+  /// ejection events, re-admission probes, and probes that readmitted.
+  std::uint64_t quarantine_sheds = 0;
+  std::uint64_t quarantine_ejections = 0;
+  std::uint64_t quarantine_probes = 0;
+  std::uint64_t quarantine_readmissions = 0;
+  /// Streaming quantile sketch of per-op validation queue wait (seconds;
+  /// populated whenever the overload layer is on).  Never fingerprinted.
+  util::QuantileHistogram validation_wait_hist;
 };
 
 /// A BF membership result: hit, plus the vouching filter's FPP (the F
@@ -303,6 +325,39 @@ class ValidationEngine {
   void remember_invalid(const Tag& tag, event::Time now);
   /// Pending validation jobs at `now`.
   std::size_t queue_depth(event::Time now) { return queue_.depth(now); }
+
+  // --- adaptive overload control (docs/OVERLOAD.md, "Adaptive control
+  // & face quarantine"; inert unless overload AND adaptive are enabled) ---
+  /// Whether the adaptive layer is live (both layers configured on).
+  bool adaptive_active() const { return adaptive_ != nullptr; }
+  /// Hard admission limit AdmissionStage compares against: the gradient
+  /// controller's concurrency limit when adaptive, else the static
+  /// queue_capacity fallback.
+  std::size_t effective_queue_capacity() const {
+    return adaptive_ ? adaptive_->controller.concurrency_limit()
+                     : config_.overload.queue_capacity;
+  }
+  /// Unvouched shed watermark: the controller's derived watermark
+  /// (tightened to min_limit during a minRTT probe window) when
+  /// adaptive, else the static shed_watermark fallback.
+  std::size_t effective_shed_watermark() const {
+    return adaptive_ ? adaptive_->controller.shed_watermark()
+                     : config_.overload.shed_watermark;
+  }
+  /// Gradient-controller gauges for harvesting; null when inactive.
+  const GradientController* gradient_controller() const {
+    return adaptive_ ? &adaptive_->controller : nullptr;
+  }
+  const FaceOutlierDetector* outlier_detector() const {
+    return adaptive_ ? &adaptive_->outliers : nullptr;
+  }
+  /// Quarantine gate for one downstream face; false sheds the Interest
+  /// (counted in quarantine_sheds).  Always true while inactive.
+  bool quarantine_admits(ndn::FaceId face, event::Time now);
+  /// Feeds one per-face validation outcome into the outlier detector.
+  /// Covers deferred batch verdicts too: the crypto outcome is known at
+  /// verification time even when its delivery waits for the flush.
+  void observe_face_verdict(ndn::FaceId face, bool good, event::Time now);
   /// Per-face token-bucket decision for one unvouched Interest.
   bool police_unvouched(ndn::FaceId face, event::Time now);
   /// Counts a tagged request against the inter-reset window.
@@ -348,6 +403,23 @@ class ValidationEngine {
 
   std::unordered_map<std::string, SigBatch> sig_batches_;
   event::Scheduler* scheduler_ = nullptr;
+
+  // --- adaptive overload control (null unless overload AND adaptive are
+  // enabled at construction; its RNG stream is forked only then, so a
+  // disabled layer consumes zero draws) ---
+  struct AdaptiveState {
+    AdaptiveState(const AdaptiveConfig& config, std::size_t initial_limit,
+                  util::Rng rng_in)
+        : rng(rng_in),
+          controller(config, initial_limit, &rng),
+          outliers(config, &rng) {}
+    util::Rng rng;
+    GradientController controller;
+    FaceOutlierDetector outliers;
+  };
+  void sync_adaptive_counters();
+  std::unique_ptr<AdaptiveState> adaptive_;
+
   /// Same-instant BF multi-probe coalescing: timestamp of the last
   /// charged lookup probe (valid when bf_probe_seen_).
   event::Time last_bf_probe_at_ = 0;

@@ -80,16 +80,30 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
   // Public prefixes need no access control at the edge.
   if (!engine_.anchors().is_protected(interest.name)) return decision;
 
+  const event::Time now = node.scheduler().now();
+
+  // Adaptive layer: a quarantined face's traffic is refused outright —
+  // one compromised station cannot keep dragging the validation queue
+  // toward the shed line.  Registration Interests (above) always flow,
+  // so a quarantined legitimate user can still renew an expired tag and
+  // clear itself on the next re-admission probe.
+  if (!engine_.quarantine_admits(in_face, now)) {
+    decision.action = InterestDecision::Action::kDropWithNack;
+    decision.nack_reason = ndn::NackReason::kRouterOverloaded;
+    return decision;
+  }
+
   if (!interest.tag) {
     // Threat (a): private content requested without possessing a tag.
     ++engine_.counters().no_tag_rejections;
+    engine_.observe_face_verdict(in_face, /*good=*/false, now);
     decision.action = InterestDecision::Action::kDropWithNack;
     decision.nack_reason = ndn::NackReason::kNoTag;
     return decision;
   }
 
   engine_.count_request();
-  ValidationContext ctx(engine_, *interest.tag, node.scheduler().now());
+  ValidationContext ctx(engine_, *interest.tag, now);
   ctx.in_face = in_face;
   ctx.interest_name = &interest.name;
   ctx.access_path = interest.access_path;
@@ -101,9 +115,14 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
     case Verdict::Kind::kContinue:
       break;
     case Verdict::Kind::kVouch:
+      engine_.observe_face_verdict(in_face, /*good=*/true, now);
       interest.flag_f = verdict.flag_f;
       break;
     case Verdict::Kind::kReject:
+      // Any reject here is a tag-validity failure (pre-check, blacklist,
+      // access path, negative cache) — an outlier signal for the face.
+      // Sheds are a load signal, not a verdict, and are not observed.
+      engine_.observe_face_verdict(in_face, /*good=*/false, now);
       decision.action = verdict.silent
                             ? InterestDecision::Action::kDrop
                             : InterestDecision::Action::kDropWithNack;
@@ -161,6 +180,7 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
     return decision;
   }
 
+  const event::Time now = node.scheduler().now();
   const bool is_primary =
       incoming.tag && incoming.tag->same_tag(*record.tag);
   if (is_primary) {
@@ -170,11 +190,22 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
         // An upstream router shed this request.  Unlike a validity NACK,
         // the client should hear about it (and back off) rather than
         // burn its Interest lifetime: forward with the NACK attached.
+        // No outlier observation — back-pressure is a load signal, not
+        // a verdict on the face's tags.
         return decision;
       }
+      // An upstream validator condemned this record's tag — attribute
+      // the verdict to the downstream face that sent it.  This is also
+      // where verdicts whose delivery the batching layer deferred land:
+      // the crypto outcome was known at verification time upstream, and
+      // the NACK-carrying Data reaches here at flush time.
+      engine_.observe_face_verdict(record.face, /*good=*/false, now);
       // Protocol 2, lines 19-20: content arrived with a NACK for this
       // tag; drop the request (the client times out).
       decision.forward = false;
+    } else {
+      // Clean delivery for this record's tag: the face is behaving.
+      engine_.observe_face_verdict(record.face, /*good=*/true, now);
     }
     return decision;
   }
@@ -182,10 +213,15 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
   // Protocol 2, lines 22-23: validate every other aggregated tag.
   stamp_record_echo(record, outgoing);
   engine_.bind_scheduler(&node.scheduler());
-  ValidationContext ctx(engine_, *record.tag, node.scheduler().now());
+  ValidationContext ctx(engine_, *record.tag, now);
   ctx.content = &incoming;
-  return apply_aggregate_verdict(aggregate_pipeline_.run(ctx), ctx,
-                                 outgoing);
+  const Verdict verdict = aggregate_pipeline_.run(ctx);
+  if (verdict.kind == Verdict::Kind::kReject) {
+    engine_.observe_face_verdict(record.face, /*good=*/false, now);
+  } else if (verdict.kind == Verdict::Kind::kVouch) {
+    engine_.observe_face_verdict(record.face, /*good=*/true, now);
+  }
+  return apply_aggregate_verdict(verdict, ctx, outgoing);
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,16 @@ class TacticRouterPolicy : public ndn::AccessControlPolicy {
   bool draining_active(event::Time now) const {
     return engine_.draining_active(now);
   }
+  /// Adaptive-layer gauges (docs/OVERLOAD.md, "Adaptive control & face
+  /// quarantine"); zero while the layer is inactive.
+  double adaptive_gradient() const {
+    const auto* controller = engine_.gradient_controller();
+    return controller == nullptr ? 0.0 : controller->gradient();
+  }
+  std::uint64_t adaptive_limit() const {
+    const auto* controller = engine_.gradient_controller();
+    return controller == nullptr ? 0 : controller->concurrency_limit();
+  }
 
   /// Optional traitor tracer (non-owning; may be null).  Edge routers
   /// report access-path mismatches to it.

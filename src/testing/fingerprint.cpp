@@ -96,6 +96,26 @@ void put_ops(std::string& out, const char* key, const sim::RouterOps& ops) {
     put(out, (prefix + ".bf_probes_coalesced").c_str(),
         ops.bf_probes_coalesced);
   }
+  // Same precedent for the adaptive layer: its counters print only when
+  // the controller or quarantine actually acted, so adaptive-off
+  // fingerprints stay byte-identical to the pinned goldens.
+  const bool adaptive = ops.adaptive_windows != 0 ||
+                        ops.adaptive_minrtt_probes != 0 ||
+                        ops.quarantine_sheds != 0 ||
+                        ops.quarantine_ejections != 0 ||
+                        ops.quarantine_probes != 0 ||
+                        ops.quarantine_readmissions != 0;
+  if (adaptive) {
+    put(out, (prefix + ".adaptive_windows").c_str(), ops.adaptive_windows);
+    put(out, (prefix + ".adaptive_minrtt_probes").c_str(),
+        ops.adaptive_minrtt_probes);
+    put(out, (prefix + ".quarantine_sheds").c_str(), ops.quarantine_sheds);
+    put(out, (prefix + ".quarantine_ejections").c_str(),
+        ops.quarantine_ejections);
+    put(out, (prefix + ".quarantine_probes").c_str(), ops.quarantine_probes);
+    put(out, (prefix + ".quarantine_readmissions").c_str(),
+        ops.quarantine_readmissions);
+  }
 }
 
 void put_vector(std::string& out, const char* key,

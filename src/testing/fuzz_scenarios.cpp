@@ -50,6 +50,10 @@ constexpr const char* kUsage =
     "                       random prefixes, and re-run each scenario on\n"
     "                       the linear reference FIB asserting bit-equal\n"
     "                       fingerprints and traces (trie ≡ linear)\n"
+    "  --adaptive           sample the adaptive overload-control layer\n"
+    "                       (gradient admission controller + per-face\n"
+    "                       quarantine) on most seeds where --overload\n"
+    "                       armed; adaptive draws come after all others\n"
     "  --no-differential    skip the TACTIC vs no-AC parity pass\n"
     "  --parity-tolerance T allowed client delivery-ratio gap (default 0.1)\n"
     "  --inject-expiry-bug  edge routers skip the Protocol-1 expiry check\n"
@@ -107,7 +111,7 @@ int main(int argc, char** argv) {
         "runs",   "seed",        "duration",          "policy",
         "repro",  "verbose",     "differential",      "parity-tolerance",
         "help",   "inject-expiry-bug",                "faults",
-        "overload", "batch",     "bigtables"};
+        "overload", "batch",     "bigtables",         "adaptive"};
     for (const auto& name : flags.names()) {
       if (known.count(name) == 0) {
         std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), kUsage);
@@ -146,6 +150,7 @@ int main(int argc, char** argv) {
     generator.with_overload = flags.get_bool("overload", false);
     generator.with_batch = flags.get_bool("batch", false);
     generator.with_bigtables = flags.get_bool("bigtables", false);
+    generator.with_adaptive = flags.get_bool("adaptive", false);
     if (flags.has("policy")) {
       const std::string name = flags.get_string("policy", "");
       const auto policy = parse_policy(name);
@@ -238,10 +243,14 @@ int main(int argc, char** argv) {
         // Shedding and floods cost some legitimate delivery relative to a
         // shed-nothing open network, so overload runs get extra headroom
         // (as fault plans do).
+        // The gradient controller deliberately tightens the limit under
+        // pressure, so adaptive runs can shed a bit more legitimate load
+        // than static knobs before recovering.
         const double tolerance =
             parity_tolerance + (config.faults.any() ? 0.15 : 0.0) +
             (config.tactic.overload.enabled ? 0.15 : 0.0) +
-            (config.tactic.batch.enabled ? 0.05 : 0.0);
+            (config.tactic.batch.enabled ? 0.05 : 0.0) +
+            (config.tactic.adaptive.enabled ? 0.10 : 0.0);
         const bool parity_ok =
             first.client_ratio + tolerance >= open.client_ratio;
         const bool blocked = open.attacker_requested == 0 ||
@@ -266,13 +275,14 @@ int main(int argc, char** argv) {
       }
       if (failed) {
         std::printf(
-            "  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s%s%s\n",
+            "  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s%s%s%s\n",
             static_cast<unsigned long long>(seed),
             generator.inject_expiry_bug ? " --inject-expiry-bug" : "",
             generator.with_faults ? " --faults" : "",
             generator.with_overload ? " --overload" : "",
             generator.with_batch ? " --batch" : "",
-            generator.with_bigtables ? " --bigtables" : "");
+            generator.with_bigtables ? " --bigtables" : "",
+            generator.with_adaptive ? " --adaptive" : "");
       }
     }
 

@@ -122,6 +122,33 @@ void sample_batch(util::Rng& rng, sim::ScenarioConfig& config) {
                                      0.1 + 0.5 * rng.uniform_double());
 }
 
+// Samples the adaptive overload-control layer (docs/OVERLOAD.md,
+// "Adaptive control & face quarantine").  Every knob is drawn
+// unconditionally so the draw count per seed is fixed; the layer only
+// arms (~85% of seeds) when the overload layer it rides on is enabled.
+void sample_adaptive(util::Rng& rng, sim::ScenarioConfig& config) {
+  core::AdaptiveConfig& ad = config.tactic.adaptive;
+  const bool arm =
+      rng.bernoulli(0.85) && config.tactic.overload.enabled;
+  ad.sample_window =
+      (50 + rng.uniform(451)) * event::kMillisecond;  // 50-500 ms
+  ad.min_window_samples = 2 + rng.uniform(15);
+  ad.probe_interval_windows = 4 + rng.uniform(17);
+  ad.probe_jitter_windows = rng.uniform(6);
+  ad.headroom = 0.05 + 0.25 * rng.uniform_double();
+  ad.min_limit = 2 + rng.uniform(7);
+  ad.max_limit =
+      std::max(config.tactic.overload.queue_capacity, ad.min_limit + 1) +
+      rng.uniform(256);
+  ad.watermark_fraction = 0.25 + 0.5 * rng.uniform_double();
+  ad.quarantine_consecutive = rng.bernoulli(0.8) ? 3 + rng.uniform(8) : 0;
+  ad.quarantine_base = (1 + rng.uniform(4)) * event::kSecond;
+  ad.quarantine_factor = 1.5 + rng.uniform_double();
+  ad.quarantine_max = (10 + rng.uniform(51)) * event::kSecond;
+  ad.quarantine_jitter = 0.5 * rng.uniform_double();
+  ad.enabled = arm;
+}
+
 }  // namespace
 
 sim::ScenarioConfig random_config(std::uint64_t seed,
@@ -211,6 +238,13 @@ sim::ScenarioConfig random_config(std::uint64_t seed,
     config.prepopulate_fib_prefixes =
         static_cast<std::size_t>(1 + rng.uniform(10)) * 10000;
   }
+  // Adaptive draws come after everything above (satisfying "strictly
+  // after batch" while also leaving the bigtables draw untouched), so
+  // base, fault, overload, batch and bigtables configurations stay
+  // identical with or without this option.
+  if (options.with_adaptive) {
+    sample_adaptive(rng, config);
+  }
   return config;
 }
 
@@ -268,6 +302,18 @@ std::string describe(const sim::ScenarioConfig& config) {
   if (config.prepopulate_fib_prefixes > 0) {
     std::snprintf(buffer, sizeof(buffer), " bigtables[fib=%zu]",
                   config.prepopulate_fib_prefixes);
+    out += buffer;
+  }
+  if (config.tactic.adaptive.enabled) {
+    const core::AdaptiveConfig& ad = config.tactic.adaptive;
+    std::snprintf(
+        buffer, sizeof(buffer),
+        " adaptive[win=%.0fms lim=%zu..%zu probe=%u+%u hr=%.2f wm=%.2f "
+        "quar=%zux%.0fs^%.1f]",
+        event::to_seconds(ad.sample_window) * 1e3, ad.min_limit,
+        ad.max_limit, ad.probe_interval_windows, ad.probe_jitter_windows,
+        ad.headroom, ad.watermark_fraction, ad.quarantine_consecutive,
+        event::to_seconds(ad.quarantine_base), ad.quarantine_factor);
     out += buffer;
   }
   return out;

@@ -49,6 +49,13 @@ struct GeneratorOptions {
   /// a dedicated RNG stream, so all prior layers stay identical with or
   /// without this option.
   bool with_bigtables = false;
+  /// Sample the adaptive overload-control layer (gradient admission
+  /// controller + per-face outlier quarantine; docs/OVERLOAD.md) on most
+  /// seeds where the overload layer is on.  The adaptive draws come
+  /// strictly after every other layer's draws (faults, overload, batch,
+  /// bigtables), so all prior configurations stay identical with or
+  /// without this option.
+  bool with_adaptive = false;
 };
 
 /// Deterministically samples one scenario configuration from `seed`.

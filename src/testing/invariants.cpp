@@ -232,7 +232,8 @@ void InvariantChecker::finalize() {
       if (ops->neg_cache_hits != 0 || ops->neg_cache_insertions != 0 ||
           ops->sheds_queue_full != 0 || ops->sheds_unvouched != 0 ||
           ops->policer_sheds != 0 || ops->staged_resets != 0 ||
-          ops->draining_hits != 0 || ops->validation_wait_s != 0.0) {
+          ops->draining_hits != 0 || ops->validation_wait_s != 0.0 ||
+          !ops->validation_wait_hist.empty()) {
         add_violation("-", "overload accounting: overload-layer counters "
                            "nonzero while the layer is disabled");
       }
@@ -241,6 +242,20 @@ void InvariantChecker::finalize() {
       add_violation("-", "overload accounting: clients saw "
                          "kRouterOverloaded NACKs while the layer is "
                          "disabled");
+    }
+  }
+  if (!config.tactic.adaptive.enabled || !config.tactic.overload.enabled) {
+    // The adaptive layer only arms when both its own flag and the
+    // overload layer are on; otherwise it must be perfectly inert.
+    const sim::RouterOps* classes[] = {&metrics.edge_ops, &metrics.core_ops};
+    for (const sim::RouterOps* ops : classes) {
+      if (ops->adaptive_windows != 0 || ops->adaptive_minrtt_probes != 0 ||
+          ops->quarantine_sheds != 0 || ops->quarantine_ejections != 0 ||
+          ops->quarantine_probes != 0 || ops->quarantine_readmissions != 0 ||
+          ops->adaptive_gradient != 0.0 || ops->adaptive_limit != 0) {
+        add_violation("-", "adaptive accounting: adaptive-layer counters "
+                           "nonzero while the layer is disabled");
+      }
     }
   }
   if (config.router_pit_capacity == 0 && metrics.pit_evictions != 0) {

@@ -84,6 +84,94 @@ double SampleSet::percentile(double p) const {
   return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
 }
 
+namespace {
+
+// QuantileHistogram layout: samples in [2^(e-1), 2^e) for octave e in
+// [kMinOctave, kMaxOctave] split into 8 geometric sub-buckets at
+// mantissa thresholds 2^(k/8)/2 (frexp mantissas live in [0.5, 1)).
+constexpr int kMinOctave = -31;  // ~2.3e-10 lower edge
+constexpr int kMaxOctave = 8;    // up to 256
+constexpr std::size_t kSubBuckets = 8;
+constexpr std::size_t kQuantileBuckets =
+    static_cast<std::size_t>(kMaxOctave - kMinOctave + 1) * kSubBuckets;
+constexpr double kSubThresholds[kSubBuckets] = {
+    0.5,                0.5452538663326288, 0.5946035575013605,
+    0.6484197773255048, 0.7071067811865476, 0.7711054127039704,
+    0.8408964152537145, 0.9170040432046712};
+// Geometric midpoint factor between adjacent sub-bucket edges: 2^(1/16).
+constexpr double kBucketMid = 1.0442737824274138;
+
+}  // namespace
+
+QuantileHistogram::QuantileHistogram() { counts_.assign(kQuantileBuckets, 0); }
+
+std::size_t QuantileHistogram::bucket_index(double x) {
+  int exp = 0;
+  const double m = std::frexp(x, &exp);  // x = m * 2^exp, m in [0.5, 1)
+  if (exp < kMinOctave) return 0;
+  if (exp > kMaxOctave) return kQuantileBuckets - 1;
+  std::size_t sub = 0;
+  for (std::size_t k = kSubBuckets - 1; k > 0; --k) {
+    if (m >= kSubThresholds[k]) {
+      sub = k;
+      break;
+    }
+  }
+  return static_cast<std::size_t>(exp - kMinOctave) * kSubBuckets + sub;
+}
+
+double QuantileHistogram::bucket_value(std::size_t index) {
+  const int exp = kMinOctave + static_cast<int>(index / kSubBuckets);
+  const double lo = std::ldexp(kSubThresholds[index % kSubBuckets], exp);
+  return lo * kBucketMid;
+}
+
+void QuantileHistogram::add(double x) {
+  ++count_;
+  sum_ += x;
+  if (x <= 0.0) {
+    ++zero_;
+    return;
+  }
+  ++counts_[bucket_index(x)];
+}
+
+void QuantileHistogram::merge(const QuantileHistogram& other) {
+  zero_ += other.zero_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+void QuantileHistogram::reset() {
+  zero_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  counts_.assign(kQuantileBuckets, 0);
+}
+
+double QuantileHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double QuantileHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const double target = clamped * static_cast<double>(count_ - 1);
+  double cum = static_cast<double>(zero_);
+  if (cum > target) return 0.0;
+  double last = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    last = bucket_value(i);
+    cum += static_cast<double>(counts_[i]);
+    if (cum > target) return last;
+  }
+  return last;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)) {
   if (buckets == 0 || hi <= lo) {

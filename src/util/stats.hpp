@@ -56,6 +56,42 @@ class SampleSet {
   mutable bool sorted_ = true;
 };
 
+/// Deterministic streaming quantile sketch: a fixed log-spaced bucket
+/// histogram (8 sub-buckets per power of two, covering ~2^-32 .. 2^8,
+/// i.e. sub-nanosecond to hundreds of seconds when fed seconds) with
+/// constant memory, exact merge, and ~9% worst-case relative quantile
+/// error.  Unlike P², merging two sketches is exact (bucket-wise sum),
+/// which is what lets per-router wait quantiles aggregate into one
+/// router-class figure.  Bucketing uses only frexp/ldexp (exact
+/// floating-point ops), so results are bit-reproducible.
+class QuantileHistogram {
+ public:
+  QuantileHistogram();
+
+  /// Adds one sample; x <= 0 lands in a dedicated zero bucket whose
+  /// quantile representative is exactly 0.
+  void add(double x);
+  void merge(const QuantileHistogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Quantile for q in [0, 1] (clamped); returns the geometric midpoint
+  /// of the bucket holding the target rank, or 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  static std::size_t bucket_index(double x);
+  static double bucket_value(std::size_t index);
+
+  std::uint64_t zero_ = 0;  // samples <= 0
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::vector<std::uint64_t> counts_;
+};
+
 /// Fixed-width histogram over [lo, hi) with out-of-range samples clamped to
 /// the first/last bucket.
 class Histogram {

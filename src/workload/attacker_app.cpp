@@ -8,6 +8,7 @@ const char* to_string(AttackerMode mode) {
   switch (mode) {
     case AttackerMode::kNoTag: return "no-tag";
     case AttackerMode::kForgedTag: return "forged-tag";
+    case AttackerMode::kForgedTagChurn: return "forged-tag-churn";
     case AttackerMode::kExpiredTag: return "expired-tag";
     case AttackerMode::kInsufficientAccessLevel: return "low-access-level";
     case AttackerMode::kSharedTag: return "shared-tag";
@@ -51,6 +52,17 @@ void AttackerApp::start() {
   for (std::size_t slot = 0; slot < config_.window; ++slot) {
     node_.scheduler().schedule(jitter + think_sample(),
                                [this] { fill_one_slot(); });
+  }
+}
+
+void AttackerApp::set_tempo(std::size_t window,
+                            event::Time think_time_mean) {
+  const std::size_t old_window = config_.window;
+  config_.window = window;
+  config_.think_time_mean = think_time_mean;
+  if (!running_) return;
+  for (std::size_t slot = old_window; slot < window; ++slot) {
+    schedule_slot_fill();
   }
 }
 
@@ -168,6 +180,36 @@ AttackerApp::TagStrategy forged(
       slot = core::forge_tag(fields, *forger_key);
     }
     return slot;
+  };
+}
+
+AttackerApp::TagStrategy forged_churn(
+    std::shared_ptr<const crypto::RsaPrivateKey> forger_key,
+    std::string client_label, event::Time validity) {
+  struct State {
+    std::unordered_map<std::string, core::TagPtr> templates;
+    std::uint64_t counter = 0;
+  };
+  auto state = std::make_shared<State>();
+  return [forger_key = std::move(forger_key),
+          client_label = std::move(client_label), validity,
+          state](const ndn::Name& content, event::Time now) -> core::TagPtr {
+    const std::string prefix = content.prefix(1).to_uri();
+    auto& tmpl = state->templates[prefix];
+    if (!tmpl || tmpl->expiry() <= now + validity) {
+      core::Tag::Fields fields;
+      fields.provider_key_locator = prefix + "/KEY/1";
+      fields.client_key_locator = "/" + client_label + "/KEY/1";
+      fields.access_level = 0xFFFFFFFF;
+      fields.expiry = now + 2 * validity;
+      tmpl = core::forge_tag(fields, *forger_key);
+    }
+    // Unique expiry per request: still comfortably fresh (the precheck
+    // passes), but a different bloom_key — a cache-proof forgery without
+    // paying an RSA signing per Interest.
+    core::Tag::Fields fields = tmpl->fields();
+    fields.expiry -= static_cast<event::Time>(++state->counter);
+    return std::make_shared<const core::Tag>(fields, tmpl->signature());
   };
 }
 

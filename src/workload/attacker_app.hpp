@@ -26,6 +26,7 @@ namespace tactic::workload {
 enum class AttackerMode {
   kNoTag,
   kForgedTag,
+  kForgedTagChurn,
   kExpiredTag,
   kInsufficientAccessLevel,
   kSharedTag,
@@ -61,6 +62,12 @@ class AttackerApp {
 
   void start();
   void stop() { running_ = false; }
+
+  /// Mid-run tempo change for ramp experiments (flood intensity sweeps).
+  /// Growing the window schedules fills for the new slots immediately;
+  /// shrinking lets the excess in-flight slots retire as they resolve —
+  /// each resolution re-fills its slot only while under the new window.
+  void set_tempo(std::size_t window, event::Time think_time_mean);
 
   AttackerMode mode() const { return mode_; }
   const UserCounters& counters() const { return counters_; }
@@ -104,6 +111,18 @@ AttackerApp::TagStrategy no_tag();
 /// locator; structurally fresh (expiry = now + validity) so only signature
 /// verification can catch them.
 AttackerApp::TagStrategy forged(
+    std::shared_ptr<const crypto::RsaPrivateKey> forger_key,
+    std::string client_label, event::Time validity);
+
+/// (b') A *churning* forger: every request presents a never-seen-before
+/// forgery, so neither the Bloom filter nor the negative-tag cache ever
+/// absorbs the signature verification — the brute-force router-DoS
+/// pressure of Ghali et al. that the overload layer exists to survive.
+/// One real RSA signing per validity window per provider; per-request
+/// variants perturb a signed field (changing the cache identity,
+/// bloom_key) while reusing the stale signature, which stays just as
+/// invalid.
+AttackerApp::TagStrategy forged_churn(
     std::shared_ptr<const crypto::RsaPrivateKey> forger_key,
     std::string client_label, event::Time validity);
 

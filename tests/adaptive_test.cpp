@@ -1,0 +1,561 @@
+// Tests for the adaptive overload-control layer: the gradient admission
+// controller and per-face outlier quarantine as units, the log-bucket
+// quantile sketch backing the wait-time percentiles, and the scenario
+// contracts — adaptive knobs with the layer disabled are bit-identical
+// to the static overload model, adaptive without overload is inert,
+// kRouterOverloaded NACKs propagate through the multi-hop edge chain to
+// clients whose backoff stays clamped, and everything is deterministic
+// across double runs under faults + overload + adaptive.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "sim/scenario.hpp"
+#include "tactic/adaptive.hpp"
+#include "testing/fingerprint.hpp"
+#include "testing/invariants.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tactic {
+namespace {
+
+using event::kMillisecond;
+using event::kSecond;
+
+// ---------------------------------------------------------------------------
+// QuantileHistogram
+// ---------------------------------------------------------------------------
+
+TEST(QuantileHistogram, EmptyAndZeroBucket) {
+  util::QuantileHistogram hist;
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist.quantile(0.5), 0.0);
+
+  // x <= 0 lands in the zero bucket whose representative is exactly 0.
+  hist.add(0.0);
+  hist.add(-1.0);
+  hist.add(8.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.quantile(0.0), 0.0);
+  EXPECT_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_GT(hist.quantile(1.0), 0.0);
+  // Sum (and so the mean) is exact, not bucketed.
+  EXPECT_DOUBLE_EQ(hist.sum(), 7.0);
+}
+
+TEST(QuantileHistogram, QuantilesWithinBucketResolution) {
+  util::QuantileHistogram hist;
+  for (int i = 1; i <= 100; ++i) hist.add(static_cast<double>(i));
+  // Log-bucketed: each estimate is the midpoint of the sample's bucket,
+  // so it tracks the exact quantile within the bucket's relative width.
+  EXPECT_NEAR(hist.quantile(0.5), 50.0, 0.25 * 50.0);
+  EXPECT_NEAR(hist.quantile(0.95), 95.0, 0.25 * 95.0);
+  EXPECT_NEAR(hist.quantile(0.99), 99.0, 0.25 * 99.0);
+  // Monotone in q.
+  EXPECT_LE(hist.quantile(0.5), hist.quantile(0.95));
+  EXPECT_LE(hist.quantile(0.95), hist.quantile(0.99));
+}
+
+TEST(QuantileHistogram, MergeMatchesCombinedStream) {
+  util::QuantileHistogram left, right, combined;
+  util::Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform_double() * 1e-2;  // wait-time scale
+    (i % 2 == 0 ? left : right).add(x);
+    combined.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_DOUBLE_EQ(left.sum(), combined.sum());
+  // Bucket-wise merge is exact: every quantile agrees, not just nearly.
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogram, ResetClears) {
+  util::QuantileHistogram hist;
+  hist.add(1.0);
+  hist.reset();
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// GradientController
+// ---------------------------------------------------------------------------
+
+core::AdaptiveConfig unit_config() {
+  core::AdaptiveConfig config;
+  config.enabled = true;
+  config.sample_window = 100 * kMillisecond;
+  config.min_window_samples = 4;
+  config.probe_interval_windows = 1000;  // out of the way unless probed
+  config.probe_jitter_windows = 0;
+  config.min_limit = 4;
+  config.max_limit = 256;
+  config.watermark_fraction = 0.5;
+  return config;
+}
+
+// Fills one sample window with identical sojourns and closes it by
+// recording the first sample of the next window.
+void feed_window(core::GradientController& controller, event::Time start,
+                 event::Time sojourn, int samples) {
+  for (int i = 0; i < samples; ++i) controller.record(start, sojourn);
+  controller.record(start + 100 * kMillisecond, sojourn);
+}
+
+TEST(GradientController, FirstWindowSeedsBaselineAndGrowsLimit) {
+  const core::AdaptiveConfig config = unit_config();
+  util::Rng rng(1);
+  core::GradientController controller(config, 16, &rng);
+  EXPECT_EQ(controller.concurrency_limit(), 16u);
+  EXPECT_EQ(controller.shed_watermark(), 8u);  // fraction of the limit
+
+  feed_window(controller, 0, kMillisecond, 8);
+  EXPECT_EQ(controller.windows_closed(), 1u);
+  // The seeding window measures p50 == minRTT, so the gradient is the
+  // full headroom and the limit takes a growth step (gradient * limit
+  // + sqrt(limit) = 1.1 * 16 + 4).
+  EXPECT_NEAR(controller.gradient(), 1.0 + config.headroom, 1e-9);
+  EXPECT_GT(controller.min_rtt_s(), 0.0);
+  EXPECT_EQ(controller.concurrency_limit(), 22u);
+  EXPECT_EQ(controller.shed_watermark(), 11u);
+}
+
+TEST(GradientController, CongestionClampsGradientAndShrinksLimit) {
+  util::Rng rng(1);
+  core::GradientController controller(unit_config(), 64, &rng);
+  feed_window(controller, 0, kMillisecond, 8);  // baseline ~1 ms
+  const std::size_t grown = controller.concurrency_limit();
+
+  // Sojourns blow up 100x: the raw gradient would be ~0.011 but the
+  // per-window clamp holds it at gradient_min so one bad window cannot
+  // collapse the limit past one halving (plus the additive sqrt term).
+  feed_window(controller, 200 * kMillisecond, 100 * kMillisecond, 8);
+  EXPECT_DOUBLE_EQ(controller.gradient(), 0.5);
+  const std::size_t expected = static_cast<std::size_t>(std::llround(
+      0.5 * static_cast<double>(grown) +
+      std::sqrt(static_cast<double>(grown))));
+  EXPECT_EQ(controller.concurrency_limit(), expected);
+}
+
+TEST(GradientController, RepeatedFastWindowsSaturateAtMaxLimit) {
+  util::Rng rng(1);
+  core::GradientController controller(unit_config(), 16, &rng);
+  for (int w = 0; w < 20; ++w) {
+    feed_window(controller, w * 200 * kMillisecond, kMillisecond, 8);
+  }
+  EXPECT_EQ(controller.concurrency_limit(), 256u);
+  EXPECT_EQ(controller.shed_watermark(), 128u);
+}
+
+TEST(GradientController, UninformativeWindowCarriesNoSignal) {
+  util::Rng rng(1);
+  core::GradientController controller(unit_config(), 16, &rng);
+  // Three samples < min_window_samples: the window closes but the limit,
+  // gradient, and baseline stay untouched.
+  feed_window(controller, 0, kMillisecond, 2);
+  EXPECT_EQ(controller.windows_closed(), 1u);
+  EXPECT_EQ(controller.concurrency_limit(), 16u);
+  EXPECT_DOUBLE_EQ(controller.gradient(), 1.0);
+  EXPECT_DOUBLE_EQ(controller.min_rtt_s(), 0.0);
+}
+
+TEST(GradientController, ProbeTightensWatermarkOnlyThenRemeasures) {
+  core::AdaptiveConfig config = unit_config();
+  config.probe_interval_windows = 2;
+  util::Rng rng(1);
+  core::GradientController controller(config, 64, &rng);
+
+  feed_window(controller, 0, kMillisecond, 8);
+  EXPECT_FALSE(controller.probing());
+  feed_window(controller, 200 * kMillisecond, kMillisecond, 8);
+  // Two informative windows elapsed: the open window is a minRTT probe.
+  ASSERT_TRUE(controller.probing());
+  // During the probe only the unvouched watermark drops to min_limit;
+  // the hard capacity keeps its current value (vouched traffic is never
+  // probe-shed).
+  EXPECT_EQ(controller.shed_watermark(), config.min_limit);
+  const std::size_t limit_during_probe = controller.concurrency_limit();
+  EXPECT_GT(limit_during_probe, config.min_limit);
+
+  // Fill the probe window [300 ms, 400 ms) with slower sojourns (it
+  // already holds the previous feed's closing sample) and close it.
+  for (int i = 0; i < 7; ++i) {
+    controller.record(310 * kMillisecond, 2 * kMillisecond);
+  }
+  controller.record(450 * kMillisecond, 2 * kMillisecond);
+  EXPECT_FALSE(controller.probing());
+  EXPECT_EQ(controller.minrtt_probes(), 1u);
+  // The probe window's p50 replaced the baseline.
+  EXPECT_NEAR(controller.min_rtt_s(), event::to_seconds(2 * kMillisecond),
+              0.3 * event::to_seconds(2 * kMillisecond));
+}
+
+TEST(GradientController, ResetPreservesLifetimeCounters) {
+  core::AdaptiveConfig config = unit_config();
+  config.probe_interval_windows = 2;
+  util::Rng rng(1);
+  core::GradientController controller(config, 16, &rng);
+  feed_window(controller, 0, kMillisecond, 8);
+  feed_window(controller, 200 * kMillisecond, kMillisecond, 8);
+  ASSERT_TRUE(controller.probing());
+  for (int i = 0; i < 7; ++i) {
+    controller.record(310 * kMillisecond, kMillisecond);
+  }
+  controller.record(450 * kMillisecond, kMillisecond);  // closes the probe
+  const std::uint64_t windows = controller.windows_closed();
+  const std::uint64_t probes = controller.minrtt_probes();
+  ASSERT_GT(windows, 0u);
+  ASSERT_EQ(probes, 1u);
+
+  controller.reset();  // crash recovery
+  EXPECT_EQ(controller.concurrency_limit(), 16u);
+  EXPECT_DOUBLE_EQ(controller.gradient(), 1.0);
+  EXPECT_DOUBLE_EQ(controller.min_rtt_s(), 0.0);
+  EXPECT_FALSE(controller.probing());
+  // Harvested totals stay cumulative across restarts.
+  EXPECT_EQ(controller.windows_closed(), windows);
+  EXPECT_EQ(controller.minrtt_probes(), probes);
+}
+
+// ---------------------------------------------------------------------------
+// FaceOutlierDetector
+// ---------------------------------------------------------------------------
+
+core::AdaptiveConfig quarantine_config() {
+  core::AdaptiveConfig config;
+  config.enabled = true;
+  config.quarantine_consecutive = 3;
+  config.quarantine_base = 2 * kSecond;
+  config.quarantine_factor = 2.0;
+  config.quarantine_max = 8 * kSecond;
+  config.quarantine_jitter = 0.0;  // exact interval boundaries
+  return config;
+}
+
+TEST(FaceOutlierDetector, EjectsAfterConsecutiveBadVerdicts) {
+  util::Rng rng(1);
+  core::FaceOutlierDetector detector(quarantine_config(), &rng);
+  const std::uint64_t face = 7;
+
+  detector.on_bad_verdict(face, 0);
+  detector.on_bad_verdict(face, 1);
+  EXPECT_TRUE(detector.admits(face, 2));  // two strikes: still in
+  detector.on_bad_verdict(face, 2);
+  EXPECT_EQ(detector.ejections(), 1u);
+  EXPECT_FALSE(detector.admits(face, 3));
+  EXPECT_EQ(detector.quarantined_faces(3), 1u);
+  // The interval is exactly quarantine_base with jitter off: the first
+  // admit at/after the boundary is the probation probe.
+  EXPECT_FALSE(detector.admits(face, 2 + 2 * kSecond - 1));
+  EXPECT_TRUE(detector.admits(face, 2 + 2 * kSecond));
+  EXPECT_EQ(detector.probes(), 1u);
+  EXPECT_EQ(detector.quarantined_faces(2 + 2 * kSecond), 0u);
+}
+
+TEST(FaceOutlierDetector, GoodVerdictBreaksTheStreak) {
+  util::Rng rng(1);
+  core::FaceOutlierDetector detector(quarantine_config(), &rng);
+  const std::uint64_t face = 7;
+  detector.on_bad_verdict(face, 0);
+  detector.on_bad_verdict(face, 1);
+  detector.on_good_verdict(face, 2);  // resets consecutive_bad
+  detector.on_bad_verdict(face, 3);
+  detector.on_bad_verdict(face, 4);
+  EXPECT_EQ(detector.ejections(), 0u);
+  detector.on_bad_verdict(face, 5);  // third consecutive
+  EXPECT_EQ(detector.ejections(), 1u);
+}
+
+TEST(FaceOutlierDetector, FailedProbeReEjectsWithGrowingInterval) {
+  util::Rng rng(1);
+  core::FaceOutlierDetector detector(quarantine_config(), &rng);
+  const std::uint64_t face = 7;
+  for (int i = 0; i < 3; ++i) detector.on_bad_verdict(face, 0);
+  ASSERT_FALSE(detector.admits(face, 1));
+
+  // First probe fails: straight back out for base * factor = 4 s.
+  event::Time t = 2 * kSecond;
+  ASSERT_TRUE(detector.admits(face, t));
+  detector.on_bad_verdict(face, t);
+  EXPECT_EQ(detector.ejections(), 2u);
+  EXPECT_FALSE(detector.admits(face, t + 4 * kSecond - 1));
+  ASSERT_TRUE(detector.admits(face, t + 4 * kSecond));
+
+  // Second failure: 8 s, the quarantine_max ceiling...
+  t += 4 * kSecond;
+  detector.on_bad_verdict(face, t);
+  EXPECT_EQ(detector.ejections(), 3u);
+  ASSERT_TRUE(detector.admits(face, t + 8 * kSecond));
+
+  // ...which holds for every later failure (no unbounded exponent).
+  t += 8 * kSecond;
+  detector.on_bad_verdict(face, t);
+  EXPECT_FALSE(detector.admits(face, t + 8 * kSecond - 1));
+  EXPECT_TRUE(detector.admits(face, t + 8 * kSecond));
+}
+
+TEST(FaceOutlierDetector, SuccessfulProbeReadmitsAndDecaysHistory) {
+  util::Rng rng(1);
+  core::FaceOutlierDetector detector(quarantine_config(), &rng);
+  const std::uint64_t face = 7;
+  for (int i = 0; i < 3; ++i) detector.on_bad_verdict(face, 0);
+  // Fail one probe so the ejection history reaches 2.
+  detector.on_bad_verdict(face, 2 * kSecond);
+  ASSERT_EQ(detector.ejections(), 2u);
+
+  // The next probe succeeds: readmitted, and one level of history
+  // decays — the next ejection backs off from base * factor, not
+  // base * factor^2.
+  const event::Time healed = 2 * kSecond + 4 * kSecond;
+  ASSERT_TRUE(detector.admits(face, healed));
+  detector.on_good_verdict(face, healed);
+  EXPECT_EQ(detector.readmissions(), 1u);
+  EXPECT_TRUE(detector.admits(face, healed + 1));
+
+  for (int i = 0; i < 3; ++i) detector.on_bad_verdict(face, healed + 1);
+  EXPECT_EQ(detector.ejections(), 3u);
+  EXPECT_FALSE(detector.admits(face, healed + 1 + 4 * kSecond - 1));
+  EXPECT_TRUE(detector.admits(face, healed + 1 + 4 * kSecond));
+}
+
+TEST(FaceOutlierDetector, StaleVerdictsInsideQuarantineAreIgnored) {
+  util::Rng rng(1);
+  core::FaceOutlierDetector detector(quarantine_config(), &rng);
+  const std::uint64_t face = 7;
+  for (int i = 0; i < 3; ++i) detector.on_bad_verdict(face, 0);
+  ASSERT_EQ(detector.ejections(), 1u);
+  // Verdicts for traffic admitted before the ejection land mid-interval;
+  // neither extends the quarantine nor heals it.
+  detector.on_bad_verdict(face, kSecond);
+  detector.on_good_verdict(face, kSecond);
+  EXPECT_EQ(detector.ejections(), 1u);
+  EXPECT_EQ(detector.readmissions(), 0u);
+  EXPECT_FALSE(detector.admits(face, 2 * kSecond - 1));
+  EXPECT_TRUE(detector.admits(face, 2 * kSecond));
+}
+
+TEST(FaceOutlierDetector, ZeroConsecutiveDisablesQuarantine) {
+  core::AdaptiveConfig config = quarantine_config();
+  config.quarantine_consecutive = 0;
+  util::Rng rng(1);
+  core::FaceOutlierDetector detector(config, &rng);
+  for (int i = 0; i < 100; ++i) detector.on_bad_verdict(7, i);
+  EXPECT_EQ(detector.ejections(), 0u);
+  EXPECT_TRUE(detector.admits(7, 200));
+}
+
+TEST(FaceOutlierDetector, ResetClearsFacesButKeepsLifetimeCounters) {
+  util::Rng rng(1);
+  core::FaceOutlierDetector detector(quarantine_config(), &rng);
+  for (int i = 0; i < 3; ++i) detector.on_bad_verdict(7, 0);
+  ASSERT_FALSE(detector.admits(7, 1));
+  detector.reset();  // crash recovery: per-face memory dies
+  EXPECT_TRUE(detector.admits(7, 1));
+  EXPECT_EQ(detector.quarantined_faces(1), 0u);
+  EXPECT_EQ(detector.ejections(), 1u);  // the total survives
+}
+
+// ---------------------------------------------------------------------------
+// Scenario helpers
+// ---------------------------------------------------------------------------
+
+sim::ScenarioConfig small_tactic(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.topology.core_routers = 8;
+  config.topology.edge_routers = 3;
+  config.topology.providers = 2;
+  config.topology.clients = 4;
+  config.topology.attackers = 3;
+  config.topology.core_cs_capacity = 200;
+  config.provider.key_bits = 512;  // fast setup; semantics identical
+  config.duration = 30 * kSecond;
+  config.seed = seed;
+  return config;
+}
+
+/// A churning forged-tag flood (fresh forgery per Interest) that neither
+/// the BF nor the negative-tag cache absorbs — the brute-force verifier
+/// DoS the adaptive layer exists to survive.
+sim::ScenarioConfig churn_flood_config(std::uint64_t seed) {
+  sim::ScenarioConfig config = small_tactic(seed);
+  config.attacker.think_time_mean = 100 * kMillisecond;
+  config.attacker.window = 80;
+  config.attacker.interest_lifetime = 50 * kMillisecond;
+  config.attacker_mix = {workload::AttackerMode::kForgedTagChurn};
+  config.compute = core::ComputeModel::deterministic();
+  config.topology.core_link.bits_per_second = 4e6;
+  return config;
+}
+
+void enable_overload(sim::ScenarioConfig& config) {
+  core::OverloadConfig& ov = config.tactic.overload;
+  ov.enabled = true;
+  ov.queue_capacity = 64;
+  ov.shed_watermark = 32;
+  ov.neg_cache_capacity = 512;
+  ov.neg_cache_ttl = 5 * kSecond;
+  ov.policer_rate = 0.0;
+}
+
+std::uint64_t adaptive_activity(const sim::Metrics& metrics) {
+  std::uint64_t total = 0;
+  for (const sim::RouterOps* ops : {&metrics.edge_ops, &metrics.core_ops}) {
+    total += ops->adaptive_windows + ops->adaptive_minrtt_probes +
+             ops->quarantine_sheds + ops->quarantine_ejections +
+             ops->quarantine_probes + ops->quarantine_readmissions +
+             ops->adaptive_limit;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario contracts
+// ---------------------------------------------------------------------------
+
+// The layer visibly engages under a churning flood: windows close, the
+// flood faces are ejected, and their traffic dies at admission without
+// the verdict quantiles recording it.
+TEST(AdaptiveLayer, ChurningFloodTripsQuarantine) {
+  sim::ScenarioConfig config = churn_flood_config(31);
+  enable_overload(config);
+  config.tactic.adaptive.enabled = true;
+
+  const sim::Metrics metrics = sim::Scenario(config).run();
+  EXPECT_GT(metrics.edge_ops.adaptive_windows, 0u);
+  EXPECT_GT(metrics.edge_ops.quarantine_ejections, 0u);
+  EXPECT_GT(metrics.edge_ops.quarantine_sheds, 0u);
+  EXPECT_GT(metrics.edge_ops.quarantine_probes, 0u);
+  EXPECT_GT(metrics.edge_ops.adaptive_limit, 0u);
+  // The wait-quantile sketch tracked the sojourns that were admitted.
+  EXPECT_FALSE(metrics.edge_ops.validation_wait_hist.empty());
+  EXPECT_LE(metrics.edge_ops.validation_wait_p50_s(),
+            metrics.edge_ops.validation_wait_p95_s());
+  EXPECT_LE(metrics.edge_ops.validation_wait_p95_s(),
+            metrics.edge_ops.validation_wait_p99_s());
+  // Attackers stayed blocked; clients stayed served.
+  EXPECT_EQ(metrics.attackers.received, 0u);
+  EXPECT_GT(metrics.clients.delivery_ratio(), 0.95);
+}
+
+// Every adaptive knob set but `enabled` false must leave the run
+// bit-identical to the static overload layer (the ci/parity.sh
+// contract, pinned here as a unit test).
+TEST(AdaptiveLayer, DisabledAdaptiveIsBitIdenticalToStaticOverload) {
+  sim::ScenarioConfig plain = churn_flood_config(32);
+  enable_overload(plain);
+
+  sim::ScenarioConfig knobs = plain;
+  core::AdaptiveConfig& ad = knobs.tactic.adaptive;
+  ad.enabled = false;
+  ad.sample_window = 50 * kMillisecond;
+  ad.min_window_samples = 2;
+  ad.probe_interval_windows = 3;
+  ad.headroom = 0.5;
+  ad.min_limit = 2;
+  ad.max_limit = 32;
+  ad.quarantine_consecutive = 1;
+  ad.quarantine_base = kSecond;
+
+  const sim::Metrics a = sim::Scenario(plain).run();
+  const sim::Metrics b = sim::Scenario(knobs).run();
+  EXPECT_EQ(testing::fingerprint(a), testing::fingerprint(b));
+  EXPECT_EQ(adaptive_activity(b), 0u);
+}
+
+// Adaptive on top of a disabled overload layer has nothing to control:
+// the run is bit-identical to a config that never mentions either.
+TEST(AdaptiveLayer, AdaptiveWithoutOverloadIsInert) {
+  const sim::ScenarioConfig plain = small_tactic(33);
+  sim::ScenarioConfig knobs = plain;
+  knobs.tactic.adaptive.enabled = true;
+
+  const sim::Metrics a = sim::Scenario(plain).run();
+  const sim::Metrics b = sim::Scenario(knobs).run();
+  EXPECT_EQ(testing::fingerprint(a), testing::fingerprint(b));
+  EXPECT_EQ(adaptive_activity(b), 0u);
+}
+
+// kRouterOverloaded NACK propagation through the multi-hop chain
+// (router -> edge -> AP -> client): with the gradient controller pinned
+// tight and slow verification, legitimate unvouched traffic gets shed,
+// the NACK crosses the edge unsuppressed, and the client backs off with
+// the retry_backoff_max ceiling keeping the exponential clamped.
+TEST(AdaptiveLayer, OverloadNackCrossesEdgeChainWithClampedBackoff) {
+  sim::ScenarioConfig config = small_tactic(34);
+  config.topology.attackers = 0;
+  config.topology.clients = 8;
+  config.topology.aps_per_edge = 2;
+  config.provider.tag_validity = 3 * kSecond;  // renewal churn
+  config.tactic.bloom.capacity = 8;            // vouching rarely sticks
+  core::ComputeModel::Params compute;          // slow IoT-class verifier
+  compute.bf_lookup = {9.14e-7, 0.0};
+  compute.bf_insert = {3.35e-7, 0.0};
+  compute.sig_verify = {8e-3, 0.0};
+  compute.neg_lookup = {1.5e-7, 0.0};
+  config.compute = core::ComputeModel(compute);
+  enable_overload(config);
+  config.tactic.adaptive.enabled = true;
+  config.tactic.adaptive.max_limit = 6;  // shed line stays within reach
+  config.tactic.adaptive.min_limit = 2;
+  config.tactic.adaptive.watermark_fraction = 0.34;
+  // An absurd backoff factor: without the ceiling the first overload
+  // retry would sit ~minutes out and delivery would collapse.
+  config.client.max_retries = 10;
+  config.client.retry_backoff_factor = 1e6;
+  config.client.retry_backoff_max = kSecond;
+
+  const sim::Metrics metrics = sim::Scenario(config).run();
+
+  // Routers shed legitimate-but-unvouched traffic...
+  EXPECT_GT(metrics.edge_ops.sheds_unvouched + metrics.edge_ops.sheds_queue_full +
+                metrics.core_ops.sheds_unvouched +
+                metrics.core_ops.sheds_queue_full,
+            0u);
+  // ...and the NACKs made it through the edge chain to the clients.
+  EXPECT_GT(metrics.clients.overload_nacks, 0u);
+  // Each one triggered a backoff-then-retry; the clamp kept the retries
+  // inside the run (unclamped, every shed chunk would be abandoned).
+  EXPECT_GT(metrics.clients.retransmissions, 0u);
+  EXPECT_GT(metrics.clients.delivery_ratio(), 0.9);
+}
+
+// Same seed + faults + overload + adaptive => identical fingerprint and
+// trace chain, with the runtime invariants clean.
+TEST(AdaptiveLayer, DoubleRunDeterminismWithFaultsAndFlood) {
+  sim::ScenarioConfig config = churn_flood_config(35);
+  config.duration = 20 * kSecond;
+  enable_overload(config);
+  config.tactic.adaptive.enabled = true;
+  config.router_pit_capacity = 256;
+  config.faults.edge_links.loss = 0.02;
+  config.faults.crashes.push_back(
+      {sim::CrashEvent::Target::kEdgeRouter, 0, 8 * kSecond, kSecond});
+
+  auto run = [&config] {
+    sim::Scenario scenario(config);
+    testing::InvariantChecker checker(scenario);
+    checker.arm();
+    scenario.run();
+    checker.finalize();
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    return std::pair<std::string, std::string>{
+        testing::fingerprint_digest(scenario.harvest()),
+        checker.trace_digest()};
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+}  // namespace
+}  // namespace tactic

@@ -95,6 +95,45 @@ TEST(NegativeTagCache, ReinsertRefreshesAndMovesToBack) {
   EXPECT_TRUE(cache.contains("c", 4));
 }
 
+// A probe landing exactly on the expiry instant misses (and erases), so
+// an immediate re-insert opens a fresh TTL window rather than refreshing
+// a verdict that just died — the boundary is closed on the miss side.
+TEST(NegativeTagCache, ExpiryExactlyAtProbeTimeStartsFreshWindow) {
+  core::NegativeTagCache cache(/*capacity=*/2, /*ttl=*/10);
+  cache.insert("a", 0);                   // valid on [0, 10)
+  EXPECT_FALSE(cache.contains("a", 10));  // boundary probe: miss + erase
+  EXPECT_EQ(cache.size(), 0u);
+  cache.insert("a", 10);  // new window [10, 20)
+  EXPECT_TRUE(cache.contains("a", 19));
+  EXPECT_FALSE(cache.contains("a", 20));
+  EXPECT_EQ(cache.evictions(), 0u);  // TTL churn never counts as eviction
+}
+
+// TTL-vs-capacity interaction: expired entries that were never probed
+// still occupy slots, so capacity eviction charges for deadwood — and a
+// lazy probe-erasure afterwards frees a slot that the next insert then
+// does not have to evict for.  Eviction order stays verdict age, never
+// expiry-awareness.
+TEST(NegativeTagCache, CapacityCountsUnprobedExpiredEntries) {
+  core::NegativeTagCache cache(/*capacity=*/2, /*ttl=*/5);
+  cache.insert("a", 0);  // expires at 5
+  cache.insert("b", 1);  // expires at 6
+  // Both are long dead at t=10, but nothing probed them: still resident.
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert("c", 10);  // at capacity: evicts the oldest verdict ("a")
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  // Probing the dead "b" erases it lazily — an expiry, not an eviction.
+  EXPECT_FALSE(cache.contains("b", 10));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // The freed slot absorbs the next insert without evicting live "c".
+  cache.insert("d", 10);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.contains("c", 11));
+  EXPECT_TRUE(cache.contains("d", 11));
+}
+
 // ---------------------------------------------------------------------------
 // TokenBucket
 // ---------------------------------------------------------------------------
