@@ -29,7 +29,9 @@ int main(int argc, char** argv) {
            "compute_neg_s", "sig_batches", "sig_batched_items",
            "batch_unbatched_equiv_s", "validation_wait_p50_s",
            "validation_wait_p95_s", "validation_wait_p99_s",
-           "adaptive_gradient", "adaptive_limit", "quarantine_ejections"});
+           "adaptive_gradient", "adaptive_limit", "quarantine_ejections",
+           "skew_false_rejects", "skew_false_accepts", "skew_soft_accepts",
+           "grace_accepts"});
 
   util::Table table({"Topology", "Class", "L (lookups)", "I (insertions)",
                      "V (verifications)"});
@@ -62,7 +64,11 @@ int main(int argc, char** argv) {
              util::CsvWriter::num(acc.edge_wait_p99.mean()),
              util::CsvWriter::num(acc.adaptive_gradient.mean()),
              util::CsvWriter::num(acc.adaptive_limit.mean()),
-             util::CsvWriter::num(acc.quarantine_ejections.mean())});
+             util::CsvWriter::num(acc.quarantine_ejections.mean()),
+             util::CsvWriter::num(acc.edge_skew_false_rejects.mean()),
+             util::CsvWriter::num(acc.edge_skew_false_accepts.mean()),
+             util::CsvWriter::num(acc.edge_skew_soft_accepts.mean()),
+             util::CsvWriter::num(acc.edge_grace_accepts.mean())});
     csv.row({std::to_string(topo), "core",
              util::CsvWriter::num(acc.core_lookups.mean()),
              util::CsvWriter::num(acc.core_inserts.mean()),
@@ -78,7 +84,11 @@ int main(int argc, char** argv) {
              util::CsvWriter::num(acc.core_wait_p99.mean()),
              util::CsvWriter::num(acc.adaptive_gradient.mean()),
              util::CsvWriter::num(acc.adaptive_limit.mean()),
-             util::CsvWriter::num(acc.quarantine_ejections.mean())});
+             util::CsvWriter::num(acc.quarantine_ejections.mean()),
+             util::CsvWriter::num(acc.core_skew_false_rejects.mean()),
+             util::CsvWriter::num(acc.core_skew_false_accepts.mean()),
+             util::CsvWriter::num(0.0),
+             util::CsvWriter::num(0.0)});
   }
   table.print(std::cout);
   std::printf(

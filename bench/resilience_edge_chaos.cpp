@@ -88,6 +88,10 @@ int main(int argc, char** argv) {
   bench::MaybeCsv csv(options.csv_path);
   csv.row({"mechanism", "edge_loss", "delivery_ratio", "p95_latency_s",
            "retransmissions", "chunks_abandoned", "frames_lost"});
+  bench::BenchJson json("edge_chaos");
+  json.meta({{"duration_s", bench::BenchJson::num(options.duration_s)},
+             {"with_crash", bench::BenchJson::boolean(with_crash)},
+             {"seed", bench::BenchJson::num(options.seed)}});
 
   for (const sim::PolicyKind policy :
        {sim::PolicyKind::kTactic, sim::PolicyKind::kNoAccessControl}) {
@@ -106,9 +110,20 @@ int main(int argc, char** argv) {
                std::to_string(result.retransmissions),
                std::to_string(result.chunks_abandoned),
                std::to_string(result.frames_lost)});
+      json.row(
+          {{"mechanism", bench::BenchJson::str(to_string(policy))},
+           {"edge_loss", bench::BenchJson::num(loss)},
+           {"delivery_ratio", bench::BenchJson::num(result.delivery_ratio)},
+           {"p95_latency_s", bench::BenchJson::num(result.p95_latency)},
+           {"retransmissions",
+            bench::BenchJson::num(result.retransmissions)},
+           {"chunks_abandoned",
+            bench::BenchJson::num(result.chunks_abandoned)},
+           {"frames_lost", bench::BenchJson::num(result.frames_lost)}});
     }
   }
   table.print(std::cout);
+  json.write();
   std::printf(
       "\nexpected: with retransmission both mechanisms hold delivery near "
       "100%% through 1%% loss and degrade together as loss grows — TACTIC "

@@ -80,6 +80,11 @@ int main(int argc, char** argv) {
                      "Survival"});
   bench::MaybeCsv csv(options.csv_path);
   csv.row({"mechanism", "before_rate", "during_rate", "survival"});
+  bench::BenchJson json("provider_outage");
+  json.meta({{"duration_s", bench::BenchJson::num(options.duration_s)},
+             {"tag_validity_s",
+              bench::BenchJson::num(event::to_seconds(tag_validity))},
+             {"seed", bench::BenchJson::num(options.seed)}});
 
   for (const sim::PolicyKind policy :
        {sim::PolicyKind::kTactic, sim::PolicyKind::kPerRequestAuth}) {
@@ -91,8 +96,13 @@ int main(int argc, char** argv) {
     csv.row({to_string(policy), util::CsvWriter::num(result.before_rate),
              util::CsvWriter::num(result.during_rate),
              util::CsvWriter::num(result.survival())});
+    json.row({{"mechanism", bench::BenchJson::str(to_string(policy))},
+              {"before_rate", bench::BenchJson::num(result.before_rate)},
+              {"during_rate", bench::BenchJson::num(result.during_rate)},
+              {"survival", bench::BenchJson::num(result.survival())}});
   }
   table.print(std::cout);
+  json.write();
   std::printf(
       "\nexpected: TACTIC keeps a large share of traffic flowing from "
       "in-network caches (router-enforced access control needs no live "

@@ -1,0 +1,294 @@
+// Tag-lifecycle resilience: clock-skew-tolerant expiry, proactive
+// jittered renewal, and outage grace mode (docs/FAULTS.md, "Clock skew &
+// tag lifecycle").
+//
+// Three sub-experiments, each with hard gates:
+//
+//   A. skew sweep — per-node clock offsets grow from zero past the
+//      tolerance window.  Gates: while the worst clock error fits the
+//      window, no genuinely live tag is rejected and client delivery
+//      stays within 1% of the zero-skew baseline; with the window off,
+//      the same skew visibly disturbs expiry decisions (the fault model
+//      actually bites).
+//
+//   B. expiry wave — every tag expires a handful of times during the run
+//      under skewed clocks.  Reactive clients (re-register only once the
+//      local clock passes T_e) keep using truly expired tags and lose
+//      delivery; proactive clients renew at T_e - lead +/- jitter and
+//      hold >= 95% delivery, with renewal traffic spread over multiple
+//      seconds instead of thundering in one instant.
+//
+//   C. provider outage — every provider uplink is cut halfway through
+//      the run, long enough for all client tags to expire mid-outage.
+//      Grace mode (edges keep vouching recently expired tags while
+//      registrations go unanswered) keeps most of the pre-outage cache
+//      throughput flowing; grace-off collapses once the tags die.
+//
+// Emits BENCH_tag_lifecycle.json.  Exit status 0 = every gate holds.
+
+#include <cmath>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace tactic;
+
+// Shared workload shape: small catalog (fits every CS), brisk clients,
+// several tag validities per run.
+sim::ScenarioConfig lifecycle_scenario(const bench::HarnessOptions& options,
+                                       event::Time tag_validity) {
+  sim::ScenarioConfig config = bench::paper_scenario(
+      static_cast<int>(options.topologies.front()), options);
+  config.provider.tag_validity = tag_validity;
+  config.provider.catalog.objects = 8;
+  config.provider.catalog.chunks_per_object = 4;
+  config.client.think_time_mean = 100 * event::kMillisecond;
+  return config;
+}
+
+struct RunOutcome {
+  double delivery = 0.0;
+  std::uint64_t false_rejects = 0;
+  std::uint64_t false_accepts = 0;
+  std::uint64_t soft_accepts = 0;
+  std::uint64_t grace_accepts = 0;
+  std::uint64_t grace_engagements = 0;
+  std::uint64_t proactive_renewals = 0;
+  sim::Metrics metrics;
+};
+
+RunOutcome run_one(const sim::ScenarioConfig& config,
+                   std::uint64_t* before = nullptr,
+                   std::uint64_t* during = nullptr,
+                   event::Time cut_at = 0) {
+  sim::Scenario scenario(config);
+  if (before != nullptr && during != nullptr) {
+    for (auto& client : scenario.clients()) {
+      client->on_latency_sample = [=](event::Time when, double) {
+        *(when <= cut_at ? before : during) += 1;
+      };
+    }
+    scenario.scheduler().schedule(cut_at, [&scenario] {
+      for (std::size_t i = 0; i < scenario.providers().size(); ++i) {
+        const net::NodeId provider = scenario.network().providers()[i];
+        scenario.set_adjacency_up(provider,
+                                  scenario.network().gateway_of(provider),
+                                  false, /*reconverge=*/false);
+      }
+    });
+  }
+  scenario.run();
+  RunOutcome out;
+  out.metrics = scenario.harvest();
+  out.delivery = out.metrics.clients.delivery_ratio();
+  out.false_rejects = out.metrics.edge_ops.skew_false_rejects +
+                      out.metrics.core_ops.skew_false_rejects;
+  out.false_accepts = out.metrics.edge_ops.skew_false_accepts +
+                      out.metrics.core_ops.skew_false_accepts;
+  out.soft_accepts = out.metrics.edge_ops.skew_soft_accepts;
+  out.grace_accepts = out.metrics.edge_ops.grace_accepts;
+  out.grace_engagements = out.metrics.edge_ops.grace_engagements;
+  out.proactive_renewals = out.metrics.clients.proactive_renewals;
+  return out;
+}
+
+// Distinct one-second buckets holding tag-request traffic after the
+// initial registration wave — the de-synchronization measure for the
+// renewal jitter gate.
+std::size_t renewal_spread_buckets(const util::TimeSeries& tag_requests,
+                                   std::size_t warmup_buckets) {
+  std::size_t buckets = 0;
+  for (std::size_t b = warmup_buckets; b < tag_requests.bucket_count();
+       ++b) {
+    if (tag_requests.count(b) > 0) ++buckets;
+  }
+  return buckets;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tactic;
+  const bench::HarnessOptions options =
+      bench::HarnessOptions::parse(argc, argv, {1}, 60.0);
+  bench::print_header(
+      "Tag lifecycle: skew-tolerant expiry, proactive renewal, outage "
+      "grace",
+      options);
+  bench::BenchJson json("tag_lifecycle");
+  json.meta({{"duration_s", bench::BenchJson::num(options.duration_s)},
+             {"topology", bench::BenchJson::num(static_cast<std::uint64_t>(
+                              options.topologies.front()))},
+             {"seed", bench::BenchJson::num(options.seed)}});
+  bool all_ok = true;
+
+  // --- A: skew sweep ------------------------------------------------
+  const event::Time validity = 12 * event::kSecond;
+  const event::Time tolerance = 2 * event::kSecond;
+  util::Table skew_table({"Offset (s)", "Tolerance", "Delivery",
+                          "False rej", "False acc", "Soft acc", "Gate"});
+  double baseline_delivery = 0.0;
+  for (const double offset_s : {0.0, 0.4, 0.9, 3.0}) {
+    for (const bool tolerant : {true, false}) {
+      if (offset_s == 0.0 && !tolerant) continue;  // identical to seed
+      sim::ScenarioConfig config = lifecycle_scenario(options, validity);
+      config.faults.clock_skew.max_offset = event::from_seconds(offset_s);
+      config.faults.clock_skew.max_drift = offset_s > 0.0 ? 0.0005 : 0.0;
+      config.tactic.skew.enabled = tolerant;
+      config.tactic.skew.tolerance = tolerance;
+      const RunOutcome out = run_one(config);
+      if (offset_s == 0.0) baseline_delivery = out.delivery;
+      // Client and edge clocks can disagree by up to 2x the offset
+      // bound, so the "skew fits the window" gates apply while that
+      // (plus accumulated drift) stays inside the tolerance.
+      const bool covered =
+          tolerant &&
+          2.0 * offset_s + 0.0005 * options.duration_s <=
+              event::to_seconds(tolerance);
+      bool gate_ok = true;
+      if (covered) {
+        gate_ok = out.false_rejects == 0 &&
+                  out.delivery >= baseline_delivery - 0.01;
+      } else if (!tolerant && offset_s >= 3.0) {
+        // The fault model must actually disturb expiry decisions once
+        // offsets dwarf the (disabled) window.
+        gate_ok = out.false_rejects + out.false_accepts > 0;
+      }
+      all_ok = all_ok && gate_ok;
+      skew_table.add_row(
+          {util::Table::fmt(offset_s, 2), tolerant ? "on" : "off",
+           util::Table::fmt(out.delivery, 4),
+           util::Table::fmt(static_cast<double>(out.false_rejects), 0),
+           util::Table::fmt(static_cast<double>(out.false_accepts), 0),
+           util::Table::fmt(static_cast<double>(out.soft_accepts), 0),
+           covered || (!tolerant && offset_s >= 3.0)
+               ? (gate_ok ? "PASS" : "FAIL")
+               : "-"});
+      json.row({{"phase", bench::BenchJson::str("skew")},
+                {"offset_s", bench::BenchJson::num(offset_s)},
+                {"tolerant", bench::BenchJson::boolean(tolerant)},
+                {"delivery", bench::BenchJson::num(out.delivery)},
+                {"false_rejects", bench::BenchJson::num(out.false_rejects)},
+                {"false_accepts", bench::BenchJson::num(out.false_accepts)},
+                {"soft_accepts", bench::BenchJson::num(out.soft_accepts)},
+                {"gate_ok", bench::BenchJson::boolean(gate_ok)}});
+    }
+  }
+  std::printf("A. skew sweep (validity=%.0fs tolerance=%.0fs)\n",
+              event::to_seconds(validity), event::to_seconds(tolerance));
+  skew_table.print(std::cout);
+
+  // --- B: expiry wave -----------------------------------------------
+  // Clocks skewed by up to 2 s; tolerance stays OFF in both arms so the
+  // difference is purely the renewal discipline.  lead > 2*offset +
+  // jitter, so proactive clients renew before any edge judges the old
+  // tag dead.
+  std::printf("\nB. expiry wave (offset<=2s, reactive vs proactive)\n");
+  double reactive_delivery = 0.0, proactive_delivery = 0.0;
+  std::uint64_t renewals = 0;
+  std::size_t spread = 0;
+  util::Table wave_table(
+      {"Discipline", "Delivery", "Renewals", "Spread (s)"});
+  for (const bool proactive : {false, true}) {
+    sim::ScenarioConfig config = lifecycle_scenario(options, validity);
+    config.faults.clock_skew.max_offset = 2 * event::kSecond;
+    config.client.proactive_renewal = proactive;
+    config.client.renewal_lead = 6 * event::kSecond;
+    config.client.renewal_jitter = event::kSecond;
+    const RunOutcome out = run_one(config);
+    if (proactive) {
+      proactive_delivery = out.delivery;
+      renewals = out.proactive_renewals;
+      spread = renewal_spread_buckets(out.metrics.tag_requests, 5);
+    } else {
+      reactive_delivery = out.delivery;
+    }
+    wave_table.add_row(
+        {proactive ? "proactive" : "reactive",
+         util::Table::fmt(out.delivery, 4),
+         util::Table::fmt(static_cast<double>(out.proactive_renewals), 0),
+         util::Table::fmt(
+             static_cast<double>(renewal_spread_buckets(
+                 out.metrics.tag_requests, 5)),
+             0)});
+    json.row({{"phase", bench::BenchJson::str("wave")},
+              {"proactive", bench::BenchJson::boolean(proactive)},
+              {"delivery", bench::BenchJson::num(out.delivery)},
+              {"renewals", bench::BenchJson::num(out.proactive_renewals)},
+              {"spread_buckets",
+               bench::BenchJson::num(static_cast<std::uint64_t>(
+                   renewal_spread_buckets(out.metrics.tag_requests, 5)))}});
+  }
+  wave_table.print(std::cout);
+  const bool wave_ok = proactive_delivery >= 0.95 &&
+                       proactive_delivery > reactive_delivery &&
+                       renewals > 0 && spread >= 4;
+  all_ok = all_ok && wave_ok;
+  std::printf(
+      "gate: proactive >= 95%% delivery, above reactive, renewals "
+      "de-synchronized (>=4 distinct seconds): %s\n",
+      wave_ok ? "PASS" : "FAIL");
+
+  // --- C: provider outage -------------------------------------------
+  // The outage spans the second half of the run; every tag expires
+  // mid-outage, so only grace mode (edge + client halves) keeps cached
+  // content flowing.
+  std::printf("\nC. provider outage (grace on vs off)\n");
+  const event::Time outage_validity = 15 * event::kSecond;
+  double grace_survival = 0.0, plain_survival = 0.0;
+  std::uint64_t grace_accepts = 0, grace_engagements = 0;
+  util::Table outage_table({"Grace", "Before (chunks/s)",
+                            "During (chunks/s)", "Survival"});
+  for (const bool graceful : {false, true}) {
+    sim::ScenarioConfig config =
+        lifecycle_scenario(options, outage_validity);
+    if (graceful) {
+      config.tactic.grace.enabled = true;
+      config.tactic.grace.window = 45 * event::kSecond;
+      config.tactic.grace.provider_silence = 2 * event::kSecond;
+      config.client.expired_tag_grace = 45 * event::kSecond;
+    }
+    const event::Time cut_at = config.duration / 2;
+    std::uint64_t before = 0, during = 0;
+    const RunOutcome out = run_one(config, &before, &during, cut_at);
+    const double half = event::to_seconds(cut_at);
+    const double before_rate = static_cast<double>(before) / half;
+    const double during_rate = static_cast<double>(during) / half;
+    const double survival =
+        before_rate == 0.0 ? 0.0 : during_rate / before_rate;
+    if (graceful) {
+      grace_survival = survival;
+      grace_accepts = out.grace_accepts;
+      grace_engagements = out.grace_engagements;
+    } else {
+      plain_survival = survival;
+    }
+    outage_table.add_row({graceful ? "on" : "off",
+                          util::Table::fmt(before_rate, 2),
+                          util::Table::fmt(during_rate, 2),
+                          util::Table::fmt_percent(100.0 * survival)});
+    json.row({{"phase", bench::BenchJson::str("outage")},
+              {"grace", bench::BenchJson::boolean(graceful)},
+              {"before_rate", bench::BenchJson::num(before_rate)},
+              {"during_rate", bench::BenchJson::num(during_rate)},
+              {"survival", bench::BenchJson::num(survival)},
+              {"grace_accepts", bench::BenchJson::num(out.grace_accepts)},
+              {"grace_engagements",
+               bench::BenchJson::num(out.grace_engagements)}});
+  }
+  outage_table.print(std::cout);
+  const bool outage_ok = grace_survival >= 0.90 && plain_survival < 0.5 &&
+                         grace_accepts > 0 && grace_engagements > 0;
+  all_ok = all_ok && outage_ok;
+  std::printf(
+      "gate: grace keeps >= 90%% of pre-outage throughput while "
+      "grace-off collapses below 50%%: %s\n",
+      outage_ok ? "PASS" : "FAIL");
+
+  json.row({{"phase", bench::BenchJson::str("gates")},
+            {"all_ok", bench::BenchJson::boolean(all_ok)}});
+  json.write();
+  std::printf("\noverall: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

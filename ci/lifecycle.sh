@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fixed-seed scenario-fuzz sweep with random fault plans, random
+# overload-resilience configurations AND the tag-lifecycle layer (skewed
+# node clocks, skew-tolerant expiry, outage grace mode, proactive
+# renewal) under ASan+UBSan.  The lifecycle knobs are sampled strictly
+# after every other layer's draws, so the base/fault/overload
+# configurations for a seed are identical to the ci/flood.sh sweep —
+# only the lifecycle layer differs.  The runtime invariant checker stays
+# armed: a disabled lifecycle layer must be perfectly inert, a tolerance
+# window covering the worst-case clock error must eliminate skew-induced
+# rejections of live tags, and the security invariants must hold no
+# matter how far any clock wanders (tolerance + grace + skew are sampled
+# to stay below one tag validity).  Every scenario runs twice and is
+# byte-compared, so skewed clocks that leak nondeterminism fail the
+# sweep.  Any sanitizer report aborts the run
+# (-fno-sanitize-recover=all) and fails the script.
+#
+# Usage: ci/lifecycle.sh [build-dir]    (default: build-sanitize)
+#
+# Reuses the sanitizer build tree; run after (or instead of)
+# ci/sanitize.sh — the cmake step below is a no-op when it already ran.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_scenarios
+
+# Same fixed base seed as ci/flood.sh and ci/adaptive.sh so the sweeps
+# cover the same base scenarios with different top layers armed.
+"$BUILD_DIR/fuzz_scenarios" --runs 16 --duration 10 --seed 9000 \
+  --faults --overload --skew
+
+echo "lifecycle: OK"

@@ -75,6 +75,25 @@ struct ForwarderCounters {
   std::uint64_t corrupt_frames_rejected = 0;
 };
 
+/// A node's view of wall-clock time: the simulator's true time plus a
+/// fixed boot offset and a linear drift rate (parts of a second gained
+/// per second of true time).  The default is the identity — every node
+/// reads the scheduler directly — so the clock-skew fault layer is
+/// bit-free when uninstalled.  Skew affects only *interpretation* of
+/// timestamps (tag expiries, issuance stamps); the event scheduler
+/// itself always runs on true time.
+struct LocalClock {
+  event::Time offset = 0;
+  double drift = 0.0;
+
+  bool identity() const { return offset == 0 && drift == 0.0; }
+  event::Time local(event::Time true_now) const {
+    if (identity()) return true_now;
+    return true_now + offset +
+           static_cast<event::Time>(static_cast<double>(true_now) * drift);
+  }
+};
+
 class Forwarder {
  public:
   Forwarder(event::Scheduler& scheduler, net::NodeInfo info,
@@ -92,6 +111,15 @@ class Forwarder {
   ContentStore& cs() { return cs_; }
   const ContentStore& cs() const { return cs_; }
   const ForwarderCounters& counters() const { return counters_; }
+
+  /// The node's (possibly skewed) local clock.  Installed by the fault
+  /// layer; identity by default.
+  void set_clock(const LocalClock& clock) { clock_ = clock; }
+  const LocalClock& clock() const { return clock_; }
+  /// True scheduler time translated through this node's clock — the
+  /// timestamp source for everything this node *interprets* (tag
+  /// expiries) or *stamps* (tag issuance).
+  event::Time local_now() const { return clock_.local(scheduler_.now()); }
 
   /// Caps the PIT at `capacity` entries (0 = unbounded, the default).
   /// When a new entry would exceed the cap, the least-recently-used
@@ -195,6 +223,7 @@ class Forwarder {
   ForwarderCounters counters_;
   TraceFn tracer_;
   CorruptionProbe corruption_probe_;
+  LocalClock clock_;
   bool alive_ = true;
   /// Bumped on every crash; deferred send closures capture the epoch at
   /// scheduling time and die silently if it moved (in-flight work is lost

@@ -92,6 +92,26 @@ void Scenario::install_faults() {
   network_->install_link_faults(plan.core_links, /*wireless=*/false,
                                 fault_root);
 
+  if (plan.clock_skew.any()) {
+    // Clock skew draws from its own root (distinct constant mixed into
+    // the derivation), so a plan that adds skew to an existing fault mix
+    // replays the link/crash draws unchanged.
+    std::uint64_t skew_mix = config_.seed;
+    util::splitmix64(skew_mix);
+    skew_mix ^= plan.fault_seed ^ 0xC10C5E3DULL;
+    util::Rng skew_root(util::splitmix64(skew_mix));
+    const auto symmetric = [&skew_root](double magnitude) {
+      return magnitude * (2.0 * skew_root.uniform_double() - 1.0);
+    };
+    for (net::NodeId id = 0; id < network_->node_count(); ++id) {
+      ndn::LocalClock clock;
+      clock.offset = static_cast<event::Time>(symmetric(
+          static_cast<double>(plan.clock_skew.max_offset)));
+      clock.drift = symmetric(plan.clock_skew.max_drift);
+      network_->node(id).set_clock(clock);
+    }
+  }
+
   if (plan.edge_links.corruption > 0.0 || plan.core_links.corruption > 0.0) {
     for (net::NodeId id = 0; id < network_->node_count(); ++id) {
       network_->node(id).set_corruption_probe(corruption_probe);

@@ -49,6 +49,23 @@ struct LinkFlap {
   bool reconverge = false;
 };
 
+/// Clock-skew fault model: every node gets a deterministic local-clock
+/// view of time — a fixed boot offset drawn uniformly from
+/// [-max_offset, +max_offset] plus a linear drift rate drawn uniformly
+/// from [-max_drift, +max_drift] (seconds gained per second of true
+/// time).  Draws come from a dedicated RNG stream (independent of the
+/// link/crash fault stream, so adding skew never re-rolls existing
+/// fault draws) and are made in node-id order.  Skew changes only how a
+/// node *interprets* timestamps (tag expiries, issuance stamps) — the
+/// event scheduler always runs on true time.  See docs/FAULTS.md,
+/// "Clock skew & tag lifecycle".
+struct ClockSkewSpec {
+  event::Time max_offset = 0;
+  double max_drift = 0.0;
+
+  bool any() const { return max_offset != 0 || max_drift != 0.0; }
+};
+
 /// The whole plan.  Empty (default) plan == no faults, bit-identically.
 struct FaultPlan {
   /// Stochastic fault parameters for the wireless access links (every
@@ -58,13 +75,15 @@ struct FaultPlan {
   net::LinkFaultParams core_links;
   std::vector<CrashEvent> crashes;
   std::vector<LinkFlap> flaps;
+  /// Per-node local-clock skew (offset + drift); zero == perfect clocks.
+  ClockSkewSpec clock_skew;
   /// Extra seed mixed with the scenario seed for the fault RNG stream;
   /// lets one scenario be replayed under many fault draws.
   std::uint64_t fault_seed = 1;
 
   bool any() const {
     return edge_links.any() || core_links.any() || !crashes.empty() ||
-           !flaps.empty();
+           !flaps.empty() || clock_skew.any();
   }
 
   /// Heuristic "this plan may starve delivery" classifier, used by the

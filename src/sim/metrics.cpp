@@ -42,6 +42,11 @@ RouterOps& RouterOps::operator+=(const RouterOps& other) {
   if (other.adaptive_limit > adaptive_limit) {
     adaptive_limit = other.adaptive_limit;
   }
+  skew_soft_accepts += other.skew_soft_accepts;
+  skew_false_rejects += other.skew_false_rejects;
+  skew_false_accepts += other.skew_false_accepts;
+  grace_accepts += other.grace_accepts;
+  grace_engagements += other.grace_engagements;
   validation_wait_hist.merge(other.validation_wait_hist);
   fib_lookups += other.fib_lookups;
   fib_nodes_visited += other.fib_nodes_visited;
@@ -63,6 +68,7 @@ TrafficTotals& TrafficTotals::operator+=(const TrafficTotals& other) {
   chunks_abandoned += other.chunks_abandoned;
   registration_retransmissions += other.registration_retransmissions;
   overload_nacks += other.overload_nacks;
+  proactive_renewals += other.proactive_renewals;
   return *this;
 }
 
@@ -132,6 +138,18 @@ void MetricsAccumulator::add(const Metrics& metrics) {
   quarantine_ejections.add(
       static_cast<double>(metrics.edge_ops.quarantine_ejections +
                           metrics.core_ops.quarantine_ejections));
+  edge_skew_false_rejects.add(
+      static_cast<double>(metrics.edge_ops.skew_false_rejects));
+  edge_skew_false_accepts.add(
+      static_cast<double>(metrics.edge_ops.skew_false_accepts));
+  edge_skew_soft_accepts.add(
+      static_cast<double>(metrics.edge_ops.skew_soft_accepts));
+  edge_grace_accepts.add(
+      static_cast<double>(metrics.edge_ops.grace_accepts));
+  core_skew_false_rejects.add(
+      static_cast<double>(metrics.core_ops.skew_false_rejects));
+  core_skew_false_accepts.add(
+      static_cast<double>(metrics.core_ops.skew_false_accepts));
   edge_reqs_per_reset.add(
       Metrics::mean_requests_per_reset(metrics.edge_requests_per_reset));
   core_reqs_per_reset.add(

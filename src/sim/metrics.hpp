@@ -62,6 +62,14 @@ struct RouterOps {
   /// End-of-run gradient and concurrency limit (max across routers).
   double adaptive_gradient = 0.0;
   std::uint64_t adaptive_limit = 0;
+  // Tag-lifecycle layer (docs/FAULTS.md, "Clock skew & tag lifecycle";
+  // zero while skew tolerance, grace mode, and the clock-skew fault
+  // model are all disabled).
+  std::uint64_t skew_soft_accepts = 0;
+  std::uint64_t skew_false_rejects = 0;
+  std::uint64_t skew_false_accepts = 0;
+  std::uint64_t grace_accepts = 0;
+  std::uint64_t grace_engagements = 0;
   /// Streaming quantile sketch of per-op validation queue wait
   /// (seconds; empty while the overload layer is off).  Merged
   /// bucket-wise across routers, so class-level quantiles are exact
@@ -113,6 +121,9 @@ struct TrafficTotals {
   std::uint64_t registration_retransmissions = 0;
   /// kRouterOverloaded NACKs seen (overload layer; zero while disabled).
   std::uint64_t overload_nacks = 0;
+  /// Proactive renewal timers that fired (tag-lifecycle layer; zero
+  /// while disabled).  Never fingerprinted.
+  std::uint64_t proactive_renewals = 0;
 
   double delivery_ratio() const {
     return requested == 0
@@ -206,6 +217,10 @@ struct MetricsAccumulator {
   util::RunningStats core_wait_p50, core_wait_p95, core_wait_p99;
   util::RunningStats adaptive_gradient, adaptive_limit,
       quarantine_ejections;
+  /// Tag-lifecycle layer (zero while disabled; see RouterOps).
+  util::RunningStats edge_skew_false_rejects, edge_skew_false_accepts,
+      edge_skew_soft_accepts, edge_grace_accepts;
+  util::RunningStats core_skew_false_rejects, core_skew_false_accepts;
   util::RunningStats edge_reqs_per_reset, core_reqs_per_reset;
   util::RunningStats provider_verifies;
   util::RunningStats cache_hit_ratio;

@@ -415,6 +415,7 @@ Metrics Scenario::harvest() {
     out.clients.registration_retransmissions +=
         c.registration_retransmissions;
     out.clients.overload_nacks += c.overload_nacks;
+    out.clients.proactive_renewals += c.proactive_renewals;
   }
   for (const auto& attacker : attackers_) {
     const auto& c = attacker->counters();
@@ -474,6 +475,11 @@ Metrics Scenario::harvest() {
       ops.quarantine_ejections += c.quarantine_ejections;
       ops.quarantine_probes += c.quarantine_probes;
       ops.quarantine_readmissions += c.quarantine_readmissions;
+      ops.skew_soft_accepts += c.skew_soft_accepts;
+      ops.skew_false_rejects += c.skew_false_rejects;
+      ops.skew_false_accepts += c.skew_false_accepts;
+      ops.grace_accepts += c.grace_accepts;
+      ops.grace_engagements += c.grace_engagements;
       if (tactic->adaptive_gradient() > ops.adaptive_gradient) {
         ops.adaptive_gradient = tactic->adaptive_gradient();
       }

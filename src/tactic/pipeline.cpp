@@ -364,12 +364,49 @@ Verdict PrecheckStage::run(ValidationContext& ctx) {
 
   PrecheckResult pre = PrecheckResult::kOk;
   if (check_ == Check::kInterest) {
-    pre = edge_precheck(ctx.tag, *ctx.interest_name, ctx.now);
-    // Fault injection (`--inject-expiry-bug`): the expiry check is
-    // skipped, the regression the runtime invariants must catch.
+    // The expiry test reads this node's *local* clock — with the
+    // clock-skew fault model installed that reading can disagree with
+    // true time, and the skew-tolerance / grace windows below decide
+    // what an expired-looking tag is still worth.
+    pre = edge_precheck(ctx.tag, *ctx.interest_name, ctx.local_now);
     if (pre == PrecheckResult::kExpired &&
         config.fault_skip_expiry_precheck) {
+      // Fault injection (`--inject-expiry-bug`): the expiry check is
+      // skipped, the regression the runtime invariants must catch.
       pre = PrecheckResult::kOk;
+    } else if (pre == PrecheckResult::kExpired) {
+      TacticCounters& counters = ctx.engine.counters();
+      bool grace_granted = false;
+      if (config.skew.enabled &&
+          edge_precheck(ctx.tag, *ctx.interest_name, ctx.local_now,
+                        config.skew.tolerance) == PrecheckResult::kOk) {
+        // Soft window: within `tolerance` past T_e the tag is treated
+        // as live (a skewed-ahead clock cannot false-reject it).
+        pre = PrecheckResult::kOk;
+        ++counters.skew_soft_accepts;
+      } else if (ctx.grace_active &&
+                 ctx.tag.expiry() + config.grace.window >= ctx.local_now) {
+        // Outage grace: the provider is silent and the tag expired
+        // recently enough — keep vouching it for the bounded window.
+        pre = PrecheckResult::kOk;
+        ++counters.grace_accepts;
+        grace_granted = true;
+      }
+      // Ground-truth accounting against the true clock (ctx.now): what
+      // the skew/tolerance combination cost or saved.  Grace grants are
+      // deliberate expired-tag accepts with their own counter.
+      const bool truly_live = ctx.tag.expiry() >= ctx.now;
+      if (pre == PrecheckResult::kExpired && truly_live) {
+        ++counters.skew_false_rejects;
+      } else if (pre == PrecheckResult::kOk && !truly_live &&
+                 !grace_granted) {
+        ++counters.skew_false_accepts;
+      }
+    } else if (pre == PrecheckResult::kOk && ctx.clock_skewed &&
+               ctx.tag.expiry() < ctx.now) {
+      // A clock running behind: the tag looked live locally but was
+      // truly expired — the symmetric false-accept.
+      ++ctx.engine.counters().skew_false_accepts;
     }
   } else {
     // Public content needs no tag scrutiny ("allows an r_C^c to return

@@ -95,6 +95,40 @@ struct BatchConfig {
   event::Time max_hold = 0;
 };
 
+/// Clock-skew tolerance for the expiry pre-check (docs/FAULTS.md,
+/// "Clock skew & tag lifecycle").  With imperfect clocks a router's
+/// local reading of `now` can run ahead of the issuing provider's,
+/// making honestly-live tags look expired.  The tolerance is a soft
+/// window past `T_e` inside which an expired-looking tag is still
+/// accepted (counted as `skew_soft_accepts`); beyond it the hard bound
+/// rejects as before.  Disabled by default; a disabled layer is
+/// bit-identical to the strict check (`ci/parity.sh`).  Security
+/// envelope: `tolerance` (plus any grace window and the fault model's
+/// worst-case skew) must stay well below the tag validity period, or
+/// deliberately pre-expired attacker tags could slip inside the window.
+struct SkewToleranceConfig {
+  bool enabled = false;
+  /// Width of the soft window past T_e.  Bounds the revocation-latency
+  /// widening: a revoked-by-expiry tag lives at most this much longer.
+  event::Time tolerance = 2 * event::kSecond;
+};
+
+/// Outage grace mode (docs/FAULTS.md, "Clock skew & tag lifecycle"):
+/// while the provider is unreachable — detected as a registration
+/// Interest that has gone unanswered for `provider_silence` — the edge
+/// keeps vouching *recently*-expired tags for a bounded `window` past
+/// T_e, trading a quantified revocation-latency widening for content
+/// availability (caches keep serving).  Off by default; bit-identical
+/// when disabled.  Grace never applies to tags expired by more than
+/// `window`, so long-dead (attacker) tags stay dead.
+struct GraceConfig {
+  bool enabled = false;
+  /// How far past T_e a tag may still be vouched while grace is engaged.
+  event::Time window = 30 * event::kSecond;
+  /// Unanswered-registration age that flips the edge into grace mode.
+  event::Time provider_silence = 5 * event::kSecond;
+};
+
 /// Per-router TACTIC configuration.
 struct TacticConfig {
   bloom::BloomParams bloom;  // capacity, hashes = 5, max FPP = 1e-4
@@ -131,6 +165,12 @@ struct TacticConfig {
   /// watermarks.  See docs/OVERLOAD.md, "Adaptive control & face
   /// quarantine".
   AdaptiveConfig adaptive;
+  /// Clock-skew tolerance window on the expiry pre-check.  Disabled by
+  /// default; bit-identical to the strict check when off.
+  SkewToleranceConfig skew;
+  /// Outage grace mode: vouch recently-expired tags while the provider
+  /// is silent.  Disabled by default; bit-identical when off.
+  GraceConfig grace;
 };
 
 /// True when `name` is a registration Interest under the convention
@@ -213,6 +253,20 @@ struct TacticCounters {
   std::uint64_t quarantine_ejections = 0;
   std::uint64_t quarantine_probes = 0;
   std::uint64_t quarantine_readmissions = 0;
+  // --- Tag-lifecycle layer (all zero while skew tolerance, grace mode,
+  // and the clock-skew fault model are all disabled) ---
+  /// Expired-looking tags re-accepted inside the skew-tolerance window.
+  std::uint64_t skew_soft_accepts = 0;
+  /// Ground-truth accounting on skewed nodes (requires the fault model's
+  /// true clock to differ from the local one): tags rejected as expired
+  /// that were live on the true clock, and tags accepted that were truly
+  /// expired (tolerance or local clock running behind).
+  std::uint64_t skew_false_rejects = 0;
+  std::uint64_t skew_false_accepts = 0;
+  /// Outage grace mode: expired tags vouched inside the grace window,
+  /// and off→on transitions of the grace state (provider went silent).
+  std::uint64_t grace_accepts = 0;
+  std::uint64_t grace_engagements = 0;
   /// Streaming quantile sketch of per-op validation queue wait (seconds;
   /// populated whenever the overload layer is on).  Never fingerprinted.
   util::QuantileHistogram validation_wait_hist;
@@ -462,11 +516,22 @@ struct Verdict {
 struct ValidationContext {
   ValidationContext(ValidationEngine& engine_, const Tag& tag_,
                     event::Time now_)
-      : engine(engine_), tag(tag_), now(now_) {}
+      : engine(engine_), tag(tag_), now(now_), local_now(now_) {}
 
   ValidationEngine& engine;
   const Tag& tag;
+  /// True (scheduler) time — event scheduling, queueing, rate windows.
   event::Time now;
+  /// This node's local-clock reading of `now` (== `now` unless the
+  /// clock-skew fault model installed a skewed clock).  All timestamp
+  /// *interpretation* — the expiry pre-check — uses this.
+  event::Time local_now;
+  /// Whether this node's clock differs from true time; gates the
+  /// skew_false_* ground-truth accounting.
+  bool clock_skewed = false;
+  /// Whether the adapter observed the provider as unreachable (grace
+  /// mode input; see GraceConfig).
+  bool grace_active = false;
 
   // --- request views (set by the adapter that assembled the run) ---
   ndn::FaceId in_face = ndn::kInvalidFace;  // edge Interest admission

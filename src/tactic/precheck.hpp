@@ -32,8 +32,17 @@ ndn::NackReason to_nack_reason(PrecheckResult result);
 
 /// Edge-router pre-check (Protocol 1, lines 1-7): the tag must name the
 /// provider that owns the requested content, and must not be expired.
+/// `tolerance` widens the expiry test (a tag counts as live until
+/// `T_e + tolerance < now`) — the skew-tolerance window of
+/// docs/FAULTS.md, "Clock skew & tag lifecycle".  `now` is the checking
+/// node's *local* clock reading, which may itself be skewed.
 PrecheckResult edge_precheck(const Tag& tag, const ndn::Name& content_name,
-                             event::Time now);
+                             event::Time now, event::Time tolerance);
+inline PrecheckResult edge_precheck(const Tag& tag,
+                                    const ndn::Name& content_name,
+                                    event::Time now) {
+  return edge_precheck(tag, content_name, now, /*tolerance=*/0);
+}
 
 /// Content-router pre-check (Protocol 1, lines 8-14): the tag's access
 /// level must satisfy the content's, and the provider key locators must

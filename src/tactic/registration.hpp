@@ -44,7 +44,11 @@ class TagIssuer {
 
   /// Issues a fresh signed tag, or nullptr when the credential is
   /// unknown or revoked.  `access_path` is the AP_u accumulated by the
-  /// registration Interest on its way here.
+  /// registration Interest on its way here.  `now` is the issuing
+  /// node's *local*-clock reading (ndn::Forwarder::local_now): under
+  /// the clock-skew fault model the stamped T_e = now + validity
+  /// inherits the provider's skew, which is exactly what downstream
+  /// validators must tolerate.
   TagPtr issue(const std::string& client_key_locator,
                std::uint64_t access_path, event::Time now);
 

@@ -69,13 +69,37 @@ ndn::AccessControlPolicy::InterestDecision ApPolicy::on_interest(
 // Edge routers — Protocol 2
 // ---------------------------------------------------------------------------
 
+bool EdgeTacticPolicy::grace_active(event::Time now) {
+  if (!config().grace.enabled) return false;
+  const bool active =
+      pending_registration_since_.has_value() &&
+      now - *pending_registration_since_ >= config().grace.provider_silence;
+  if (active && !grace_engaged_) ++engine_.counters().grace_engagements;
+  grace_engaged_ = active;
+  return active;
+}
+
+void EdgeTacticPolicy::on_restart(ndn::Forwarder& node) {
+  TacticRouterPolicy::on_restart(node);
+  // The silence marker is as volatile as the PIT entry it shadows; the
+  // engagement counter in TacticCounters survives like all lifetime
+  // counters.
+  pending_registration_since_.reset();
+  grace_engaged_ = false;
+}
+
 ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
     ndn::Forwarder& node, ndn::FaceId in_face, ndn::Interest& interest) {
   InterestDecision decision;
 
   // Registration Interests carry no tag by definition; let them through to
   // the provider.
-  if (is_registration_name(interest.name, config())) return decision;
+  if (is_registration_name(interest.name, config())) {
+    if (config().grace.enabled && !pending_registration_since_) {
+      pending_registration_since_ = node.scheduler().now();
+    }
+    return decision;
+  }
 
   // Public prefixes need no access control at the edge.
   if (!engine_.anchors().is_protected(interest.name)) return decision;
@@ -104,6 +128,9 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
 
   engine_.count_request();
   ValidationContext ctx(engine_, *interest.tag, now);
+  ctx.local_now = node.local_now();
+  ctx.clock_skewed = !node.clock().identity();
+  ctx.grace_active = grace_active(now);
   ctx.in_face = in_face;
   ctx.interest_name = &interest.name;
   ctx.access_path = interest.access_path;
@@ -141,6 +168,12 @@ event::Time EdgeTacticPolicy::on_data(ndn::Forwarder& node,
                                       const ndn::Data& data) {
   event::Time compute = 0;
   const event::Time now = node.scheduler().now();
+  if (data.is_registration_response) {
+    // Any registration response proves the provider reachable: the
+    // outage-grace silence marker resets (tag or refusal alike).
+    pending_registration_since_.reset();
+    grace_engaged_ = false;
+  }
   if (data.is_registration_response && data.tag) {
     // Protocol 2, lines 11-12: a fresh tag from the producer is inserted
     // into the edge BF as it passes by.
@@ -214,6 +247,8 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
   stamp_record_echo(record, outgoing);
   engine_.bind_scheduler(&node.scheduler());
   ValidationContext ctx(engine_, *record.tag, now);
+  ctx.local_now = node.local_now();
+  ctx.clock_skewed = !node.clock().identity();
   ctx.content = &incoming;
   const Verdict verdict = aggregate_pipeline_.run(ctx);
   if (verdict.kind == Verdict::Kind::kReject) {
@@ -248,6 +283,8 @@ ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
   engine_.count_request();
   engine_.bind_scheduler(&node.scheduler());
   ValidationContext ctx(engine_, *interest.tag, node.scheduler().now());
+  ctx.local_now = node.local_now();
+  ctx.clock_skewed = !node.clock().identity();
   ctx.content = &response;
   ctx.flag_f_in = interest.flag_f;
   const Verdict verdict = cache_hit_pipeline_.run(ctx);
@@ -294,6 +331,8 @@ CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
   engine_.count_request();
   engine_.bind_scheduler(&node.scheduler());
   ValidationContext ctx(engine_, *record.tag, node.scheduler().now());
+  ctx.local_now = node.local_now();
+  ctx.clock_skewed = !node.clock().identity();
   ctx.content = &incoming;
   ctx.flag_f_in = record.flag_f;
   return apply_aggregate_verdict(aggregate_pipeline_.run(ctx), ctx,

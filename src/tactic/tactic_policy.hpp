@@ -18,6 +18,8 @@
 // in crypto/ and its *simulated* cost is charged through the ComputeModel
 // via the engine's charge() seam.
 
+#include <optional>
+
 #include "ndn/forwarder.hpp"
 #include "ndn/policy.hpp"
 #include "tactic/pipeline.hpp"
@@ -100,11 +102,22 @@ class EdgeTacticPolicy : public TacticRouterPolicy {
                                            const ndn::PitInRecord& record,
                                            const ndn::Data& incoming,
                                            ndn::Data& outgoing) override;
+  void on_restart(ndn::Forwarder& node) override;
 
  private:
+  /// Outage-grace input signal (GraceConfig): grace engages when a
+  /// registration Interest this edge forwarded has gone unanswered for
+  /// `provider_silence`.  Registration *responses* flowing back clear
+  /// the pending marker, so a reachable provider keeps grace off.
+  /// Counts the off→on transitions (`grace_engagements`).
+  bool grace_active(event::Time now);
+
   ValidationPipeline interest_pipeline_ = ValidationPipeline::edge_interest();
   ValidationPipeline aggregate_pipeline_ =
       ValidationPipeline::edge_aggregate();
+  /// When the oldest still-unanswered registration Interest passed by.
+  std::optional<event::Time> pending_registration_since_;
+  bool grace_engaged_ = false;
 };
 
 /// Protocols 3 & 4: the core-router policy (content-router behaviour on

@@ -116,6 +116,23 @@ void put_ops(std::string& out, const char* key, const sim::RouterOps& ops) {
     put(out, (prefix + ".quarantine_readmissions").c_str(),
         ops.quarantine_readmissions);
   }
+  // And for the tag-lifecycle layer: skew/grace counters print only when
+  // skewed clocks, the tolerance window, or grace mode actually did
+  // something, keeping lifecycle-off fingerprints byte-identical.
+  const bool lifecycle = ops.skew_soft_accepts != 0 ||
+                         ops.skew_false_rejects != 0 ||
+                         ops.skew_false_accepts != 0 ||
+                         ops.grace_accepts != 0 ||
+                         ops.grace_engagements != 0;
+  if (lifecycle) {
+    put(out, (prefix + ".skew_soft_accepts").c_str(), ops.skew_soft_accepts);
+    put(out, (prefix + ".skew_false_rejects").c_str(),
+        ops.skew_false_rejects);
+    put(out, (prefix + ".skew_false_accepts").c_str(),
+        ops.skew_false_accepts);
+    put(out, (prefix + ".grace_accepts").c_str(), ops.grace_accepts);
+    put(out, (prefix + ".grace_engagements").c_str(), ops.grace_engagements);
+  }
 }
 
 void put_vector(std::string& out, const char* key,

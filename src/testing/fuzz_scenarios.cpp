@@ -54,6 +54,10 @@ constexpr const char* kUsage =
     "                       (gradient admission controller + per-face\n"
     "                       quarantine) on most seeds where --overload\n"
     "                       armed; adaptive draws come after all others\n"
+    "  --skew               sample the tag-lifecycle layer (skewed node\n"
+    "                       clocks, skew-tolerant expiry, outage grace,\n"
+    "                       proactive renewal); lifecycle draws come last\n"
+    "                       of all\n"
     "  --no-differential    skip the TACTIC vs no-AC parity pass\n"
     "  --parity-tolerance T allowed client delivery-ratio gap (default 0.1)\n"
     "  --inject-expiry-bug  edge routers skip the Protocol-1 expiry check\n"
@@ -111,7 +115,8 @@ int main(int argc, char** argv) {
         "runs",   "seed",        "duration",          "policy",
         "repro",  "verbose",     "differential",      "parity-tolerance",
         "help",   "inject-expiry-bug",                "faults",
-        "overload", "batch",     "bigtables",         "adaptive"};
+        "overload", "batch",     "bigtables",         "adaptive",
+        "skew"};
     for (const auto& name : flags.names()) {
       if (known.count(name) == 0) {
         std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), kUsage);
@@ -151,6 +156,7 @@ int main(int argc, char** argv) {
     generator.with_batch = flags.get_bool("batch", false);
     generator.with_bigtables = flags.get_bool("bigtables", false);
     generator.with_adaptive = flags.get_bool("adaptive", false);
+    generator.with_skew = flags.get_bool("skew", false);
     if (flags.has("policy")) {
       const std::string name = flags.get_string("policy", "");
       const auto policy = parse_policy(name);
@@ -246,11 +252,15 @@ int main(int argc, char** argv) {
         // The gradient controller deliberately tightens the limit under
         // pressure, so adaptive runs can shed a bit more legitimate load
         // than static knobs before recovering.
+        // Skewed clocks make TACTIC reject genuinely expired tags that a
+        // checks-nothing open network would happily serve, so skewed runs
+        // get their own headroom on top of the chaos term.
         const double tolerance =
             parity_tolerance + (config.faults.any() ? 0.15 : 0.0) +
             (config.tactic.overload.enabled ? 0.15 : 0.0) +
             (config.tactic.batch.enabled ? 0.05 : 0.0) +
-            (config.tactic.adaptive.enabled ? 0.10 : 0.0);
+            (config.tactic.adaptive.enabled ? 0.10 : 0.0) +
+            (config.faults.clock_skew.any() ? 0.15 : 0.0);
         const bool parity_ok =
             first.client_ratio + tolerance >= open.client_ratio;
         const bool blocked = open.attacker_requested == 0 ||
@@ -275,14 +285,15 @@ int main(int argc, char** argv) {
       }
       if (failed) {
         std::printf(
-            "  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s%s%s%s\n",
+            "  reproduce: fuzz_scenarios --seed %llu --repro%s%s%s%s%s%s%s\n",
             static_cast<unsigned long long>(seed),
             generator.inject_expiry_bug ? " --inject-expiry-bug" : "",
             generator.with_faults ? " --faults" : "",
             generator.with_overload ? " --overload" : "",
             generator.with_batch ? " --batch" : "",
             generator.with_bigtables ? " --bigtables" : "",
-            generator.with_adaptive ? " --adaptive" : "");
+            generator.with_adaptive ? " --adaptive" : "",
+            generator.with_skew ? " --skew" : "");
       }
     }
 

@@ -149,6 +149,59 @@ void sample_adaptive(util::Rng& rng, sim::ScenarioConfig& config) {
   ad.enabled = arm;
 }
 
+// Samples the tag-lifecycle layer (docs/FAULTS.md, "Clock skew & tag
+// lifecycle"): skewed node clocks, the edge skew-tolerance window,
+// outage grace mode, and proactive client renewal.  Every knob is drawn
+// unconditionally so the draw count per seed is fixed; each feature arms
+// independently so every control group (skewed clocks without tolerance,
+// tolerance without skew, grace alone, ...) occurs.  The bounds keep the
+// security envelope: tolerance (<= validity/4) + grace window
+// (<= validity/2) + worst per-node offset (<= validity/8) stays below
+// one tag validity, so the attacker tags expired by >= a full validity
+// can never be accepted through any widened window.
+void sample_lifecycle(util::Rng& rng, sim::ScenarioConfig& config) {
+  const double validity = static_cast<double>(config.provider.tag_validity);
+  const bool skewed_clocks = rng.bernoulli(0.7);
+  const event::Time max_offset =
+      static_cast<event::Time>(rng.uniform_double() * validity / 8.0);
+  const double max_drift = 0.01 * rng.uniform_double();
+  const bool tolerant = rng.bernoulli(0.7);
+  const event::Time tolerance = static_cast<event::Time>(
+      (0.5 + 0.5 * rng.uniform_double()) * validity / 4.0);
+  const bool graceful = rng.bernoulli(0.5);
+  const event::Time grace_window = static_cast<event::Time>(
+      (0.25 + 0.75 * rng.uniform_double()) * validity / 2.0);
+  const event::Time silence =
+      static_cast<event::Time>(500 + rng.uniform(1500)) *
+      event::kMillisecond;
+  const bool renewing = rng.bernoulli(0.6);
+  const event::Time lead = static_cast<event::Time>(
+      (0.5 + 0.5 * rng.uniform_double()) * validity / 4.0);
+  const event::Time jitter = static_cast<event::Time>(
+      rng.uniform_double() * static_cast<double>(lead) / 2.0);
+  if (skewed_clocks) {
+    config.faults.clock_skew.max_offset = max_offset;
+    config.faults.clock_skew.max_drift = max_drift;
+  }
+  if (tolerant) {
+    config.tactic.skew.enabled = true;
+    config.tactic.skew.tolerance = tolerance;
+  }
+  if (graceful) {
+    config.tactic.grace.enabled = true;
+    config.tactic.grace.window = grace_window;
+    config.tactic.grace.provider_silence = silence;
+    // Clients keep using a just-expired tag for the same window, so the
+    // edge's grace path actually sees traffic during provider silence.
+    config.client.expired_tag_grace = grace_window;
+  }
+  if (renewing) {
+    config.client.proactive_renewal = true;
+    config.client.renewal_lead = lead;
+    config.client.renewal_jitter = jitter;
+  }
+}
+
 }  // namespace
 
 sim::ScenarioConfig random_config(std::uint64_t seed,
@@ -245,6 +298,12 @@ sim::ScenarioConfig random_config(std::uint64_t seed,
   if (options.with_adaptive) {
     sample_adaptive(rng, config);
   }
+  // Lifecycle draws come last of all (strictly after adaptive), so every
+  // prior layer's configuration stays identical with or without this
+  // option.
+  if (options.with_skew) {
+    sample_lifecycle(rng, config);
+  }
   return config;
 }
 
@@ -314,6 +373,24 @@ std::string describe(const sim::ScenarioConfig& config) {
         ad.max_limit, ad.probe_interval_windows, ad.probe_jitter_windows,
         ad.headroom, ad.watermark_fraction, ad.quarantine_consecutive,
         event::to_seconds(ad.quarantine_base), ad.quarantine_factor);
+    out += buffer;
+  }
+  if (config.faults.clock_skew.any() || config.tactic.skew.enabled ||
+      config.tactic.grace.enabled || config.client.proactive_renewal) {
+    std::snprintf(
+        buffer, sizeof(buffer),
+        " lifecycle[off=%.2fs drift=%.3f tol=%s%.2fs grace=%s%.2fs@%.1fs "
+        "renew=%s%.2fs~%.2fs]",
+        event::to_seconds(config.faults.clock_skew.max_offset),
+        config.faults.clock_skew.max_drift,
+        config.tactic.skew.enabled ? "" : "!",
+        event::to_seconds(config.tactic.skew.tolerance),
+        config.tactic.grace.enabled ? "" : "!",
+        event::to_seconds(config.tactic.grace.window),
+        event::to_seconds(config.tactic.grace.provider_silence),
+        config.client.proactive_renewal ? "" : "!",
+        event::to_seconds(config.client.renewal_lead),
+        event::to_seconds(config.client.renewal_jitter));
     out += buffer;
   }
   return out;

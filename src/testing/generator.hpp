@@ -56,6 +56,16 @@ struct GeneratorOptions {
   /// bigtables), so all prior configurations stay identical with or
   /// without this option.
   bool with_adaptive = false;
+  /// Sample the tag-lifecycle layer (docs/FAULTS.md, "Clock skew & tag
+  /// lifecycle"): skewed node clocks (sim::ClockSkewSpec), the edge
+  /// skew-tolerance window, outage grace mode, and proactive client
+  /// renewal.  Every knob is drawn unconditionally and the draws come
+  /// strictly after every other layer's, so all prior configurations
+  /// stay identical with or without this option.  Sampled bounds keep
+  /// tolerance + grace + worst-case skew well under the tag validity, so
+  /// deliberately pre-expired attacker tags can never slip inside a
+  /// widened window.
+  bool with_skew = false;
 };
 
 /// Deterministically samples one scenario configuration from `seed`.

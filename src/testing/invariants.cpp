@@ -98,7 +98,26 @@ void InvariantChecker::check_delivery(const ndn::Forwarder& node,
   }
   const core::Tag& tag = *data.tag;
   bool structurally_invalid = false;
-  if (tag.expiry() + options_.expiry_slack < now) {
+  // The tag-lifecycle layer deliberately honours tags past T_e: the
+  // skew-tolerance window, outage grace, and a behind-running edge clock
+  // (bounded by the fault plan's worst offset plus accumulated drift)
+  // each widen how stale a delivered tag can legitimately be.  Widen the
+  // slack by exactly those configured bounds — anything older is still a
+  // violation.
+  event::Time slack = options_.expiry_slack;
+  const auto& run_config = scenario_.config();
+  if (run_config.tactic.skew.enabled) {
+    slack += run_config.tactic.skew.tolerance;
+  }
+  if (run_config.tactic.grace.enabled) {
+    slack += run_config.tactic.grace.window;
+  }
+  if (run_config.faults.clock_skew.any()) {
+    slack += run_config.faults.clock_skew.max_offset +
+             static_cast<event::Time>(run_config.faults.clock_skew.max_drift *
+                                      static_cast<double>(now));
+  }
+  if (tag.expiry() + slack < now) {
     structurally_invalid = true;
     add_violation(label, "expired tag honoured for " + data.name.to_uri() +
                              " (expiry " + format_seconds(tag.expiry()) +
@@ -256,6 +275,43 @@ void InvariantChecker::finalize() {
         add_violation("-", "adaptive accounting: adaptive-layer counters "
                            "nonzero while the layer is disabled");
       }
+    }
+  }
+  if (!config.faults.clock_skew.any() && !config.tactic.skew.enabled &&
+      !config.tactic.grace.enabled) {
+    // With identity clocks and both lifecycle features off, the
+    // lifecycle counters must be perfectly inert.
+    const sim::RouterOps* classes[] = {&metrics.edge_ops, &metrics.core_ops};
+    for (const sim::RouterOps* ops : classes) {
+      if (ops->skew_soft_accepts != 0 || ops->skew_false_rejects != 0 ||
+          ops->skew_false_accepts != 0 || ops->grace_accepts != 0 ||
+          ops->grace_engagements != 0) {
+        add_violation("-", "lifecycle accounting: skew/grace counters "
+                           "nonzero while skewed clocks, the tolerance "
+                           "window, and grace mode are all disabled");
+      }
+    }
+  }
+  if (!config.client.proactive_renewal &&
+      metrics.clients.proactive_renewals != 0) {
+    add_violation("-", "lifecycle accounting: proactive renewals counted "
+                       "while proactive renewal is disabled");
+  }
+  if (config.faults.clock_skew.any() && config.tactic.skew.enabled) {
+    // Skew tolerance correctness: when the window covers the worst clock
+    // error any node can accumulate over the whole run (offset plus
+    // drift), no genuinely live tag may be rejected as expired.
+    const event::Time horizon = config.duration + options_.drain_grace;
+    const event::Time worst_skew =
+        config.faults.clock_skew.max_offset +
+        static_cast<event::Time>(config.faults.clock_skew.max_drift *
+                                 static_cast<double>(horizon));
+    if (worst_skew <= config.tactic.skew.tolerance &&
+        (metrics.edge_ops.skew_false_rejects != 0 ||
+         metrics.core_ops.skew_false_rejects != 0)) {
+      add_violation("-", "skew tolerance: live tags rejected although the "
+                         "worst-case clock skew fits inside the tolerance "
+                         "window");
     }
   }
   if (config.router_pit_capacity == 0 && metrics.pit_evictions != 0) {

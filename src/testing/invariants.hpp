@@ -52,6 +52,10 @@ struct InvariantOptions {
   /// Tag-expiry slack on the delivery check: Protocol 1 checks expiry at
   /// request time, so a tag may expire while its Data is in flight.
   /// Anything older than ~2 Interest lifetimes is a real violation.
+  /// When the scenario enables the tag-lifecycle layer the checker
+  /// widens this by the configured skew tolerance, grace window, and
+  /// worst-case clock error — deliveries beyond even that remain
+  /// violations.
   event::Time expiry_slack = 2 * event::kSecond;
   /// Deliveries with a signature-invalid (but structurally valid) tag
   /// tolerated before finalize() flags a violation.  Legitimate Bloom

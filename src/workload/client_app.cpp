@@ -107,13 +107,24 @@ void ClientApp::fill_one_slot() {
 
   // Registration gate: protected objects need a valid (unexpired) tag for
   // the current provider; public objects (AL 0) are fetched tag-free.
+  // Expiry is judged on this node's *local* clock — under the clock-skew
+  // fault model a client can honestly believe an expired tag live (and
+  // vice versa); the edge's tolerance window is what absorbs that.
   const bool is_protected =
       providers_[current_provider_]->catalog().access_level(
           current_object_) != ndn::kPublicAccessLevel;
   const core::TagPtr& tag = tags_[current_provider_];
-  const bool tag_valid =
-      tag && tag->expiry() > node_.scheduler().now();
-  if (is_protected && !tag_valid) {
+  const event::Time local_now = node_.local_now();
+  const bool tag_live = tag && tag->expiry() > local_now;
+  if (is_protected && !tag_live && tag_usable(tag, local_now)) {
+    // Client half of outage grace: the tag just expired but stays
+    // attached for the grace window — a grace-mode edge can still vouch
+    // it — while re-registration keeps trying in the background.
+    if (!registration_pending_) send_registration(current_provider_);
+    send_chunk_interest();
+    return;
+  }
+  if (is_protected && !tag_live) {
     if (!registration_pending_) send_registration(current_provider_);
     // Park the slot; it resumes when the tag arrives or the registration
     // fails (see on_data / the registration-timeout handler).
@@ -163,11 +174,12 @@ void ClientApp::resend_chunk(const ndn::Name& name) {
   Outstanding& out = it->second;
 
   // Re-resolve the tag: a re-registration during the backoff may have
-  // replaced it.  If it expired instead, a resend would only be silently
+  // replaced it.  If it expired instead (on this node's local clock,
+  // minus any client-side grace), a resend would only be silently
   // dropped by Protocol 1, so surrender the slot to the registration gate
   // rather than burn the retry budget (this is not a loss abandonment).
   const core::TagPtr& tag = tags_[out.provider];
-  if (out.needs_tag && (!tag || tag->expiry() <= node_.scheduler().now())) {
+  if (out.needs_tag && !tag_usable(tag, node_.local_now())) {
     outstanding_.erase(it);
     schedule_slot_fill();
     return;
@@ -186,6 +198,38 @@ void ClientApp::resend_chunk(const ndn::Name& name) {
   ++counters_.chunks_requested;
   ++counters_.retransmissions;
   node_.inject_from_app(face_, interest);
+}
+
+bool ClientApp::tag_usable(const core::TagPtr& tag,
+                           event::Time local_now) const {
+  if (!tag) return false;
+  if (tag->expiry() > local_now) return true;
+  return config_.expired_tag_grace > 0 &&
+         tag->expiry() + config_.expired_tag_grace > local_now;
+}
+
+void ClientApp::schedule_renewal(std::size_t provider_index,
+                                 core::TagPtr tag) {
+  // Renewal target on this node's clock: T_e - lead, jittered uniformly
+  // in [-jitter, +jitter] so a cohort whose tags were issued in the same
+  // instant spreads its re-registrations instead of stampeding the
+  // issuer.  The local-time delta is used as the scheduling delay
+  // directly — under drift that is off by at most drift * lead, far
+  // inside the jitter window.
+  const double u = 2.0 * rng_.uniform_double() - 1.0;
+  const event::Time target =
+      tag->expiry() - config_.renewal_lead +
+      static_cast<event::Time>(static_cast<double>(config_.renewal_jitter) *
+                               u);
+  const event::Time delay =
+      std::max<event::Time>(1, target - node_.local_now());
+  node_.scheduler().schedule(delay, [this, provider_index, tag] {
+    if (!running_) return;
+    if (tags_[provider_index] != tag) return;  // already replaced
+    if (registration_pending_) return;         // renewal already underway
+    ++counters_.proactive_renewals;
+    send_registration(provider_index);
+  });
 }
 
 void ClientApp::send_registration(std::size_t provider_index) {
@@ -226,9 +270,11 @@ void ClientApp::on_registration_timeout() {
     return;
   }
   // Retry budget exhausted: clear the pending marker and release one
-  // parked slot after the backoff; that slot will re-register.
+  // parked slot after a jittered backoff (continuing the attempt
+  // exponential); that slot will re-register.  A fixed delay here would
+  // resynchronize every client a recovering provider starved.
   registration_pending_.reset();
-  release_parked_slots(1, config_.registration_backoff);
+  release_parked_slots(1, retry_backoff(++registration_refusal_streak_));
 }
 
 void ClientApp::on_data(const ndn::Data& data) {
@@ -239,13 +285,20 @@ void ClientApp::on_data(const ndn::Data& data) {
       node_.scheduler().cancel(registration_timeout_);
       if (data.nack_attached || !data.tag) {
         ++counters_.registrations_refused;
-        // Release one parked slot to retry later.
-        release_parked_slots(1, config_.registration_backoff);
+        // Release one parked slot to retry later, after a jittered
+        // exponential backoff — refusal waves from a recovering
+        // provider must not resynchronize.
+        release_parked_slots(1,
+                             retry_backoff(++registration_refusal_streak_));
         return;
       }
       tags_[provider_index] = data.tag;
       ++counters_.tags_received;
+      registration_refusal_streak_ = 0;
       if (on_tag_receive) on_tag_receive(node_.scheduler().now());
+      if (config_.proactive_renewal) {
+        schedule_renewal(provider_index, data.tag);
+      }
       // Wake every parked slot (with think-time jitter).
       release_parked_slots(parked_slots_, 0);
     }
@@ -301,7 +354,8 @@ void ClientApp::on_nack(const ndn::Nack& nack) {
     registration_pending_.reset();
     node_.scheduler().cancel(registration_timeout_);
     ++counters_.registrations_refused;
-    release_parked_slots(1, config_.registration_backoff);
+    // Jittered exponential, as in on_data's refusal branch.
+    release_parked_slots(1, retry_backoff(++registration_refusal_streak_));
     return;
   }
   const auto it = outstanding_.find(nack.name);

@@ -32,11 +32,11 @@ struct ClientConfig {
   double zipf_alpha = 0.7;
   /// Uniform random start delay (desynchronizes clients).
   event::Time start_jitter = event::kSecond;
-  /// Backoff before re-registering after a *refused* registration (NACK
-  /// or tag-less response).  Timed-out registrations instead retry
-  /// through the retransmission mechanism below.
-  event::Time registration_backoff = 2 * event::kSecond;
-  /// Retransmission policy, shared by chunk Interests and registrations:
+  /// Retransmission policy, shared by chunk Interests and registrations
+  /// (including *refused* registrations, which back off through the same
+  /// jittered exponential keyed on the refusal streak — a fixed refusal
+  /// delay would resynchronize every client a recovering provider
+  /// starved):
   /// a timeout triggers a resend after an exponential backoff with
   /// multiplicative jitter, up to `max_retries` resends; then the chunk
   /// is abandoned (the window slot frees).  `max_retries = 0` restores
@@ -63,6 +63,22 @@ struct ClientConfig {
   /// unbatched runs issue the exact same request population regardless
   /// of timing shifts near the scenario end.
   std::size_t max_chunks = 0;
+  /// Proactive tag renewal (docs/FAULTS.md, "Clock skew & tag
+  /// lifecycle"): re-register at `T_e - renewal_lead` plus a uniform
+  /// draw from [-renewal_jitter, +renewal_jitter], instead of
+  /// discovering expiry through rejected Interests.  The jitter
+  /// de-synchronizes the renewal storm of a cohort whose tags were all
+  /// issued in the same instant.  Off by default; a disabled feature
+  /// consumes zero RNG draws (bit-identical streams).
+  bool proactive_renewal = false;
+  event::Time renewal_lead = 2 * event::kSecond;
+  event::Time renewal_jitter = event::kSecond;
+  /// Outage grace, client half: keep attaching a tag for this long past
+  /// its T_e (re-registering in the background the whole time), so
+  /// grace-mode edges (core::GraceConfig) can still vouch it while the
+  /// provider is down.  0 (default) = strict: expired tags are never
+  /// sent.
+  event::Time expired_tag_grace = 0;
 };
 
 /// Per-user traffic counters (Table IV's rows; Fig. 6's tag rates).
@@ -88,6 +104,10 @@ struct UserCounters {
   /// each also counts in `nacks_received`.  These retry with backoff
   /// immediately instead of waiting out the chunk timeout.
   std::uint64_t overload_nacks = 0;
+  /// Renewal timers that fired and triggered a registration before the
+  /// tag expired (proactive_renewal; each also counts in
+  /// `tags_requested`).
+  std::uint64_t proactive_renewals = 0;
   /// Per-reason breakdown of `nacks_received` (chunk verdicts only;
   /// registration NACKs are excluded just as they are from
   /// `nacks_received`).  Indexed by ndn::NackReason.  The batching
@@ -149,6 +169,12 @@ class ClientApp {
   void send_registration(std::size_t provider_index);
   void send_registration_attempt();
   void on_registration_timeout();
+  /// Schedules the proactive renewal of `tag` (just received for
+  /// `provider_index`) at T_e - lead +/- jitter on this node's clock.
+  void schedule_renewal(std::size_t provider_index, core::TagPtr tag);
+  /// Whether `tag` may still be attached to an Interest at local time
+  /// `local_now` — live, or inside the client-side grace window.
+  bool tag_usable(const core::TagPtr& tag, event::Time local_now) const;
   bool verify_content_signature(const ndn::Data& data) const;
   void on_data(const ndn::Data& data);
   void on_nack(const ndn::Nack& nack);
@@ -182,6 +208,9 @@ class ClientApp {
   ndn::Name pending_registration_name_;
   event::EventId registration_timeout_;  // cancelled on response/NACK
   std::size_t registration_retries_ = 0;
+  /// Consecutive refused/abandoned registrations (reset when a tag
+  /// arrives); drives the jittered exponential re-registration backoff.
+  std::size_t registration_refusal_streak_ = 0;
   /// Window slots waiting for a tag.  Slot tokens are conserved: each
   /// token is either an outstanding Interest, a scheduled fill event, or
   /// parked here — so the request rate stays window-limited.

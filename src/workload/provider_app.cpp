@@ -55,8 +55,11 @@ void ProviderApp::handle_registration(ndn::FaceId face,
   const std::string& label = interest.name.at(2);
   const std::string locator = client_key_locator(label);
 
-  core::TagPtr tag = issuer_.issue(locator, interest.access_path,
-                                   node_.scheduler().now());
+  // Issuance stamps T_e off the provider's *local* clock: a skewed
+  // provider mints skewed expiries, which is the whole point of the
+  // clock-skew fault model.
+  core::TagPtr tag =
+      issuer_.issue(locator, interest.access_path, node_.local_now());
   if (!tag) {
     ++counters_.registrations_refused;
     if (config_.refuse_with_nack) {
@@ -132,9 +135,13 @@ void ProviderApp::handle_content(ndn::FaceId face,
     if (!interest.tag) {
       valid = false;
       reason = ndn::NackReason::kNoTag;
-    } else if (interest.tag->expiry() < node_.scheduler().now()) {
+    } else if (interest.tag->expiry() + config_.expiry_tolerance <
+               node_.local_now()) {
       // The provider is the revocation authority: an expired tag is a
       // revoked credential regardless of which mechanism the routers run.
+      // The comparison runs on the provider's local clock (plus its
+      // configured tolerance) — under drift even the clock that stamped
+      // T_e can disagree with itself by the time the tag comes back.
       valid = false;
       reason = ndn::NackReason::kExpiredTag;
     } else {

@@ -38,6 +38,13 @@ struct ProviderConfig {
   /// prefix-hijacking provider (paper Section 6.B).  Signatures are
   /// computed lazily, once per chunk.
   bool sign_content = false;
+  /// Soft window past T_e inside which the provider still honours a tag
+  /// on direct content requests — the provider-side mirror of the
+  /// routers' SkewToleranceConfig (it validates against its own local
+  /// clock, which under the clock-skew fault model can run ahead of the
+  /// clock that stamped the tag... including its own past self under
+  /// drift).  0 (default) keeps the strict check.
+  event::Time expiry_tolerance = 0;
 };
 
 /// Per-provider operation counters (Table II's provider burden column).

@@ -303,6 +303,73 @@ TEST(TagIssuer, IssuedTagsVerifyUnderPki) {
   EXPECT_TRUE(verify_tag_signature(*tag, pki));
 }
 
+TEST(TagIssuer, RevokeThenReenrollIssuesFreshCredentials) {
+  const auto keys = test_keypair();
+  TagIssuer issuer("/provider0/KEY/1", keys.private_key, 10 * kSecond);
+  issuer.enroll("/client0/KEY/1", 1);
+  const TagPtr before = issuer.issue("/client0/KEY/1", 3, kSecond);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->access_level(), 1u);
+
+  issuer.revoke("/client0/KEY/1");
+  EXPECT_EQ(issuer.issue("/client0/KEY/1", 3, 2 * kSecond), nullptr);
+
+  // Re-enrollment at a different access level fully supersedes both the
+  // revocation and the old grant.
+  issuer.enroll("/client0/KEY/1", 2);
+  EXPECT_FALSE(issuer.is_revoked("/client0/KEY/1"));
+  const TagPtr after = issuer.issue("/client0/KEY/1", 3, 3 * kSecond);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->access_level(), 2u);
+  EXPECT_EQ(after->expiry(), 3 * kSecond + 10 * kSecond);
+}
+
+TEST(TagIssuer, IssueAtExpiryBoundary) {
+  const auto keys = test_keypair();
+  TagIssuer issuer("/provider0/KEY/1", keys.private_key, 10 * kSecond);
+  issuer.enroll("/client0/KEY/1", 1);
+  const TagPtr tag = issuer.issue("/client0/KEY/1", 0, 5 * kSecond);
+  ASSERT_NE(tag, nullptr);
+  EXPECT_EQ(tag->expiry(), 15 * kSecond);
+  const ndn::Name name("/provider0/obj1/c0");
+  // Protocol 1 rejects strictly after T_e: at the boundary instant the
+  // tag is still honoured.
+  EXPECT_EQ(edge_precheck(*tag, name, 15 * kSecond), PrecheckResult::kOk);
+  EXPECT_EQ(edge_precheck(*tag, name, 15 * kSecond + 1),
+            PrecheckResult::kExpired);
+  // The skew-tolerance overload widens the boundary by exactly the
+  // window, no further.
+  EXPECT_EQ(edge_precheck(*tag, name, 17 * kSecond, 2 * kSecond),
+            PrecheckResult::kOk);
+  EXPECT_EQ(edge_precheck(*tag, name, 17 * kSecond + 1, 2 * kSecond),
+            PrecheckResult::kExpired);
+}
+
+TEST(TagIssuer, CountersAreMonotonicAcrossLifecycle) {
+  const auto keys = test_keypair();
+  TagIssuer issuer("/provider0/KEY/1", keys.private_key, 10 * kSecond);
+  EXPECT_EQ(issuer.tags_issued(), 0u);
+  EXPECT_EQ(issuer.refusals(), 0u);
+
+  issuer.issue("/client0/KEY/1", 0, 0);  // never enrolled
+  EXPECT_EQ(issuer.refusals(), 1u);
+  issuer.enroll("/client0/KEY/1", 1);
+  issuer.issue("/client0/KEY/1", 0, kSecond);
+  issuer.issue("/client0/KEY/1", 0, 2 * kSecond);
+  EXPECT_EQ(issuer.tags_issued(), 2u);
+  issuer.revoke("/client0/KEY/1");
+  issuer.issue("/client0/KEY/1", 0, 3 * kSecond);
+  EXPECT_EQ(issuer.refusals(), 2u);
+  issuer.enroll("/client0/KEY/1", 1);
+  issuer.issue("/client0/KEY/1", 0, 4 * kSecond);
+  // Refusals never reset a client's issuance history and vice versa:
+  // both counters only grow, and every issue() attempt lands in exactly
+  // one of them.
+  EXPECT_EQ(issuer.tags_issued(), 3u);
+  EXPECT_EQ(issuer.refusals(), 2u);
+  EXPECT_EQ(issuer.tags_issued() + issuer.refusals(), 5u);
+}
+
 // ---------------------------------------------------------------------------
 // Protocols 2-4 over a hand-built chain:
 //   client -- AP -- edge -- core(content router) -- producer stub
