@@ -35,12 +35,32 @@ int main(int argc, char** argv) {
 
   util::Table table({"Topology", "Class", "L (lookups)", "I (insertions)",
                      "V (verifications)"});
+  // Zero-copy packet path (docs/ARCHITECTURE.md, "Packet memory model"):
+  // router-side packet mutations split into in-place edits (sole owner,
+  // no copy) and COW clones (aliased packet, one copy).  Before shared
+  // forwarding, every mutation implied a full packet copy, so the
+  // in-place share is the measured copy-elimination delta.
+  util::Table pool_table({"Topology", "Slab acquires", "Recycled %",
+                          "COW clones", "In-place edits",
+                          "Copies eliminated %"});
   for (const std::int64_t topo : options.topologies) {
     const auto acc = bench::run_seeds(
         options, static_cast<int>(topo), [&](sim::ScenarioConfig& config) {
           config.tactic.bloom.capacity =
               static_cast<std::size_t>(bf_capacity);
         });
+    const double reuses = acc.pool_reuses.mean();
+    const double clones = acc.packet_cow_clones.mean();
+    const double inplace = acc.packet_inplace_edits.mean();
+    // Fresh builds net out clone compensation (PoolCounters), so total
+    // slab acquisitions = fresh acquires + COW clones.
+    const double slab = acc.pool_acquires.mean() + clones;
+    const double edits = clones + inplace;
+    pool_table.add_row(
+        {"Topo. " + std::to_string(topo), util::Table::fmt(slab, 10),
+         util::Table::fmt(slab == 0 ? 0.0 : 100.0 * reuses / slab, 4),
+         util::Table::fmt(clones, 10), util::Table::fmt(inplace, 10),
+         util::Table::fmt(edits == 0 ? 0.0 : 100.0 * inplace / edits, 4)});
     table.add_row({"Topo. " + std::to_string(topo), "edge",
                    util::Table::fmt(acc.edge_lookups.mean(), 10),
                    util::Table::fmt(acc.edge_inserts.mean(), 10),
@@ -94,5 +114,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape: edge L ~1e6 >> I >> V (log scale); core workload "
       "1-2 orders of magnitude below edge\n");
+  std::printf("\npacket memory (routers, edge + core):\n");
+  pool_table.print(std::cout);
   return 0;
 }

@@ -141,9 +141,9 @@ BENCHMARK(BM_FibLongestPrefixMatch);
 void BM_ContentStoreHit(benchmark::State& state) {
   ndn::ContentStore cs(10000);
   for (int i = 0; i < 10000; ++i) {
-    ndn::Data data;
-    data.name = ndn::Name("/p/obj" + std::to_string(i) + "/c0");
-    cs.insert(data);
+    auto data = std::make_shared<ndn::Data>();
+    data->name = ndn::Name("/p/obj" + std::to_string(i) + "/c0");
+    cs.insert(std::move(data));
   }
   int i = 0;
   for (auto _ : state) {

@@ -1,0 +1,276 @@
+// Zero-copy packet path: allocation behaviour of the forwarding plane
+// (docs/ARCHITECTURE.md, "Packet memory model").  Two measurements:
+//
+//   1. Hot path: a consumer <-> producer pair exchanging pooled packets
+//      over real links, one exchange in flight.  After a warmup that
+//      fills the packet slabs, scheduler slots, and name capacities, a
+//      steady-state exchange must perform ZERO heap allocations —
+//      acquire/release recycle pool slots, frames ride inside scheduler
+//      slot records, and wire sizes come from the packet's cache.  The
+//      same loop with pooling off shows the make_shared baseline.
+//
+//   2. Plain-scenario flatline: the fixed-seed corpus scenario run for
+//      one and two windows; the *marginal* allocations per delivered
+//      chunk (second window over the first) must not exceed the
+//      first-window average — i.e. allocation cost per chunk flattens
+//      instead of growing — and pooling on must beat pooling off.
+//
+// ci/alloc.sh runs this under ASan+UBSan (the probe forwards to malloc,
+// which the sanitizers still intercept) and archives
+// BENCH_packet_path.json.  Exit status is the gate: non-zero when any
+// of the three assertions above fail.
+//
+//   --exchanges N   measured hot-path exchanges (default 5000)
+//   --duration D    first e2e window, simulated seconds (default 4)
+//   --seed S        e2e scenario seed (default 9000, the corpus base)
+//   --json PATH     machine-readable results (default
+//                   BENCH_packet_path.json)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "ndn/forwarder.hpp"
+#include "ndn/packet_pool.hpp"
+#include "net/link.hpp"
+#include "testing/alloc_probe.hpp"
+#include "testing/generator.hpp"
+
+namespace {
+
+using namespace tactic;
+
+struct HotPathResult {
+  double allocs_per_exchange = 0.0;
+  double frees_per_exchange = 0.0;
+  std::uint64_t exchanges = 0;
+  std::uint64_t pool_reuses = 0;
+  std::uint64_t pool_refills = 0;
+};
+
+/// Consumer <-> producer over symmetric links, one exchange in flight:
+/// Interest up, Data back, next Interest on delivery.  Stops after
+/// `warmup + measured` exchanges; counts heap traffic in the measured
+/// span only.
+HotPathResult run_hot_path(std::uint64_t warmup, std::uint64_t measured) {
+  event::Scheduler sched;
+  // CS capacity 0: every exchange walks the full PIT/FIB forward path
+  // instead of degenerating into cache hits.
+  ndn::Forwarder consumer(
+      sched, net::NodeInfo{0, net::NodeKind::kClient, "c"}, 0);
+  ndn::Forwarder producer(
+      sched, net::NodeInfo{1, net::NodeKind::kProvider, "p"}, 0);
+
+  const net::LinkParams params{100e6, event::kMillisecond, 16};
+  net::Link up(sched, params);    // consumer -> producer
+  net::Link down(sched, params);  // producer -> consumer
+  ndn::FaceId c_link = ndn::kInvalidFace;  // consumer's face to producer
+  ndn::FaceId p_link = ndn::kInvalidFace;  // producer's face to consumer
+  c_link = consumer.add_link_face(&up, [&](ndn::PacketVariant&& p) {
+    producer.receive(p_link, std::move(p));
+  });
+  p_link = producer.add_link_face(&down, [&](ndn::PacketVariant&& p) {
+    consumer.receive(c_link, std::move(p));
+  });
+
+  // Pre-built name set: steady state copy-assigns these into recycled
+  // packet slots (vector capacity reuse, no allocation).
+  std::vector<ndn::Name> names;
+  for (int i = 0; i < 32; ++i) {
+    names.push_back(ndn::Name("/p/obj" + std::to_string(i) + "/c0"));
+  }
+
+  const std::uint64_t total = warmup + measured;
+  std::uint64_t delivered = 0;
+  std::uint64_t nonce = 0;
+  std::uint64_t allocs_at_warmup = 0, frees_at_warmup = 0;
+  std::uint64_t allocs_at_end = 0, frees_at_end = 0;
+  ndn::FaceId consumer_app = ndn::kInvalidFace;
+
+  const auto send_next = [&] {
+    auto interest = consumer.pool().make_interest();
+    interest->name = names[nonce % names.size()];
+    interest->nonce = ++nonce;
+    // Short lifetime: satisfied entries' lazy-cancelled expiry events
+    // fire (as no-ops) at the same rate they are scheduled, so the
+    // event heap stays at its warmed steady-state size.
+    interest->lifetime = 50 * event::kMillisecond;
+    consumer.inject_from_app(consumer_app, std::move(interest));
+  };
+
+  consumer_app = consumer.add_app_face(ndn::AppSink{
+      nullptr,
+      [&](const ndn::Data&) {
+        ++delivered;
+        if (delivered == warmup) {
+          allocs_at_warmup = testing::alloc_count();
+          frees_at_warmup = testing::free_count();
+          if (std::getenv("PACKET_PATH_TRACE")) {
+            testing::trace_next_allocs(4);
+          }
+        }
+        if (delivered == total) {
+          allocs_at_end = testing::alloc_count();
+          frees_at_end = testing::free_count();
+          return;  // stop refilling; remaining timers drain as no-ops
+        }
+        send_next();
+      },
+      nullptr});
+  const ndn::FaceId producer_app = producer.add_app_face(ndn::AppSink{
+      [&producer](ndn::FaceId face, const ndn::Interest& interest) {
+        auto data = producer.pool().make_data();
+        data->name = interest.name;  // copy into recycled capacity
+        data->content_size = 1024;
+        producer.inject_from_app(face, std::move(data));
+      },
+      nullptr, nullptr});
+
+  consumer.fib().add_route(ndn::Name("/"), c_link);
+  producer.fib().add_route(ndn::Name("/p"), producer_app);
+
+  const auto& pc = consumer.pool().counters();
+  const std::uint64_t reuses_before = pc.reuses;
+  const std::uint64_t refills_before = pc.refills;
+
+  send_next();
+  sched.run();
+
+  HotPathResult result;
+  result.exchanges = delivered;
+  result.allocs_per_exchange =
+      static_cast<double>(allocs_at_end - allocs_at_warmup) /
+      static_cast<double>(measured);
+  result.frees_per_exchange =
+      static_cast<double>(frees_at_end - frees_at_warmup) /
+      static_cast<double>(measured);
+  result.pool_reuses = pc.reuses - reuses_before;
+  result.pool_refills = pc.refills - refills_before;
+  return result;
+}
+
+struct WindowResult {
+  std::uint64_t allocs = 0;
+  std::uint64_t chunks = 0;
+};
+
+/// One plain corpus scenario run; heap traffic and delivered chunks.
+WindowResult run_window(std::uint64_t seed, double duration_s) {
+  testing::GeneratorOptions generator;
+  generator.duration = event::from_seconds(duration_s);
+  sim::Scenario scenario(testing::random_config(seed, generator));
+  const std::uint64_t before = testing::alloc_count();
+  const sim::Metrics& metrics = scenario.run();
+  WindowResult result;
+  result.allocs = testing::alloc_count() - before;
+  result.chunks = metrics.clients.received + metrics.attackers.received;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto measured =
+      static_cast<std::uint64_t>(flags.get_int("exchanges", 5000));
+  const double duration_s = flags.get_double("duration", 4.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 9000));
+  bench::BenchJson json("packet_path", flags.get_string("json", ""));
+  json.meta({{"exchanges", bench::BenchJson::num(measured)},
+             {"duration_s", bench::BenchJson::num(duration_s)},
+             {"seed", bench::BenchJson::num(seed)}});
+  bool ok = true;
+
+  // --- 1. Hot path: steady-state allocations per exchange ------------------
+  ndn::PacketPool::set_pooling_enabled(true);
+  const HotPathResult pooled = run_hot_path(/*warmup=*/1000, measured);
+  ndn::PacketPool::set_pooling_enabled(false);
+  const HotPathResult unpooled = run_hot_path(/*warmup=*/1000, measured);
+  ndn::PacketPool::set_pooling_enabled(true);
+
+  std::printf("hot path (%llu exchanges after warmup):\n",
+              static_cast<unsigned long long>(measured));
+  std::printf("  pooling on : %.4f allocs / %.4f frees per exchange "
+              "(%llu slot reuses, %llu refills)\n",
+              pooled.allocs_per_exchange, pooled.frees_per_exchange,
+              static_cast<unsigned long long>(pooled.pool_reuses),
+              static_cast<unsigned long long>(pooled.pool_refills));
+  std::printf("  pooling off: %.4f allocs / %.4f frees per exchange\n",
+              unpooled.allocs_per_exchange, unpooled.frees_per_exchange);
+  if (pooled.allocs_per_exchange != 0.0) {
+    std::printf("  FAIL: steady-state hot path must be allocation-free\n");
+    ok = false;
+  }
+  if (pooled.allocs_per_exchange >= unpooled.allocs_per_exchange &&
+      unpooled.allocs_per_exchange > 0.0) {
+    std::printf("  FAIL: pooling does not reduce hot-path allocations\n");
+    ok = false;
+  }
+  json.row({{"section", bench::BenchJson::str("hot_path")},
+            {"pooling", bench::BenchJson::boolean(true)},
+            {"allocs_per_exchange",
+             bench::BenchJson::num(pooled.allocs_per_exchange)},
+            {"pool_reuses", bench::BenchJson::num(pooled.pool_reuses)},
+            {"pool_refills", bench::BenchJson::num(pooled.pool_refills)}});
+  json.row({{"section", bench::BenchJson::str("hot_path")},
+            {"pooling", bench::BenchJson::boolean(false)},
+            {"allocs_per_exchange",
+             bench::BenchJson::num(unpooled.allocs_per_exchange)}});
+
+  // --- 2. Plain scenario: allocation flatline ------------------------------
+  const WindowResult w1 = run_window(seed, duration_s);
+  const WindowResult w2 = run_window(seed, 2.0 * duration_s);
+  const double avg1 = w1.chunks == 0 ? 0.0
+                                     : static_cast<double>(w1.allocs) /
+                                           static_cast<double>(w1.chunks);
+  const double marginal =
+      w2.chunks > w1.chunks
+          ? static_cast<double>(w2.allocs - w1.allocs) /
+                static_cast<double>(w2.chunks - w1.chunks)
+          : 0.0;
+
+  ndn::PacketPool::set_pooling_enabled(false);
+  const WindowResult u1 = run_window(seed, duration_s);
+  const WindowResult u2 = run_window(seed, 2.0 * duration_s);
+  ndn::PacketPool::set_pooling_enabled(true);
+  const double marginal_off =
+      u2.chunks > u1.chunks
+          ? static_cast<double>(u2.allocs - u1.allocs) /
+                static_cast<double>(u2.chunks - u1.chunks)
+          : 0.0;
+
+  std::printf("\nplain scenario (seed %llu, %.0fs vs %.0fs windows):\n",
+              static_cast<unsigned long long>(seed), duration_s,
+              2.0 * duration_s);
+  std::printf("  pooling on : %.1f allocs/chunk first window, "
+              "%.1f marginal\n", avg1, marginal);
+  std::printf("  pooling off: %.1f marginal allocs/chunk\n", marginal_off);
+  if (marginal > avg1) {
+    std::printf("  FAIL: marginal allocations/chunk grew past the "
+                "first-window average (no flatline)\n");
+    ok = false;
+  }
+  if (marginal >= marginal_off) {
+    std::printf("  FAIL: pooling does not reduce steady-state "
+                "allocations per chunk\n");
+    ok = false;
+  }
+  json.row({{"section", bench::BenchJson::str("scenario_flatline")},
+            {"pooling", bench::BenchJson::boolean(true)},
+            {"allocs_per_chunk_first_window", bench::BenchJson::num(avg1)},
+            {"marginal_allocs_per_chunk", bench::BenchJson::num(marginal)},
+            {"chunks", bench::BenchJson::num(w2.chunks)}});
+  json.row({{"section", bench::BenchJson::str("scenario_flatline")},
+            {"pooling", bench::BenchJson::boolean(false)},
+            {"marginal_allocs_per_chunk",
+             bench::BenchJson::num(marginal_off)},
+            {"chunks", bench::BenchJson::num(u2.chunks)}});
+
+  json.row({{"section", bench::BenchJson::str("gates")},
+            {"ok", bench::BenchJson::boolean(ok)}});
+  json.write();
+  std::printf("\npacket_path: %s\n", ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -30,6 +30,7 @@
 #include "ndn/fib.hpp"
 #include "ndn/name.hpp"
 #include "ndn/pit.hpp"
+#include "testing/alloc_probe.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -215,7 +216,8 @@ int main(int argc, char** argv) {
       "trie vs linear)\n",
       static_cast<long long>(options.topologies.front()));
   util::Table e2e_table({"FIB prefixes/router", "Impl", "Delivery %",
-                         "FIB lookups", "Nodes/lookup", "Wall s per sim s"});
+                         "FIB lookups", "Nodes/lookup", "Wall s per sim s",
+                         "Allocs/chunk"});
   std::vector<std::size_t> scales{0, 100, 10'000};
   scales.push_back(options.full ? 100'000 : 30'000);
   for (const std::size_t prefixes : scales) {
@@ -225,6 +227,8 @@ int main(int argc, char** argv) {
       sim::MetricsAccumulator acc;
       double ratio = 0;
       std::uint64_t fib_lookups = 0, fib_nodes = 0;
+      std::uint64_t chunks = 0;
+      const std::uint64_t allocs_before = testing::alloc_count();
       for (std::int64_t run = 0; run < options.runs; ++run) {
         sim::ScenarioConfig config = bench::paper_scenario(
             static_cast<int>(options.topologies.front()), options,
@@ -238,8 +242,15 @@ int main(int argc, char** argv) {
             metrics.edge_ops.fib_lookups + metrics.core_ops.fib_lookups;
         fib_nodes += metrics.edge_ops.fib_nodes_visited +
                      metrics.core_ops.fib_nodes_visited;
+        chunks += metrics.clients.received + metrics.attackers.received;
         acc.add(metrics);
       }
+      // Heap allocations per delivered chunk across the whole sweep
+      // (includes setup; the packet path itself is pooled — see
+      // bench/packet_path for the isolated steady-state number).
+      const double allocs_per_chunk =
+          static_cast<double>(testing::alloc_count() - allocs_before) /
+          static_cast<double>(std::max<std::uint64_t>(chunks, 1));
       const double wall = seconds_since(start);
       const double sim_seconds =
           options.duration_s * static_cast<double>(options.runs);
@@ -256,12 +267,14 @@ int main(int argc, char** argv) {
                                                fib_lookups, 1)),
                                    4)
                 : std::string("-"),
-           util::Table::fmt(wall / sim_seconds, 4)});
+           util::Table::fmt(wall / sim_seconds, 4),
+           util::Table::fmt(allocs_per_chunk, 5)});
       csv.row({"e2e", std::to_string(prefixes), trie ? "lc-trie" : "linear",
                util::CsvWriter::num(ratio /
                                     static_cast<double>(options.runs)),
                util::CsvWriter::num(wall / sim_seconds),
-               util::CsvWriter::num(static_cast<double>(fib_lookups))});
+               util::CsvWriter::num(static_cast<double>(fib_lookups)),
+               util::CsvWriter::num(allocs_per_chunk)});
     }
   }
   e2e_table.print(std::cout);

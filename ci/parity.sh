@@ -33,19 +33,33 @@ VERDICT_GOLDEN="tests/golden/verdicts.txt"
 cmake -B "$BUILD_DIR" -S . -DTACTIC_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target fingerprint_corpus
 
-"$BUILD_DIR/fingerprint_corpus" > "$BUILD_DIR/fingerprints.txt"
+# Both pooling modes must match the same goldens: packet-slab recycling
+# (the default) is a pure allocation strategy, so turning it off with
+# --no-pool may not move a single byte of any digest.
+for POOL_FLAG in "" "--no-pool"; do
+  SUFFIX="${POOL_FLAG:+.nopool}"
 
-if ! diff -u "$GOLDEN" "$BUILD_DIR/fingerprints.txt"; then
-  echo "parity: FINGERPRINT MISMATCH against $GOLDEN" >&2
-  exit 1
-fi
+  # shellcheck disable=SC2086  # POOL_FLAG is intentionally word-split
+  "$BUILD_DIR/fingerprint_corpus" $POOL_FLAG \
+    > "$BUILD_DIR/fingerprints$SUFFIX.txt"
 
-"$BUILD_DIR/fingerprint_corpus" --verdicts > "$BUILD_DIR/verdicts.txt"
+  if ! diff -u "$GOLDEN" "$BUILD_DIR/fingerprints$SUFFIX.txt"; then
+    echo "parity: FINGERPRINT MISMATCH against $GOLDEN" \
+      "(pooling ${POOL_FLAG:-on})" >&2
+    exit 1
+  fi
 
-if ! diff -u "$VERDICT_GOLDEN" "$BUILD_DIR/verdicts.txt"; then
-  echo "parity: VERDICT MISMATCH against $VERDICT_GOLDEN" >&2
-  exit 1
-fi
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/fingerprint_corpus" --verdicts $POOL_FLAG \
+    > "$BUILD_DIR/verdicts$SUFFIX.txt"
+
+  if ! diff -u "$VERDICT_GOLDEN" "$BUILD_DIR/verdicts$SUFFIX.txt"; then
+    echo "parity: VERDICT MISMATCH against $VERDICT_GOLDEN" \
+      "(pooling ${POOL_FLAG:-on})" >&2
+    exit 1
+  fi
+done
 
 echo "parity: OK ($(wc -l < "$GOLDEN") fingerprints and" \
-  "$(wc -l < "$VERDICT_GOLDEN") verdict multisets bit-identical)"
+  "$(wc -l < "$VERDICT_GOLDEN") verdict multisets bit-identical," \
+  "pooling on and off)"

@@ -9,7 +9,7 @@ ndn::AccessControlPolicy::CacheHitDecision
 PerRequestAuthPolicy::on_cache_hit(ndn::Forwarder& /*node*/,
                                    ndn::FaceId /*in_face*/,
                                    const ndn::Interest& interest,
-                                   ndn::Data& /*response*/) {
+                                   ndn::CowData& /*response*/) {
   CacheHitDecision decision;
   // Protected content may not be answered from a cache — the provider
   // must authenticate every request itself.
@@ -21,7 +21,7 @@ ndn::AccessControlPolicy::DownstreamDecision
 PerRequestAuthPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
                                             const ndn::PitInRecord& record,
                                             const ndn::Data& incoming,
-                                            ndn::Data& outgoing) {
+                                            ndn::CowData& outgoing) {
   DownstreamDecision decision;
   if (incoming.is_registration_response ||
       incoming.access_level == ndn::kPublicAccessLevel) {
@@ -33,8 +33,9 @@ PerRequestAuthPolicy::on_data_to_downstream(ndn::Forwarder& /*node*/,
     decision.forward = false;
     return decision;
   }
-  outgoing.tag = record.tag;
-  outgoing.tag_wire_size = record.tag_wire_size;
+  ndn::Data& mutated = outgoing.edit();
+  mutated.tag = record.tag;
+  mutated.tag_wire_size = record.tag_wire_size;
   return decision;
 }
 
@@ -62,7 +63,7 @@ ProbBfPolicy::ProbBfPolicy(std::shared_ptr<const Shared> shared,
 
 ndn::AccessControlPolicy::InterestDecision ProbBfPolicy::on_interest(
     ndn::Forwarder& node, ndn::FaceId /*in_face*/,
-    ndn::Interest& interest) {
+    ndn::CowInterest& interest) {
   InterestDecision decision;
 
   // Lazy load of the publisher-distributed authorized set (done on first
@@ -76,7 +77,7 @@ ndn::AccessControlPolicy::InterestDecision ProbBfPolicy::on_interest(
   }
 
   // Registration traffic is not content; let it through.
-  if (interest.name.size() >= 2 && interest.name.at(1) == "register") {
+  if (interest->name.size() >= 2 && interest->name.at(1) == "register") {
     return decision;
   }
 
@@ -84,14 +85,14 @@ ndn::AccessControlPolicy::InterestDecision ProbBfPolicy::on_interest(
 
   // The requester's identity rides in its credential (we reuse the tag's
   // client key locator as the client-identity carrier).
-  if (!interest.tag) {
+  if (!interest->tag) {
     ++engine_.counters().no_tag_rejections;
     decision.action = InterestDecision::Action::kDropWithNack;
     decision.nack_reason = ndn::NackReason::kNoTag;
     return decision;
   }
 
-  core::ValidationContext ctx(engine_, *interest.tag,
+  core::ValidationContext ctx(engine_, *interest->tag,
                               node.scheduler().now());
   const core::Verdict verdict = pipeline_.run(ctx);
   decision.compute = ctx.compute;

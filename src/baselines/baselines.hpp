@@ -49,7 +49,7 @@ class PerRequestAuthPolicy : public ndn::AccessControlPolicy {
 
   CacheHitDecision on_cache_hit(ndn::Forwarder& node, ndn::FaceId in_face,
                                 const ndn::Interest& interest,
-                                ndn::Data& response) override;
+                                ndn::CowData& response) override;
   /// Only the requester the provider actually authenticated (the one
   /// whose credential rides back in the answer) may receive protected
   /// content; PIT-aggregated bystanders must re-request and be
@@ -58,7 +58,7 @@ class PerRequestAuthPolicy : public ndn::AccessControlPolicy {
   DownstreamDecision on_data_to_downstream(ndn::Forwarder& node,
                                            const ndn::PitInRecord& record,
                                            const ndn::Data& incoming,
-                                           ndn::Data& outgoing) override;
+                                           ndn::CowData& outgoing) override;
   bool may_cache(const ndn::Forwarder& node, const ndn::Data& data) override;
 
  private:
@@ -88,7 +88,7 @@ class ProbBfPolicy : public ndn::AccessControlPolicy {
                util::Rng rng);
 
   InterestDecision on_interest(ndn::Forwarder& node, ndn::FaceId in_face,
-                               ndn::Interest& interest) override;
+                               ndn::CowInterest& interest) override;
 
   const core::TacticCounters& counters() const { return engine_.counters(); }
   const bloom::BloomFilter& bloom() const { return engine_.bloom(); }

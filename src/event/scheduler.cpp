@@ -15,39 +15,61 @@ EventId Scheduler::schedule_at(Time when, Handler handler) {
     throw std::invalid_argument("Scheduler: scheduling in the past");
   }
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{when, seq, std::move(handler)});
-  pending_ids_.insert(seq);
-  return EventId{seq};
+  std::uint32_t rec;
+  if (!free_recs_.empty()) {
+    rec = free_recs_.back();
+    free_recs_.pop_back();
+  } else {
+    rec = static_cast<std::uint32_t>(recs_.size());
+    recs_.emplace_back();
+  }
+  recs_[rec].handler = std::move(handler);
+  recs_[rec].seq = seq;
+  queue_.push(Entry{when, seq, rec});
+  ++pending_;
+  return EventId{seq, rec};
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (!id.valid()) return false;
-  // Lazy cancellation: erase from the pending set; the queue entry is
-  // skipped at dispatch time.
-  return pending_ids_.erase(id.seq_) > 0;
+  if (!id.valid() || id.rec_ >= recs_.size()) return false;
+  Rec& rec = recs_[id.rec_];
+  if (rec.seq != id.seq_) return false;  // already ran, cancelled, or reused
+  // Lazy cancellation: free the record now; the heap entry is skipped at
+  // dispatch time by its stale seq.
+  rec.seq = 0;
+  rec.handler = nullptr;
+  free_recs_.push_back(id.rec_);
+  --pending_;
+  return true;
 }
 
-void Scheduler::dispatch(Entry entry) {
+void Scheduler::dispatch(const Entry& entry) {
   now_ = entry.when;
-  if (pending_ids_.erase(entry.seq) == 0) return;  // was cancelled
+  Rec& rec = recs_[entry.rec];
+  if (rec.seq != entry.seq) return;  // was cancelled
+  Handler handler = std::move(rec.handler);
+  rec.seq = 0;
+  rec.handler = nullptr;
+  free_recs_.push_back(entry.rec);
+  --pending_;
   ++executed_;
-  entry.handler();
+  handler();
 }
 
 Time Scheduler::run() {
   while (!queue_.empty()) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    const Entry entry = queue_.top();
     queue_.pop();
-    dispatch(std::move(entry));
+    dispatch(entry);
   }
   return now_;
 }
 
 Time Scheduler::run_until(Time until) {
   while (!queue_.empty() && queue_.top().when <= until) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    const Entry entry = queue_.top();
     queue_.pop();
-    dispatch(std::move(entry));
+    dispatch(entry);
   }
   now_ = until;
   return now_;

@@ -4,40 +4,103 @@ namespace tactic::ndn {
 
 ContentStore::ContentStore(std::size_t capacity) : capacity_(capacity) {}
 
-const Data* ContentStore::find(const Name& name) {
-  const auto it = index_.find(name);
-  if (it == index_.end()) {
+void ContentStore::lru_unlink(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  if (slot.lru_prev != kNil) {
+    slots_[slot.lru_prev].lru_next = slot.lru_next;
+  } else {
+    lru_head_ = slot.lru_next;
+  }
+  if (slot.lru_next != kNil) {
+    slots_[slot.lru_next].lru_prev = slot.lru_prev;
+  } else {
+    lru_tail_ = slot.lru_prev;
+  }
+  slot.lru_prev = slot.lru_next = kNil;
+}
+
+void ContentStore::lru_push_front(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.lru_next = lru_head_;
+  slot.lru_prev = kNil;
+  if (lru_head_ != kNil) {
+    slots_[lru_head_].lru_prev = s;
+  } else {
+    lru_tail_ = s;
+  }
+  lru_head_ = s;
+}
+
+std::uint32_t ContentStore::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void ContentStore::free_slot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.data.reset();  // releases the shared packet (pool slot recycles)
+  slot.live = false;
+  free_slots_.push_back(s);
+}
+
+const DataPtr* ContentStore::find(const Name& name) {
+  const std::uint32_t s = index_.find(name.id_hash(), [&](std::uint32_t v) {
+    return slots_[v].data->name == name;
+  });
+  if (s == util::HashIndex::kNpos) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return &*it->second;
+  lru_unlink(s);
+  lru_push_front(s);
+  return &slots_[s].data;
 }
 
-void ContentStore::insert(const Data& data) {
-  if (capacity_ == 0) return;
-  const auto it = index_.find(data.name);
-  if (it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+void ContentStore::insert(DataPtr data) {
+  if (capacity_ == 0 || !data) return;
+  const Name& name = data->name;
+  const std::uint32_t existing =
+      index_.find(name.id_hash(), [&](std::uint32_t v) {
+        return slots_[v].data->name == name;
+      });
+  if (existing != util::HashIndex::kNpos) {
+    lru_unlink(existing);
+    lru_push_front(existing);
     return;
   }
-  Data stored = data;
-  // Strip the response envelope: the cache holds the content object.
-  stored.tag.reset();
-  stored.tag_wire_size = 0;
-  stored.nack_attached = false;
-  stored.nack_reason = NackReason::kNone;
-  stored.flag_f = 0.0;
-  stored.from_cache = false;
-
-  lru_.push_front(std::move(stored));
-  index_[data.name] = lru_.begin();
+  const std::uint32_t s = alloc_slot();
+  Slot& slot = slots_[s];
+  slot.data = std::move(data);
+  slot.live = true;
+  index_.insert(slot.data->name.id_hash(), s);
+  lru_push_front(s);
   if (index_.size() > capacity_) {
-    index_.erase(lru_.back().name);
-    lru_.pop_back();
+    const std::uint32_t victim = lru_tail_;
+    const Name& victim_name = slots_[victim].data->name;
+    index_.erase(victim_name.id_hash(), [&](std::uint32_t v) {
+      return slots_[v].data->name == victim_name;
+    });
+    lru_unlink(victim);
+    free_slot(victim);
     ++evictions_;
   }
+}
+
+void ContentStore::clear() {
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].live) {
+      lru_unlink(s);
+      free_slot(s);
+    }
+  }
+  index_.clear();
+  lru_head_ = lru_tail_ = kNil;
 }
 
 }  // namespace tactic::ndn

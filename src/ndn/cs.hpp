@@ -1,13 +1,20 @@
 #pragma once
 // Content Store: the per-router LRU cache that makes a core router a
 // "content router" (R_C^c) for the objects it holds.
+//
+// Entries are shared immutable Data handles (DataPtr) — caching a packet
+// is a refcount bump, not a copy, and a cache hit clones only to stamp
+// the response envelope.  Storage is a slab of reusable slots with an
+// intrusive LRU list and an externalized-key hash index (PR-6 PIT
+// style), so steady-state insert/evict allocates nothing.
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <deque>
+#include <vector>
 
 #include "ndn/name.hpp"
 #include "ndn/packet.hpp"
+#include "util/hash_index.hpp"
 
 namespace tactic::ndn {
 
@@ -20,22 +27,25 @@ class ContentStore {
   std::size_t size() const { return index_.size(); }
 
   /// Exact-name lookup.  A hit refreshes LRU order and returns a pointer
-  /// valid until the next insert.  Counters are updated.
-  const Data* find(const Name& name);
+  /// to the shared handle, valid until the next insert.  Counters are
+  /// updated.
+  const DataPtr* find(const Name& name);
 
-  /// Inserts (or refreshes) a cacheable data packet.  Per-requester fields
-  /// (tag echo, NACK, F) are stripped: the cache stores content, not the
-  /// response envelope it arrived in.
-  void insert(const Data& data);
+  /// Inserts (or LRU-refreshes) a cacheable data packet, sharing the
+  /// handle.  The caller (Forwarder) strips the response envelope first
+  /// when needed — the cache stores content, not the envelope it arrived
+  /// in.
+  void insert(DataPtr data);
 
-  bool contains(const Name& name) const { return index_.count(name) > 0; }
+  bool contains(const Name& name) const {
+    return index_.find(name.id_hash(), [&](std::uint32_t s) {
+      return slots_[s].data->name == name;
+    }) != util::HashIndex::kNpos;
+  }
 
   /// Drops every cached object (crash semantics).  Hit/miss counters are
   /// cumulative and survive — they describe the run, not the store.
-  void clear() {
-    lru_.clear();
-    index_.clear();
-  }
+  void clear();
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -44,11 +54,27 @@ class ContentStore {
   std::uint64_t evictions() const { return evictions_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    DataPtr data;
+    bool live = false;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+  };
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t s);
+  void lru_unlink(std::uint32_t s);
+  void lru_push_front(std::uint32_t s);
+
   std::size_t capacity_;
-  std::list<Data> lru_;  // front = most recent
-  /// Keyed on the interned-ID hash: insert/find never re-hash name bytes.
-  std::unordered_map<Name, std::list<Data>::iterator, InternedNameHash>
-      index_;
+  std::deque<Slot> slots_;  // stable addresses
+  std::vector<std::uint32_t> free_slots_;
+  /// id_hash -> slot; keys (names) live in the cached packets.
+  util::HashIndex index_;
+  std::uint32_t lru_head_ = kNil;  // most recently used
+  std::uint32_t lru_tail_ = kNil;  // least recently used
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

@@ -8,6 +8,13 @@
 // node in a scenario — clients, APs, routers, providers — runs one
 // Forwarder; applications attach through app faces.
 //
+// Packet memory model (docs/ARCHITECTURE.md, "Packet memory model"): a
+// packet is allocated once — in the origin node's PacketPool — and flows
+// as a shared immutable handle (InterestPtr/DataPtr/NackPtr) through
+// every hop: link frames, the Content Store, and the reverse-path
+// fan-out all share the same object.  Mutation happens only through the
+// COW seam (Cow::edit), in place when the packet is uniquely held.
+//
 // Compute charging: policies report the (sampled) CPU time their checks
 // consumed; the forwarder defers all sends triggered by that packet by the
 // accumulated amount, mirroring how the paper injects benchmarked
@@ -15,6 +22,7 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -24,15 +32,23 @@
 #include "ndn/cs.hpp"
 #include "ndn/fib.hpp"
 #include "ndn/packet.hpp"
+#include "ndn/packet_pool.hpp"
 #include "ndn/pit.hpp"
 #include "ndn/policy.hpp"
 
 namespace tactic::ndn {
 
-using PacketVariant = std::variant<Interest, Data, Nack>;
+/// Shared immutable packet handles — see packet.hpp for the aliases.
+using PacketVariant = std::variant<InterestPtr, DataPtr, NackPtr>;
 
 /// Wire size of any packet variant.
 std::size_t wire_size(const PacketVariant& packet);
+
+/// Wraps a by-value packet in a (non-pooled) shared handle.  Convenience
+/// for tests and tools; the forwarding plane uses PacketPool.
+PacketVariant make_packet(Interest&& interest);
+PacketVariant make_packet(Data&& data);
+PacketVariant make_packet(Nack&& nack);
 
 /// Callbacks through which an application receives packets from its app
 /// face.  Unset members mean "drop".
@@ -112,6 +128,11 @@ class Forwarder {
   const ContentStore& cs() const { return cs_; }
   const ForwarderCounters& counters() const { return counters_; }
 
+  /// The node's packet pool — applications build their packets here so
+  /// injection is allocation-free at steady state.
+  PacketPool& pool() { return pool_; }
+  const PacketPool& pool() const { return pool_; }
+
   /// The node's (possibly skewed) local clock.  Installed by the fault
   /// layer; identity by default.
   void set_clock(const LocalClock& clock) { clock_ = clock; }
@@ -134,8 +155,10 @@ class Forwarder {
   void set_policy(std::unique_ptr<AccessControlPolicy> policy);
   AccessControlPolicy& policy() { return *policy_; }
 
-  /// Adds a face transmitting into `tx_link` (non-owning); frames arriving
-  /// at the other end run `deliver` there.  Returns the new face id.
+  /// Adds a face transmitting into `tx_link` (non-owning); frames
+  /// arriving at the other end run `deliver` there.  The forwarder
+  /// registers the link's receiver once here — per-frame state is just
+  /// the shared packet handle.  Returns the new face id.
   FaceId add_link_face(net::Link* tx_link,
                        std::function<void(PacketVariant&&)> deliver);
 
@@ -162,12 +185,39 @@ class Forwarder {
   /// Application transmit: treat `packet` as if it arrived on `app_face`.
   /// Used by clients to issue Interests and by producers to answer them.
   void inject_from_app(FaceId app_face, PacketVariant&& packet);
+  /// Shared-handle conveniences (the pool-built fast path).
+  void inject_from_app(FaceId app_face, std::shared_ptr<Interest> packet) {
+    inject_from_app(app_face, PacketVariant(InterestPtr(std::move(packet))));
+  }
+  void inject_from_app(FaceId app_face, std::shared_ptr<Data> packet) {
+    inject_from_app(app_face, PacketVariant(DataPtr(std::move(packet))));
+  }
+  void inject_from_app(FaceId app_face, std::shared_ptr<Nack> packet) {
+    inject_from_app(app_face, PacketVariant(NackPtr(std::move(packet))));
+  }
+  /// By-value conveniences (tests/tools): moved into a pool slot.
+  void inject_from_app(FaceId app_face, Interest&& packet) {
+    auto p = pool_.make_interest();
+    *p = std::move(packet);
+    inject_from_app(app_face, std::move(p));
+  }
+  void inject_from_app(FaceId app_face, Data&& packet) {
+    auto p = pool_.make_data();
+    *p = std::move(packet);
+    inject_from_app(app_face, std::move(p));
+  }
+  void inject_from_app(FaceId app_face, Nack&& packet) {
+    auto p = pool_.make_nack();
+    *p = std::move(packet);
+    inject_from_app(app_face, std::move(p));
+  }
 
   /// Crash semantics: a crashed node drops all in-flight deferred work,
   /// refuses arriving packets, and loses its volatile state (PIT with all
-  /// expiry timers, Content Store).  Policy state is wiped on restart via
-  /// AccessControlPolicy::on_restart — for TACTIC that means the Bloom
-  /// filter, forcing the F=0 "cannot vouch" fallback until it refills.
+  /// expiry timers, Content Store, pooled packet slots).  Policy state is
+  /// wiped on restart via AccessControlPolicy::on_restart — for TACTIC
+  /// that means the Bloom filter, forcing the F=0 "cannot vouch" fallback
+  /// until it refills.
   bool alive() const { return alive_; }
   void crash();
   void restart();
@@ -188,14 +238,13 @@ class Forwarder {
   struct Face {
     FaceId id = kInvalidFace;
     bool is_app = false;
-    net::Link* tx = nullptr;                              // link faces
-    std::function<void(PacketVariant&&)> deliver;          // link faces
-    AppSink sink;                                          // app faces
+    net::Link* tx = nullptr;  // link faces
+    AppSink sink;             // app faces
   };
 
-  void on_interest(FaceId in_face, Interest&& interest);
-  void on_data(FaceId in_face, Data&& data);
-  void on_nack(FaceId in_face, Nack&& nack);
+  void on_interest(FaceId in_face, InterestPtr&& interest);
+  void on_data(FaceId in_face, DataPtr&& data);
+  void on_nack(FaceId in_face, NackPtr&& nack);
 
   /// Sends `packet` out of `face` after `delay` (compute charging).
   void send(FaceId face, PacketVariant packet, event::Time delay);
@@ -203,14 +252,12 @@ class Forwarder {
   /// Sends an Interest upstream, trying `next_hops` in cost order and
   /// failing over when a link refuses the frame (down or queue-full).
   void send_interest(const std::vector<Fib::NextHop>& next_hops,
-                     Interest interest, event::Time delay);
+                     InterestPtr interest, event::Time delay);
+  /// The delay-elapsed body of send_interest (no capture when delay==0).
+  void do_send_interest(const std::vector<Fib::NextHop>& next_hops,
+                        InterestPtr&& interest);
 
   void schedule_pit_expiry(PitEntry& entry, event::Time expiry);
-
-  /// Wraps `deliver` so corrupted frames run the corruption probe and are
-  /// dropped instead of reaching the receiver's pipeline.
-  net::Link::DeliverFn make_link_deliver(
-      std::function<void(PacketVariant&&)> deliver, PacketVariant packet);
 
   event::Scheduler& scheduler_;
   net::NodeInfo info_;
@@ -218,6 +265,7 @@ class Forwarder {
   Pit pit_;
   std::size_t pit_capacity_ = 0;  // 0 = unbounded
   ContentStore cs_;
+  PacketPool pool_;
   std::unique_ptr<AccessControlPolicy> policy_;
   std::vector<Face> faces_;
   ForwarderCounters counters_;

@@ -41,6 +41,13 @@ class Name {
 
   bool empty() const { return ids_.empty(); }
   std::size_t size() const { return ids_.size(); }
+  /// Resets to the empty name, keeping the component vector's capacity
+  /// (arena slots call this on reuse so steady state allocates nothing).
+  void clear() {
+    ids_.clear();
+    hash_ = 0;
+    hash_cached_ = false;
+  }
   /// Component text; the reference is stable for the process lifetime
   /// (it aliases the global interning table).
   const std::string& at(std::size_t i) const {

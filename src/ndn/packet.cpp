@@ -25,32 +25,75 @@ constexpr std::size_t kHeaderOverhead = 16;
 }  // namespace
 
 std::size_t Interest::wire_size() const {
+  if (wire_size_cache_.value != 0) return wire_size_cache_.value;
   std::size_t size = kHeaderOverhead + name.uri_size() + 4 /*nonce*/ +
                      4 /*lifetime*/ + payload_size;
   if (tag) size += tag_wire_size + 8 /*F*/ + 8 /*access path*/;
+  wire_size_cache_.value = size;
   return size;
 }
 
-util::Bytes Data::signed_portion() const {
-  util::Bytes out;
-  util::append_lv(out, name.to_uri());
-  util::append_u64(out, content_size);
-  util::append_u32(out, access_level);
-  util::append_lv(out, provider_key_locator);
-  return out;
+void Interest::reset_for_reuse() {
+  name.clear();
+  nonce = 0;
+  lifetime = event::kSecond;
+  tag.reset();
+  tag_wire_size = 0;
+  flag_f = 0.0;
+  access_path = 0;
+  payload_size = 0;
+  wire_size_cache_.value = 0;
+}
+
+const util::Bytes& Data::signed_portion() const {
+  if (!signed_portion_cache_.cached) {
+    util::Bytes& bytes = signed_portion_cache_.bytes;
+    bytes.clear();  // keeps capacity across pool reuse
+    util::append_lv(bytes, name.to_uri());
+    util::append_u64(bytes, content_size);
+    util::append_u32(bytes, access_level);
+    util::append_lv(bytes, provider_key_locator);
+    signed_portion_cache_.cached = true;
+  }
+  return signed_portion_cache_.bytes;
 }
 
 std::size_t Data::wire_size() const {
+  if (wire_size_cache_.value != 0) return wire_size_cache_.value;
   std::size_t size = kHeaderOverhead + name.uri_size() + content_size +
                      4 /*access level*/ + provider_key_locator.size() +
                      signature_size;
   if (tag) size += tag_wire_size + 8 /*F*/;
   if (nack_attached) size += 2;
+  wire_size_cache_.value = size;
   return size;
+}
+
+void Data::reset_for_reuse() {
+  name.clear();
+  content_size = 1024;
+  access_level = 0;
+  provider_key_locator.clear();
+  signature_size = 0;
+  signature.reset();
+  is_registration_response = false;
+  tag.reset();
+  tag_wire_size = 0;
+  nack_attached = false;
+  nack_reason = NackReason::kNone;
+  flag_f = 0.0;
+  from_cache = false;
+  wire_size_cache_.value = 0;
+  signed_portion_cache_.cached = false;
 }
 
 std::size_t Nack::wire_size() const {
   return kHeaderOverhead + name.uri_size() + 1 /*reason*/;
+}
+
+void Nack::reset_for_reuse() {
+  name.clear();
+  reason = NackReason::kNone;
 }
 
 }  // namespace tactic::ndn

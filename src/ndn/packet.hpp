@@ -53,6 +53,41 @@ inline constexpr std::size_t kNackReasonCount =
 
 const char* to_string(NackReason reason);
 
+namespace detail {
+
+/// Memoized wire-size holder that deliberately does NOT propagate on
+/// copy: a copied packet is a fresh mutable value (clone_for_edit,
+/// by-value packets in tests/apps), so derived state must be
+/// recomputed after whatever mutation follows.  Assignment likewise
+/// leaves the destination uncomputed.
+struct WireSizeCache {
+  mutable std::size_t value = 0;  // 0 = not computed
+
+  WireSizeCache() = default;
+  WireSizeCache(const WireSizeCache&) {}
+  WireSizeCache& operator=(const WireSizeCache&) {
+    value = 0;
+    return *this;
+  }
+};
+
+/// Same non-propagation rule for Data::signed_portion(); on assignment
+/// the destination keeps its own buffer so the rebuild reuses capacity
+/// (pool slot recycling).
+struct SignedPortionCache {
+  mutable util::Bytes bytes;
+  mutable bool cached = false;
+
+  SignedPortionCache() = default;
+  SignedPortionCache(const SignedPortionCache&) {}
+  SignedPortionCache& operator=(const SignedPortionCache&) {
+    cached = false;
+    return *this;
+  }
+};
+
+}  // namespace detail
+
 /// An NDN Interest (named request).
 struct Interest {
   Name name;
@@ -75,8 +110,23 @@ struct Interest {
   /// Application payload bytes (registration credentials).
   std::size_t payload_size = 0;
 
-  /// Modeled wire size in bytes.
+  /// Modeled wire size in bytes.  Cached after the first call (the value
+  /// is re-read at every hop's link send); mutating fields afterwards
+  /// requires invalidate_caches() — the COW seam (Cow::edit /
+  /// PacketPool::clone_for_edit) and the pool's slot reuse do this for
+  /// every mutation point on the forwarding path.
   std::size_t wire_size() const;
+
+  /// Drops memoized derived state after a field mutation.
+  void invalidate_caches() { wire_size_cache_.value = 0; }
+
+  /// Returns the packet to its default-constructed state while keeping
+  /// heap capacity (name components) — pool slot recycling.
+  void reset_for_reuse();
+
+ private:
+  /// Non-propagating memo (see detail::WireSizeCache).
+  detail::WireSizeCache wire_size_cache_;
 };
 
 /// An NDN Data (content) packet.
@@ -101,7 +151,10 @@ struct Data {
   /// Canonical bytes a content signature covers: name, content size,
   /// access level, and provider key locator.  (Payload bytes are modeled
   /// by size in the simulator; the name binds the deterministic payload.)
-  util::Bytes signed_portion() const;
+  /// Built once per packet and reused across PIT-aggregated
+  /// verifications; the reference stays valid until the packet is
+  /// mutated (invalidate_caches()) or recycled.
+  const util::Bytes& signed_portion() const;
 
   // --- TACTIC extensions -------------------------------------------------
   /// True when this packet delivers a freshly issued tag (registration
@@ -124,7 +177,20 @@ struct Data {
   /// Diagnostics: satisfied from an in-network cache (not the provider).
   bool from_cache = false;
 
+  /// See Interest::wire_size() for the caching contract.
   std::size_t wire_size() const;
+
+  void invalidate_caches() {
+    wire_size_cache_.value = 0;
+    signed_portion_cache_.cached = false;
+  }
+
+  void reset_for_reuse();
+
+ private:
+  /// Non-propagating memos (see detail::WireSizeCache).
+  detail::WireSizeCache wire_size_cache_;
+  detail::SignedPortionCache signed_portion_cache_;
 };
 
 /// Content access level representing publicly available data ("We set the
@@ -136,6 +202,16 @@ struct Nack {
   Name name;
   NackReason reason = NackReason::kNone;
   std::size_t wire_size() const;
+  void invalidate_caches() {}  // nothing memoized; COW seam symmetry
+  void reset_for_reuse();
 };
+
+/// Shared immutable packet handles — the currency of the forwarding
+/// plane.  A packet is built once (usually in a PacketPool slot), frozen
+/// behind one of these, and shared along its whole path; mutation goes
+/// through the COW seam (PacketPool::clone_for_edit / Cow::edit).
+using InterestPtr = std::shared_ptr<const Interest>;
+using DataPtr = std::shared_ptr<const Data>;
+using NackPtr = std::shared_ptr<const Nack>;
 
 }  // namespace tactic::ndn

@@ -45,7 +45,7 @@ std::uint32_t Pit::alloc_slot() {
 
 void Pit::free_slot(std::uint32_t s) {
   Slot& slot = slots_[s];
-  slot.entry.name = Name();
+  slot.entry.name.clear();        // keeps component capacity
   slot.entry.in_records.clear();  // keeps capacity — the arena win
   slot.entry.forwarded = false;
   slot.entry.expiry_event = event::EventId();
@@ -57,38 +57,51 @@ void Pit::free_slot(std::uint32_t s) {
 
 PitEntry* Pit::find(const Name& name) {
   ++counters_.lookups;
-  const auto it = index_.find(name);
-  if (it == index_.end()) return nullptr;
-  const std::uint32_t s = it->second;
+  const std::uint32_t s = index_.find(
+      name.id_hash(), [&](std::uint32_t v) { return slot_holds(v, name); });
+  if (s == util::HashIndex::kNpos) return nullptr;
   lru_unlink(s);
   lru_push_back(s);  // touch
   return &slots_[s].entry;
 }
 
+PitEntry* Pit::find_token(PitToken token) {
+  ++counters_.lookups;
+  if (token.slot >= slots_.size()) return nullptr;
+  Slot& slot = slots_[token.slot];
+  if (!slot.live || slot.gen != token.gen) return nullptr;
+  return &slot.entry;
+}
+
+void Pit::erase_token(PitToken token) {
+  if (PitEntry* entry = find_token(token)) erase(entry->name);
+}
+
 PitEntry& Pit::get_or_create(const Name& name) {
   ++counters_.lookups;
-  const auto it = index_.find(name);
-  if (it != index_.end()) {
-    const std::uint32_t s = it->second;
-    lru_unlink(s);
-    lru_push_back(s);  // touch
-    return slots_[s].entry;
+  const std::uint32_t existing = index_.find(
+      name.id_hash(), [&](std::uint32_t v) { return slot_holds(v, name); });
+  if (existing != util::HashIndex::kNpos) {
+    lru_unlink(existing);
+    lru_push_back(existing);  // touch
+    return slots_[existing].entry;
   }
   ++counters_.inserts;
   const std::uint32_t s = alloc_slot();
   Slot& slot = slots_[s];
   slot.entry.name = name;
   slot.live = true;
-  index_.emplace(name, s);
+  index_.insert(name.id_hash(), s);
   lru_push_back(s);
   return slot.entry;
 }
 
 void Pit::erase(const Name& name) {
-  const auto it = index_.find(name);
-  if (it == index_.end()) return;
-  const std::uint32_t s = it->second;
-  index_.erase(it);
+  const std::uint32_t s = index_.find(
+      name.id_hash(), [&](std::uint32_t v) { return slot_holds(v, name); });
+  if (s == util::HashIndex::kNpos) return;
+  index_.erase(name.id_hash(),
+               [&](std::uint32_t v) { return slot_holds(v, name); });
   lru_unlink(s);
   free_slot(s);
 }
@@ -111,13 +124,21 @@ PitEntry* Pit::lru_victim() {
 }
 
 void Pit::set_expiry(PitEntry& entry, event::Time expiry) {
+  const auto greater = [](const ExpiryRec& a, const ExpiryRec& b) {
+    return a.expiry > b.expiry;  // min-heap
+  };
   entry.expiry_time = expiry;
   const std::uint32_t s = entry.slot;
   expiry_heap_.push_back(ExpiryRec{expiry, s, slots_[s].gen});
-  std::push_heap(expiry_heap_.begin(), expiry_heap_.end(),
-                 [](const ExpiryRec& a, const ExpiryRec& b) {
-                   return a.expiry > b.expiry;  // min-heap
-                 });
+  std::push_heap(expiry_heap_.begin(), expiry_heap_.end(), greater);
+  // Discard stale heads now rather than waiting for a min_expiry()
+  // poll: owners that never sample the heap (no invariant checking)
+  // would otherwise grow it without bound.  Each record is discarded at
+  // most once, so the amortized cost stays O(1) per set_expiry call.
+  while (!expiry_heap_.empty() && !rec_current(expiry_heap_.front())) {
+    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), greater);
+    expiry_heap_.pop_back();
+  }
 }
 
 bool Pit::rec_current(const ExpiryRec& rec) const {

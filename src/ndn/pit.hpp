@@ -19,13 +19,13 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "event/scheduler.hpp"
 #include "ndn/fib.hpp"
 #include "ndn/name.hpp"
 #include "ndn/packet.hpp"
+#include "util/hash_index.hpp"
 
 namespace tactic::ndn {
 
@@ -54,11 +54,34 @@ struct PitEntry {
   std::uint32_t slot = 0;
 };
 
+/// Stable reference to a PIT entry across erases and slot reuse: the slot
+/// index plus the slot's generation at issue time.  Lets the expiry timer
+/// find its entry without capturing (and heap-copying) the Name.
+struct PitToken {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+};
+
 class Pit {
  public:
   /// Finds the entry for `name`; nullptr if absent.  A hit counts as a
   /// use for LRU purposes.
   PitEntry* find(const Name& name);
+
+  /// Token for an entry returned by find()/get_or_create(); resolves back
+  /// via find_token() until the entry is erased (then never again — slot
+  /// reuse bumps the generation).
+  PitToken token_of(const PitEntry& entry) const {
+    return PitToken{entry.slot, slots_[entry.slot].gen};
+  }
+
+  /// Resolves a token; nullptr once the entry was erased.  Counts as a
+  /// lookup but does not touch LRU recency (its only caller erases the
+  /// entry immediately).
+  PitEntry* find_token(PitToken token);
+
+  /// Erases the entry a token resolves to (no-op on a stale token).
+  void erase_token(PitToken token);
 
   /// Creates (or returns the existing) entry; either way the entry
   /// becomes most-recently used.  References remain valid across later
@@ -136,9 +159,16 @@ class Pit {
   /// True when the heap record still describes a live, current deadline.
   bool rec_current(const ExpiryRec& rec) const;
 
+  /// True when slot `s` is live and holds `name` (HashIndex probe).
+  bool slot_holds(std::uint32_t s, const Name& name) const {
+    return slots_[s].entry.name == name;
+  }
+
   std::deque<Slot> slots_;  // stable addresses; freed slots keep capacity
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<Name, std::uint32_t, InternedNameHash> index_;
+  /// Keys (names) live in the slots; the index maps id_hash -> slot and
+  /// resolves collisions through slot_holds().  No per-entry allocation.
+  util::HashIndex index_;
   std::uint32_t lru_head_ = kNil;  // least recently used
   std::uint32_t lru_tail_ = kNil;  // most recently used
   /// Min-heap by expiry with lazy deletion (gen + expiry_time checks).

@@ -3,13 +3,13 @@
 namespace tactic::ndn {
 
 AccessControlPolicy::InterestDecision AccessControlPolicy::on_interest(
-    Forwarder& /*node*/, FaceId /*in_face*/, Interest& /*interest*/) {
+    Forwarder& /*node*/, FaceId /*in_face*/, CowInterest& /*interest*/) {
   return {};
 }
 
 AccessControlPolicy::CacheHitDecision AccessControlPolicy::on_cache_hit(
     Forwarder& /*node*/, FaceId /*in_face*/, const Interest& /*interest*/,
-    Data& /*response*/) {
+    CowData& /*response*/) {
   return {};
 }
 
@@ -23,7 +23,7 @@ AccessControlPolicy::DownstreamDecision
 AccessControlPolicy::on_data_to_downstream(Forwarder& /*node*/,
                                            const PitInRecord& /*record*/,
                                            const Data& /*incoming*/,
-                                           Data& /*outgoing*/) {
+                                           CowData& /*outgoing*/) {
   return {};
 }
 

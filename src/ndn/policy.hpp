@@ -14,6 +14,7 @@
 
 #include "event/time.hpp"
 #include "ndn/packet.hpp"
+#include "ndn/packet_pool.hpp"
 #include "ndn/pit.hpp"
 
 namespace tactic::ndn {
@@ -91,10 +92,12 @@ class AccessControlPolicy {
   };
 
   /// Called for every Interest arriving at the node, before CS lookup.
-  /// The policy may mutate the Interest (stamp flag F, accumulate the
-  /// access path).  Default: continue untouched.
+  /// The policy may mutate the Interest through the COW handle (stamp
+  /// flag F, accumulate the access path) — edit() is in place for the
+  /// uniquely-held arriving packet, a pool clone otherwise.  Default:
+  /// continue untouched.
   virtual InterestDecision on_interest(Forwarder& node, FaceId in_face,
-                                       Interest& interest);
+                                       CowInterest& interest);
 
   /// Outcome of serving an Interest from the local Content Store — i.e.
   /// this node is acting as a *content router* for this request.
@@ -110,12 +113,12 @@ class AccessControlPolicy {
     std::shared_ptr<DeferredVerdict> deferred;
   };
 
-  /// Called on a CS hit.  `response` is a mutable copy of the cached data
+  /// Called on a CS hit.  `response` is a pool clone of the cached data
   /// already carrying the request's tag echo; the policy may set
   /// flag_f / nack_attached on it (TACTIC Protocol 3).  Default: respond.
   virtual CacheHitDecision on_cache_hit(Forwarder& node, FaceId in_face,
                                         const Interest& interest,
-                                        Data& response);
+                                        CowData& response);
 
   /// Called once per arriving Data packet, before PIT consumption.  Edge
   /// routers use this for Protocol 2's "On Content" Bloom-filter
@@ -138,12 +141,16 @@ class AccessControlPolicy {
   };
 
   /// Called for each PIT in-record when Data is consumed (TACTIC
-  /// Protocol 4 lines 11-26).  `outgoing` is the per-record copy and may
-  /// be mutated (F value, tag echo).  Default: forward as-is.
+  /// Protocol 4 lines 11-26).  `outgoing` starts as a second handle on
+  /// `incoming` (no copy); a policy that must mutate (re-stamp the tag
+  /// echo, change F) calls edit(), which clones because the incoming
+  /// packet is aliased.  Untouched records forward the incoming packet
+  /// itself — the zero-copy reverse-path fan-out.  Default: forward
+  /// as-is.
   virtual DownstreamDecision on_data_to_downstream(Forwarder& node,
                                                    const PitInRecord& record,
                                                    const Data& incoming,
-                                                   Data& outgoing);
+                                                   CowData& outgoing);
 
   /// Whether this node may cache `data`.  Default: cache everything except
   /// registration responses.

@@ -48,7 +48,8 @@ bool Link::draw_fate(FrameFate& fate) {
   return true;
 }
 
-bool Link::send(std::size_t size_bytes, DeliverFn on_delivered) {
+bool Link::admit(std::size_t size_bytes, event::Time& arrival,
+                 FrameFate& fate, bool& arrives) {
   if (!up_) {
     ++counters_.refused_link_down;
     return false;
@@ -65,16 +66,36 @@ bool Link::send(std::size_t size_bytes, DeliverFn on_delivered) {
   ++counters_.frames_sent;
   counters_.bytes_sent += size_bytes;
 
-  FrameFate fate;
-  const bool arrives = draw_fate(fate);
+  arrives = draw_fate(fate);
   if (!arrives) {
     ++counters_.frames_lost;
   } else if (fate.corrupted) {
     ++counters_.frames_corrupted;
   }
+  arrival = tx_done + params_.propagation_delay;
+  return true;
+}
 
+bool Link::send(std::size_t size_bytes, Frame frame) {
+  event::Time arrival = 0;
+  FrameFate fate;
+  bool arrives = false;
+  if (!admit(size_bytes, arrival, fate, arrives)) return false;
   scheduler_.schedule_at(
-      tx_done + params_.propagation_delay,
+      arrival, [this, arrives, fate, f = std::move(frame)]() mutable {
+        --in_flight_;
+        if (arrives && receiver_) receiver_(fate, std::move(f));
+      });
+  return true;
+}
+
+bool Link::send(std::size_t size_bytes, DeliverFn on_delivered) {
+  event::Time arrival = 0;
+  FrameFate fate;
+  bool arrives = false;
+  if (!admit(size_bytes, arrival, fate, arrives)) return false;
+  scheduler_.schedule_at(
+      arrival,
       [this, arrives, fate, deliver = std::move(on_delivered)]() mutable {
         --in_flight_;
         if (arrives) deliver(fate);

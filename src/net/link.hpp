@@ -16,12 +16,17 @@
 // Corrupted frames still arrive; the receiver learns the fate and a
 // deterministic corruption seed so upper layers can flip real wire bytes.
 //
-// The layer is payload-agnostic: a frame is a byte count plus a delivery
-// closure, so `net` has no dependency on the NDN packet types.
+// The layer is payload-agnostic two ways.  The hot path carries a Frame:
+// a byte count plus a refcounted opaque cookie (the shared packet) and a
+// kind byte the receiver uses to reconstruct the payload type — no
+// per-frame closure, no allocation.  A legacy closure-based send remains
+// for tests and probes.  Either way `net` has no dependency on the NDN
+// packet types.
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "event/scheduler.hpp"
 #include "event/time.hpp"
@@ -80,24 +85,41 @@ struct FrameFate {
   std::uint64_t corruption_seed = 0;  // deterministic per-frame flip seed
 };
 
+/// The payload of one in-flight frame: a shared opaque cookie (the
+/// packet) plus a kind tag the receiver uses to restore the type.
+struct Frame {
+  std::shared_ptr<const void> payload;
+  std::uint32_t kind = 0;
+};
+
 /// One direction of a point-to-point channel.
 class Link {
  public:
   /// Delivery callback; receives the frame's fault-model fate.
   using DeliverFn = std::function<void(const FrameFate&)>;
+  /// Receiver installed once at wiring time; runs for every arriving
+  /// Frame (including corrupted ones — the fate says so).
+  using ReceiveFn = std::function<void(const FrameFate&, Frame&&)>;
 
-  /// `deliver` runs at the receiver when a frame arrives; it receives the
-  /// same opaque cookie passed to `send` (the serialized packet stand-in).
   Link(event::Scheduler& scheduler, LinkParams params);
 
   const LinkParams& params() const { return params_; }
   const LinkCounters& counters() const { return counters_; }
 
-  /// Enqueues a frame of `size_bytes` whose arrival at the receiver runs
-  /// `on_delivered`.  Returns false (and drops) when the link is down or
-  /// the queue is full — the sender may fail over to another face.  A
+  /// Installs (or replaces) the frame receiver for the cookie-based
+  /// send().  One per link direction, registered at wiring time — frames
+  /// then carry only the refcounted payload, never a closure.
+  void set_receiver(ReceiveFn receiver) { receiver_ = std::move(receiver); }
+
+  /// Enqueues a frame of `size_bytes` carrying `frame`; arrival runs the
+  /// installed receiver.  Returns false (and drops) when the link is down
+  /// or the queue is full — the sender may fail over to another face.  A
   /// frame the fault model loses still returns true: wireless loss is
   /// silent at the sender.
+  bool send(std::size_t size_bytes, Frame frame);
+
+  /// Legacy per-frame-closure send (tests, probes); same admission and
+  /// fate rules.
   bool send(std::size_t size_bytes, DeliverFn on_delivered);
 
   /// Convenience overload for fate-oblivious callers: the closure only
@@ -128,6 +150,12 @@ class Link {
   /// the frame is lost on the wire.
   bool draw_fate(FrameFate& fate);
 
+  /// Shared admission: queue/up checks, airtime accounting, fate draw.
+  /// Returns false when refused; otherwise fills the arrival time.
+  bool admit(std::size_t size_bytes, event::Time& arrival, FrameFate& fate,
+             bool& arrives);
+
+  ReceiveFn receiver_;
   event::Scheduler& scheduler_;
   LinkParams params_;
   LinkCounters counters_;

@@ -33,7 +33,11 @@ double effective_loss(const net::LinkFaultParams& f) {
 /// live traffic whenever corruption faults are on.  The frame itself is
 /// always dropped by the caller, modeling L2 CRC detection.
 void corruption_probe(const ndn::PacketVariant& packet, std::uint64_t seed) {
-  util::Bytes bytes = wire::encode(packet);
+  // Reusable scratch: the probe runs per corrupted frame, and the packet
+  // itself is shared/immutable — the flips happen on this copy of the
+  // real wire bytes, never on the packet other nodes still hold.
+  static thread_local util::Bytes bytes;
+  wire::encode_into(bytes, packet);
   if (bytes.empty()) return;
   std::uint64_t state = seed;
   const std::size_t flips =

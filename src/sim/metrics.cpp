@@ -54,6 +54,11 @@ RouterOps& RouterOps::operator+=(const RouterOps& other) {
   pit_inserts += other.pit_inserts;
   pit_expiry_polls += other.pit_expiry_polls;
   cs_evictions += other.cs_evictions;
+  pool_acquires += other.pool_acquires;
+  pool_reuses += other.pool_reuses;
+  pool_refills += other.pool_refills;
+  packet_cow_clones += other.packet_cow_clones;
+  packet_inplace_edits += other.packet_inplace_edits;
   return *this;
 }
 
@@ -150,6 +155,16 @@ void MetricsAccumulator::add(const Metrics& metrics) {
       static_cast<double>(metrics.core_ops.skew_false_rejects));
   core_skew_false_accepts.add(
       static_cast<double>(metrics.core_ops.skew_false_accepts));
+  pool_acquires.add(static_cast<double>(metrics.edge_ops.pool_acquires +
+                                        metrics.core_ops.pool_acquires));
+  pool_reuses.add(static_cast<double>(metrics.edge_ops.pool_reuses +
+                                      metrics.core_ops.pool_reuses));
+  packet_cow_clones.add(
+      static_cast<double>(metrics.edge_ops.packet_cow_clones +
+                          metrics.core_ops.packet_cow_clones));
+  packet_inplace_edits.add(
+      static_cast<double>(metrics.edge_ops.packet_inplace_edits +
+                          metrics.core_ops.packet_inplace_edits));
   edge_reqs_per_reset.add(
       Metrics::mean_requests_per_reset(metrics.edge_requests_per_reset));
   core_reqs_per_reset.add(

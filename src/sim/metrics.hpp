@@ -85,6 +85,14 @@ struct RouterOps {
   std::uint64_t pit_expiry_polls = 0;  // lazy-heap records examined
   std::uint64_t cs_evictions = 0;
 
+  // Packet-pool traffic (ndn::PacketPool; docs/ARCHITECTURE.md "Packet
+  // memory model").  Never fingerprinted.
+  std::uint64_t pool_acquires = 0;       // packets handed out
+  std::uint64_t pool_reuses = 0;         // ... recycling a slot
+  std::uint64_t pool_refills = 0;        // ... growing the slab
+  std::uint64_t packet_cow_clones = 0;   // clone_for_edit on shared packets
+  std::uint64_t packet_inplace_edits = 0;  // edit() on uniquely-held ones
+
   /// Validation-wait quantiles (seconds) from the merged sketch.
   double validation_wait_p50_s() const {
     return validation_wait_hist.quantile(0.50);
@@ -221,6 +229,10 @@ struct MetricsAccumulator {
   util::RunningStats edge_skew_false_rejects, edge_skew_false_accepts,
       edge_skew_soft_accepts, edge_grace_accepts;
   util::RunningStats core_skew_false_rejects, core_skew_false_accepts;
+  /// Packet-pool traffic, edge + core combined (see RouterOps; the
+  /// copy-elimination figure in EXPERIMENTS.md "Fig. 7").
+  util::RunningStats pool_acquires, pool_reuses;
+  util::RunningStats packet_cow_clones, packet_inplace_edits;
   util::RunningStats edge_reqs_per_reset, core_reqs_per_reset;
   util::RunningStats provider_verifies;
   util::RunningStats cache_hit_ratio;

@@ -437,6 +437,11 @@ Metrics Scenario::harvest() {
     ops.pit_inserts += node.pit().counters().inserts;
     ops.pit_expiry_polls += node.pit().counters().expiry_polls;
     ops.cs_evictions += node.cs().evictions();
+    ops.pool_acquires += node.pool().counters().acquires;
+    ops.pool_reuses += node.pool().counters().reuses;
+    ops.pool_refills += node.pool().counters().refills;
+    ops.packet_cow_clones += node.pool().counters().cow_clones;
+    ops.packet_inplace_edits += node.pool().counters().inplace_edits;
     const auto* tactic =
         dynamic_cast<const core::TacticRouterPolicy*>(&node.policy());
     if (tactic != nullptr) {

@@ -30,19 +30,19 @@ void PacketTrace::record(const ndn::Forwarder& node,
   std::visit(
       [&](const auto& p) {
         using T = std::decay_t<decltype(p)>;
-        name = &p.name;
-        if constexpr (std::is_same_v<T, ndn::Interest>) {
+        name = &p->name;
+        if constexpr (std::is_same_v<T, ndn::InterestPtr>) {
           type = "interest";
-          has_tag = p.tag != nullptr;
-          flag_f = p.flag_f;
-        } else if constexpr (std::is_same_v<T, ndn::Data>) {
-          type = p.is_registration_response ? "reg-response" : "data";
-          has_tag = p.tag != nullptr;
-          flag_f = p.flag_f;
-          if (p.nack_attached) nack = ndn::to_string(p.nack_reason);
+          has_tag = p->tag != nullptr;
+          flag_f = p->flag_f;
+        } else if constexpr (std::is_same_v<T, ndn::DataPtr>) {
+          type = p->is_registration_response ? "reg-response" : "data";
+          has_tag = p->tag != nullptr;
+          flag_f = p->flag_f;
+          if (p->nack_attached) nack = ndn::to_string(p->nack_reason);
         } else {
           type = "nack";
-          nack = ndn::to_string(p.reason);
+          nack = ndn::to_string(p->reason);
         }
       },
       packet);

@@ -21,11 +21,11 @@ void stamp_record_echo(const ndn::PitInRecord& record, ndn::Data& outgoing) {
 /// rejects and sheds forward it with the NACK attached.
 ndn::AccessControlPolicy::DownstreamDecision apply_aggregate_verdict(
     const Verdict& verdict, const ValidationContext& ctx,
-    ndn::Data& outgoing) {
+    ndn::CowData& outgoing) {
   ndn::AccessControlPolicy::DownstreamDecision decision;
   decision.compute = ctx.compute;
   decision.deferred = ctx.deferred;  // batched verdicts leave at flush time
-  if (ctx.flag_f_out) outgoing.flag_f = *ctx.flag_f_out;
+  if (ctx.flag_f_out) outgoing.edit().flag_f = *ctx.flag_f_out;
   switch (verdict.kind) {
     case Verdict::Kind::kContinue:
     case Verdict::Kind::kVouch:
@@ -59,9 +59,9 @@ ApPolicy::ApPolicy(const std::string& entity_label)
 
 ndn::AccessControlPolicy::InterestDecision ApPolicy::on_interest(
     ndn::Forwarder& /*node*/, ndn::FaceId /*in_face*/,
-    ndn::Interest& interest) {
-  interest.access_path =
-      accumulate_access_path(interest.access_path, id_hash_);
+    ndn::CowInterest& interest) {
+  interest.edit().access_path =
+      accumulate_access_path(interest->access_path, id_hash_);
   return {};
 }
 
@@ -89,12 +89,12 @@ void EdgeTacticPolicy::on_restart(ndn::Forwarder& node) {
 }
 
 ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
-    ndn::Forwarder& node, ndn::FaceId in_face, ndn::Interest& interest) {
+    ndn::Forwarder& node, ndn::FaceId in_face, ndn::CowInterest& interest) {
   InterestDecision decision;
 
   // Registration Interests carry no tag by definition; let them through to
   // the provider.
-  if (is_registration_name(interest.name, config())) {
+  if (is_registration_name(interest->name, config())) {
     if (config().grace.enabled && !pending_registration_since_) {
       pending_registration_since_ = node.scheduler().now();
     }
@@ -102,7 +102,7 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
   }
 
   // Public prefixes need no access control at the edge.
-  if (!engine_.anchors().is_protected(interest.name)) return decision;
+  if (!engine_.anchors().is_protected(interest->name)) return decision;
 
   const event::Time now = node.scheduler().now();
 
@@ -117,7 +117,7 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
     return decision;
   }
 
-  if (!interest.tag) {
+  if (!interest->tag) {
     // Threat (a): private content requested without possessing a tag.
     ++engine_.counters().no_tag_rejections;
     engine_.observe_face_verdict(in_face, /*good=*/false, now);
@@ -127,23 +127,23 @@ ndn::AccessControlPolicy::InterestDecision EdgeTacticPolicy::on_interest(
   }
 
   engine_.count_request();
-  ValidationContext ctx(engine_, *interest.tag, now);
+  ValidationContext ctx(engine_, *interest->tag, now);
   ctx.local_now = node.local_now();
   ctx.clock_skewed = !node.clock().identity();
   ctx.grace_active = grace_active(now);
   ctx.in_face = in_face;
-  ctx.interest_name = &interest.name;
-  ctx.access_path = interest.access_path;
+  ctx.interest_name = &interest->name;
+  ctx.access_path = interest->access_path;
   const Verdict verdict = interest_pipeline_.run(ctx);
 
   decision.compute = ctx.compute;
-  if (ctx.flag_f_out) interest.flag_f = *ctx.flag_f_out;
+  if (ctx.flag_f_out) interest.edit().flag_f = *ctx.flag_f_out;
   switch (verdict.kind) {
     case Verdict::Kind::kContinue:
       break;
     case Verdict::Kind::kVouch:
       engine_.observe_face_verdict(in_face, /*good=*/true, now);
-      interest.flag_f = verdict.flag_f;
+      interest.edit().flag_f = verdict.flag_f;
       break;
     case Verdict::Kind::kReject:
       // Any reject here is a tag-validity failure (pre-check, blacklist,
@@ -199,17 +199,23 @@ ndn::AccessControlPolicy::DownstreamDecision
 EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
                                         const ndn::PitInRecord& record,
                                         const ndn::Data& incoming,
-                                        ndn::Data& outgoing) {
+                                        ndn::CowData& outgoing) {
   DownstreamDecision decision;
   if (incoming.is_registration_response) return decision;  // forward as-is
 
   // Untagged record (public content request): forward without the tag
-  // echo meant for someone else.
+  // echo meant for someone else.  Editing only when the envelope is
+  // actually dirty keeps the already-clean fan-out zero-copy.
   if (!record.tag) {
-    outgoing.tag.reset();
-    outgoing.tag_wire_size = 0;
-    outgoing.nack_attached = false;
-    outgoing.nack_reason = ndn::NackReason::kNone;
+    if (outgoing->tag || outgoing->tag_wire_size != 0 ||
+        outgoing->nack_attached ||
+        outgoing->nack_reason != ndn::NackReason::kNone) {
+      ndn::Data& mutated = outgoing.edit();
+      mutated.tag.reset();
+      mutated.tag_wire_size = 0;
+      mutated.nack_attached = false;
+      mutated.nack_reason = ndn::NackReason::kNone;
+    }
     return decision;
   }
 
@@ -244,7 +250,7 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
   }
 
   // Protocol 2, lines 22-23: validate every other aggregated tag.
-  stamp_record_echo(record, outgoing);
+  stamp_record_echo(record, outgoing.edit());
   engine_.bind_scheduler(&node.scheduler());
   ValidationContext ctx(engine_, *record.tag, now);
   ctx.local_now = node.local_now();
@@ -265,18 +271,19 @@ EdgeTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
 
 ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
     ndn::Forwarder& node, ndn::FaceId /*in_face*/,
-    const ndn::Interest& interest, ndn::Data& response) {
+    const ndn::Interest& interest, ndn::CowData& response) {
   CacheHitDecision decision;
 
   // Public data: "allows an r_C^c to return the requested content without
   // tag verification."
-  if (response.access_level == ndn::kPublicAccessLevel) return decision;
+  if (response->access_level == ndn::kPublicAccessLevel) return decision;
 
   if (!interest.tag) {
     // Tagless request for protected content: the content still flows (to
     // satisfy any valid aggregates downstream), marked invalid.
-    response.nack_attached = true;
-    response.nack_reason = ndn::NackReason::kNoTag;
+    ndn::Data& mutated = response.edit();
+    mutated.nack_attached = true;
+    mutated.nack_reason = ndn::NackReason::kNoTag;
     return decision;
   }
 
@@ -285,19 +292,20 @@ ndn::AccessControlPolicy::CacheHitDecision CoreTacticPolicy::on_cache_hit(
   ValidationContext ctx(engine_, *interest.tag, node.scheduler().now());
   ctx.local_now = node.local_now();
   ctx.clock_skewed = !node.clock().identity();
-  ctx.content = &response;
+  ctx.content = &*response;
   ctx.flag_f_in = interest.flag_f;
   const Verdict verdict = cache_hit_pipeline_.run(ctx);
 
   decision.compute = ctx.compute;
   decision.deferred = ctx.deferred;  // batched verdicts leave at flush time
-  if (ctx.flag_f_out) response.flag_f = *ctx.flag_f_out;
+  if (ctx.flag_f_out) response.edit().flag_f = *ctx.flag_f_out;
   if (verdict.kind == Verdict::Kind::kReject ||
       verdict.kind == Verdict::Kind::kShed) {
     // Unlike the Interest path, the content still flows (for any valid
     // aggregates downstream), marked invalid or overloaded.
-    response.nack_attached = true;
-    response.nack_reason = verdict.reason;
+    ndn::Data& mutated = response.edit();
+    mutated.nack_attached = true;
+    mutated.nack_reason = verdict.reason;
   }
   return decision;
 }
@@ -306,7 +314,7 @@ ndn::AccessControlPolicy::DownstreamDecision
 CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
                                         const ndn::PitInRecord& record,
                                         const ndn::Data& incoming,
-                                        ndn::Data& outgoing) {
+                                        ndn::CowData& outgoing) {
   DownstreamDecision decision;
   if (incoming.is_registration_response) return decision;
 
@@ -317,7 +325,7 @@ CoreTacticPolicy::on_data_to_downstream(ndn::Forwarder& node,
   if (is_primary) return decision;
 
   // Aggregated requests (lines 11-26).
-  stamp_record_echo(record, outgoing);
+  stamp_record_echo(record, outgoing.edit());
 
   if (!record.tag) {
     if (incoming.access_level != ndn::kPublicAccessLevel) {

@@ -83,7 +83,7 @@ class ApPolicy : public ndn::AccessControlPolicy {
   explicit ApPolicy(const std::string& entity_label);
 
   InterestDecision on_interest(ndn::Forwarder& node, ndn::FaceId in_face,
-                               ndn::Interest& interest) override;
+                               ndn::CowInterest& interest) override;
 
  private:
   std::uint64_t id_hash_;
@@ -95,13 +95,13 @@ class EdgeTacticPolicy : public TacticRouterPolicy {
   using TacticRouterPolicy::TacticRouterPolicy;
 
   InterestDecision on_interest(ndn::Forwarder& node, ndn::FaceId in_face,
-                               ndn::Interest& interest) override;
+                               ndn::CowInterest& interest) override;
   event::Time on_data(ndn::Forwarder& node, ndn::FaceId in_face,
                       const ndn::Data& data) override;
   DownstreamDecision on_data_to_downstream(ndn::Forwarder& node,
                                            const ndn::PitInRecord& record,
                                            const ndn::Data& incoming,
-                                           ndn::Data& outgoing) override;
+                                           ndn::CowData& outgoing) override;
   void on_restart(ndn::Forwarder& node) override;
 
  private:
@@ -128,11 +128,11 @@ class CoreTacticPolicy : public TacticRouterPolicy {
 
   CacheHitDecision on_cache_hit(ndn::Forwarder& node, ndn::FaceId in_face,
                                 const ndn::Interest& interest,
-                                ndn::Data& response) override;
+                                ndn::CowData& response) override;
   DownstreamDecision on_data_to_downstream(ndn::Forwarder& node,
                                            const ndn::PitInRecord& record,
                                            const ndn::Data& incoming,
-                                           ndn::Data& outgoing) override;
+                                           ndn::CowData& outgoing) override;
 
  private:
   ValidationPipeline cache_hit_pipeline_ =

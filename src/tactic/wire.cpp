@@ -42,15 +42,34 @@ ndn::Name read_name(TlvReader& reader) {
   return ndn::Name::from_components(std::move(parts));
 }
 
-}  // namespace
+/// Reusable intermediate buffers for the encode_into() family.  The
+/// nesting is fixed (packet body > name body), so two levels suffice;
+/// both keep their capacity across calls.
+util::Bytes& body_scratch() {
+  static thread_local util::Bytes scratch;
+  return scratch;
+}
 
-util::Bytes encode_name(const ndn::Name& name) {
-  util::Bytes inner;
+util::Bytes& name_scratch() {
+  static thread_local util::Bytes scratch;
+  return scratch;
+}
+
+/// Appends the Name TLV to `out` (capacity-reusing path of encode_name).
+void append_name(util::Bytes& out, const ndn::Name& name) {
+  util::Bytes& inner = name_scratch();
+  inner.clear();
   for (std::size_t i = 0; i < name.size(); ++i) {
     append_tlv(inner, kTlvNameComponent, util::to_bytes(name.at(i)));
   }
-  util::Bytes out;
   append_tlv(out, kTlvName, inner);
+}
+
+}  // namespace
+
+util::Bytes encode_name(const ndn::Name& name) {
+  util::Bytes out;
+  append_name(out, name);
   return out;
 }
 
@@ -66,8 +85,11 @@ ndn::Name decode_name(util::BytesView value) {
   return ndn::Name::from_components(std::move(parts));
 }
 
-util::Bytes encode(const ndn::Interest& interest) {
-  util::Bytes inner = encode_name(interest.name);
+void encode_into(util::Bytes& out, const ndn::Interest& interest) {
+  out.clear();
+  util::Bytes& inner = body_scratch();
+  inner.clear();
+  append_name(inner, interest.name);
   append_tlv_uint(inner, kTlvNonce, interest.nonce);
   append_tlv_uint(inner, kTlvLifetime,
                   static_cast<std::uint64_t>(interest.lifetime));
@@ -81,8 +103,12 @@ util::Bytes encode(const ndn::Interest& interest) {
   if (interest.payload_size != 0) {
     append_tlv_uint(inner, kTlvPayloadSize, interest.payload_size);
   }
-  util::Bytes out;
   append_tlv(out, kTlvInterest, inner);
+}
+
+util::Bytes encode(const ndn::Interest& interest) {
+  util::Bytes out;
+  encode_into(out, interest);
   return out;
 }
 
@@ -119,8 +145,11 @@ std::optional<ndn::Interest> decode_interest(util::BytesView wire) {
   }
 }
 
-util::Bytes encode(const ndn::Data& data) {
-  util::Bytes inner = encode_name(data.name);
+void encode_into(util::Bytes& out, const ndn::Data& data) {
+  out.clear();
+  util::Bytes& inner = body_scratch();
+  inner.clear();
+  append_name(inner, data.name);
   append_tlv_uint(inner, kTlvContentSize, data.content_size);
   append_tlv_uint(inner, kTlvAccessLevel, data.access_level);
   append_tlv(inner, kTlvProviderKeyLocator,
@@ -138,8 +167,12 @@ util::Bytes encode(const ndn::Data& data) {
     append_tlv_uint(inner, kTlvFlagF, pack_double(data.flag_f));
   }
   if (data.from_cache) append_tlv_uint(inner, kTlvFromCache, 1);
-  util::Bytes out;
   append_tlv(out, kTlvData, inner);
+}
+
+util::Bytes encode(const ndn::Data& data) {
+  util::Bytes out;
+  encode_into(out, data);
   return out;
 }
 
@@ -188,12 +221,19 @@ std::optional<ndn::Data> decode_data(util::BytesView wire) {
   }
 }
 
-util::Bytes encode(const ndn::Nack& nack) {
-  util::Bytes inner = encode_name(nack.name);
+void encode_into(util::Bytes& out, const ndn::Nack& nack) {
+  out.clear();
+  util::Bytes& inner = body_scratch();
+  inner.clear();
+  append_name(inner, nack.name);
   append_tlv_uint(inner, kTlvNackReason,
                   static_cast<std::uint64_t>(nack.reason));
-  util::Bytes out;
   append_tlv(out, kTlvNack, inner);
+}
+
+util::Bytes encode(const ndn::Nack& nack) {
+  util::Bytes out;
+  encode_into(out, nack);
   return out;
 }
 
@@ -215,7 +255,11 @@ std::optional<ndn::Nack> decode_nack(util::BytesView wire) {
 }
 
 util::Bytes encode(const ndn::PacketVariant& packet) {
-  return std::visit([](const auto& p) { return encode(p); }, packet);
+  return std::visit([](const auto& p) { return encode(*p); }, packet);
+}
+
+void encode_into(util::Bytes& out, const ndn::PacketVariant& packet) {
+  std::visit([&out](const auto& p) { encode_into(out, *p); }, packet);
 }
 
 std::optional<ndn::PacketVariant> decode(util::BytesView wire) {
@@ -225,17 +269,17 @@ std::optional<ndn::PacketVariant> decode(util::BytesView wire) {
       case kTlvInterest: {
         auto interest = decode_interest(wire);
         if (!interest) return std::nullopt;
-        return ndn::PacketVariant(std::move(*interest));
+        return ndn::make_packet(std::move(*interest));
       }
       case kTlvData: {
         auto data = decode_data(wire);
         if (!data) return std::nullopt;
-        return ndn::PacketVariant(std::move(*data));
+        return ndn::make_packet(std::move(*data));
       }
       case kTlvNack: {
         auto nack = decode_nack(wire);
         if (!nack) return std::nullopt;
-        return ndn::PacketVariant(std::move(*nack));
+        return ndn::make_packet(std::move(*nack));
       }
       default:
         return std::nullopt;

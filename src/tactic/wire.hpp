@@ -56,6 +56,15 @@ util::Bytes encode(const ndn::Data& data);
 util::Bytes encode(const ndn::Nack& nack);
 util::Bytes encode(const ndn::PacketVariant& packet);
 
+/// Scratch-buffer encoders: `out` is cleared and refilled, keeping its
+/// capacity, so a caller that encodes into the same buffer repeatedly
+/// (the corruption probe, the invariant checker) stops allocating once
+/// the buffer has grown to the working-set packet size.
+void encode_into(util::Bytes& out, const ndn::Interest& interest);
+void encode_into(util::Bytes& out, const ndn::Data& data);
+void encode_into(util::Bytes& out, const ndn::Nack& nack);
+void encode_into(util::Bytes& out, const ndn::PacketVariant& packet);
+
 /// Packet decoders; nullopt on malformed input (never throws).
 std::optional<ndn::Interest> decode_interest(util::BytesView wire);
 std::optional<ndn::Data> decode_data(util::BytesView wire);

@@ -1,0 +1,95 @@
+// Counting global operator new/delete (see alloc_probe.hpp for the
+// linking contract).  Plain relaxed atomics: the simulator is
+// single-threaded, the atomics just keep the probe safe if a sanitizer
+// runtime allocates from another thread.
+
+#include "testing/alloc_probe.hpp"
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace tactic::testing {
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_trace_budget{0};
+
+void maybe_trace() {
+  if (g_trace_budget.load(std::memory_order_relaxed) == 0) return;
+  static thread_local bool in_trace = false;  // backtrace() may malloc
+  if (in_trace) return;
+  if (g_trace_budget.fetch_sub(1, std::memory_order_relaxed) == 0) {
+    g_trace_budget.store(0, std::memory_order_relaxed);
+    return;
+  }
+  in_trace = true;
+  void* frames[32];
+  const int depth = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, depth, 2);
+  static const char kSep[] = "---- alloc ----\n";
+  (void)!::write(2, kSep, sizeof(kSep) - 1);
+  in_trace = false;
+}
+
+void* checked_malloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  maybe_trace();
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t free_count() {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+void trace_next_allocs(std::uint64_t limit) {
+  g_trace_budget.store(limit, std::memory_order_relaxed);
+}
+
+}  // namespace tactic::testing
+
+void* operator new(std::size_t size) {
+  return tactic::testing::checked_malloc(size);
+}
+void* operator new[](std::size_t size) {
+  return tactic::testing::checked_malloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  tactic::testing::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  tactic::testing::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  tactic::testing::g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  if (p == nullptr) return;
+  tactic::testing::g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept {
+  operator delete[](p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  operator delete[](p);
+}

@@ -1,0 +1,29 @@
+#pragma once
+// Heap-allocation probe for the zero-copy packet-path benchmarks.
+//
+// Including alloc_probe.cpp in a target replaces the global operator
+// new/delete with counting wrappers; alloc_count()/free_count() then
+// read the totals.  Link it ONLY into binaries that exist to measure
+// allocation behaviour (bench/packet_path) — the override is
+// process-wide.  It composes with ASan/UBSan: the wrappers forward to
+// malloc/free, which the sanitizers intercept as usual, so ci/alloc.sh
+// gets leak/UB checking and allocation counts from the same run.
+
+#include <cstdint>
+
+namespace tactic::testing {
+
+/// Global operator-new invocations so far (0 if the probe TU is not
+/// linked in).
+std::uint64_t alloc_count();
+
+/// Global operator-delete invocations that carried a non-null pointer.
+std::uint64_t free_count();
+
+/// Diagnostics: while armed, the next `limit` allocations dump raw
+/// backtraces to stderr (glibc backtrace_symbols_fd; pipe through
+/// c++filt / addr2line).  For chasing stray allocations on paths that
+/// are meant to be allocation-free.
+void trace_next_allocs(std::uint64_t limit);
+
+}  // namespace tactic::testing

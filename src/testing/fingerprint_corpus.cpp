@@ -17,6 +17,7 @@
 #include <exception>
 #include <string>
 
+#include "ndn/packet_pool.hpp"
 #include "sim/scenario.hpp"
 #include "testing/fingerprint.hpp"
 #include "testing/generator.hpp"
@@ -34,7 +35,9 @@ constexpr const char* kUsage =
     "  --mode NAME    one of plain|faults|faults+overload|all (default all)\n"
     "  --verdicts     emit per-run verdict-multiset digests instead of\n"
     "                 metrics digests (order-insensitive per-user verdict\n"
-    "                 counts; pinned by tests/golden/verdicts.txt)\n";
+    "                 counts; pinned by tests/golden/verdicts.txt)\n"
+    "  --no-pool      disable packet-pool slab recycling (fresh heap\n"
+    "                 allocation per packet); digests must not change\n";
 
 struct Mode {
   const char* name;
@@ -63,6 +66,9 @@ int main(int argc, char** argv) {
     const double duration_s = flags.get_double("duration", 6.0);
     const std::string only = flags.get_string("mode", "all");
     const bool verdicts = flags.get_bool("verdicts", false);
+    if (flags.get_bool("no-pool", false)) {
+      ndn::PacketPool::set_pooling_enabled(false);
+    }
     if (seeds < 0 || !(duration_s > 0.0)) {
       std::fputs(kUsage, stderr);
       return 2;

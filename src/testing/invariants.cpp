@@ -68,15 +68,19 @@ void InvariantChecker::on_packet(const ndn::Forwarder& node,
   record.push_back(is_rx ? 1 : 0);
   append_u64(record,
              static_cast<std::uint64_t>(scenario_.scheduler().now()));
+  // Reusable wire scratch: the checker encodes every packet event, so a
+  // fresh buffer per event would dominate the run's allocations.
+  static thread_local util::Bytes wire_scratch;
+  wire::encode_into(wire_scratch, packet);
   crypto::Sha256 hash;
   hash.update(chain_);
   hash.update(record);
-  hash.update(wire::encode(packet));
+  hash.update(wire_scratch);
   chain_ = hash.finish();
 
   if (!is_rx) {
-    if (const auto* data = std::get_if<ndn::Data>(&packet)) {
-      check_delivery(node, *data);
+    if (const auto* data = std::get_if<ndn::DataPtr>(&packet)) {
+      check_delivery(node, **data);
     }
   }
 }

@@ -1,0 +1,125 @@
+#pragma once
+// Open-addressing hash index with externalized keys.
+//
+// Maps a caller-computed 64-bit hash to a 32-bit slot value; the keys
+// themselves stay wherever the caller keeps them (a slab arena), and
+// collisions are resolved by calling back into the caller with the
+// candidate value (`eq(value)` answers "does this slot hold my key?").
+// Compared with unordered_map<Name, u32> this stores no key copies and
+// allocates nothing per insert/erase — only the flat cell array, which
+// stops growing once the table reaches its steady-state size.  Deletion
+// uses tombstones; the table rehashes when full + tombstone cells exceed
+// 3/4 of capacity, which also garbage-collects the tombstones.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tactic::util {
+
+class HashIndex {
+ public:
+  static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    for (Cell& cell : cells_) cell.state = kEmpty;
+    size_ = 0;
+    used_ = 0;
+  }
+
+  /// Returns the value stored for the key with this hash, or kNpos.
+  /// `eq(value)` must return true iff `value` identifies the caller's key.
+  template <typename Eq>
+  std::uint32_t find(std::uint64_t hash, Eq&& eq) const {
+    if (cells_.empty()) return kNpos;
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = mix(hash) & mask;; i = (i + 1) & mask) {
+      const Cell& cell = cells_[i];
+      if (cell.state == kEmpty) return kNpos;
+      if (cell.state == kFull && cell.hash == hash && eq(cell.value)) {
+        return cell.value;
+      }
+    }
+  }
+
+  /// Inserts hash -> value.  The caller guarantees no equal key is
+  /// present (probe with find() first).
+  void insert(std::uint64_t hash, std::uint32_t value) {
+    if ((used_ + 1) * 4 > cells_.size() * 3) grow();
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = mix(hash) & mask;; i = (i + 1) & mask) {
+      Cell& cell = cells_[i];
+      if (cell.state == kFull) continue;
+      if (cell.state == kEmpty) ++used_;  // tombstone reuse keeps used_
+      cell = Cell{hash, value, kFull};
+      ++size_;
+      return;
+    }
+  }
+
+  /// Removes the cell for this (hash, eq) key.  Returns false if absent.
+  template <typename Eq>
+  bool erase(std::uint64_t hash, Eq&& eq) {
+    if (cells_.empty()) return false;
+    const std::size_t mask = cells_.size() - 1;
+    for (std::size_t i = mix(hash) & mask;; i = (i + 1) & mask) {
+      Cell& cell = cells_[i];
+      if (cell.state == kEmpty) return false;
+      if (cell.state == kFull && cell.hash == hash && eq(cell.value)) {
+        cell.state = kTombstone;
+        --size_;
+        return true;
+      }
+    }
+  }
+
+ private:
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+  struct Cell {
+    std::uint64_t hash = 0;
+    std::uint32_t value = 0;
+    std::uint8_t state = kEmpty;
+  };
+
+  /// Finalizer so weak low bits (e.g. pointer-ish hashes) still spread
+  /// across the table (splitmix64 tail).
+  static std::size_t mix(std::uint64_t h) {
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+
+  void grow() {
+    std::size_t cap = cells_.empty() ? 16 : cells_.size();
+    // Rehash in place-ish: grow only when live entries need it; a table
+    // full of tombstones rehashes at the same capacity.  The retired
+    // cell array is kept as a spare and recycled by the next rehash, so
+    // steady-state tombstone GC (insert/erase churn at a fixed size)
+    // allocates nothing — part of the zero-allocation packet path
+    // (docs/ARCHITECTURE.md, "Packet memory model").
+    while ((size_ + 1) * 2 > cap) cap *= 2;
+    std::vector<Cell> old = std::move(cells_);
+    cells_ = std::move(spare_);
+    cells_.assign(cap, Cell{});
+    size_ = 0;
+    used_ = 0;
+    for (const Cell& cell : old) {
+      if (cell.state == kFull) insert(cell.hash, cell.value);
+    }
+    spare_ = std::move(old);
+  }
+
+  std::vector<Cell> cells_;
+  std::vector<Cell> spare_;  // retired array, reused by the next rehash
+  std::size_t size_ = 0;  // full cells
+  std::size_t used_ = 0;  // full + tombstone cells
+};
+
+}  // namespace tactic::util

@@ -1,0 +1,131 @@
+#pragma once
+// Move-only callable wrapper with small-buffer optimisation.
+//
+// std::function heap-allocates any capture larger than (typically) two
+// pointers, which puts one malloc/free pair on every scheduled event and
+// every in-flight link frame.  InplaceFunction stores callables up to
+// `Capacity` bytes inline — sized for the forwarder's transmit closures —
+// and falls back to the heap only for oversized captures (cold paths:
+// chaos plans, batch flushes).  Move-only, because the scheduler never
+// copies handlers and move-only captures (shared_ptr packets) are exactly
+// what the zero-copy packet path wants to put in them.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tactic::util {
+
+template <typename Signature, std::size_t Capacity = 104>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT: match std::function
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& fn) {  // NOLINT: converting, like std::function
+    if constexpr (sizeof(D) <= Capacity &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      // Oversized capture: one heap object, pointer stored inline.
+      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buffer_, other.buffer_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buffer_, other.buffer_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<unsigned char*>(buffer_),
+                        std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(unsigned char* buf, Args&&... args);
+    // Move-construct into `dst` from `src`, destroying the source.
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+    void (*destroy)(unsigned char* buf);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* buf, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](unsigned char* dst, unsigned char* src) {
+        D* obj = std::launder(reinterpret_cast<D*>(src));
+        ::new (static_cast<void*>(dst)) D(std::move(*obj));
+        obj->~D();
+      },
+      [](unsigned char* buf) {
+        std::launder(reinterpret_cast<D*>(buf))->~D();
+      },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* buf, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](unsigned char* dst, unsigned char* src) {
+        D** slot = std::launder(reinterpret_cast<D**>(src));
+        ::new (static_cast<void*>(dst)) D*(*slot);
+      },
+      [](unsigned char* buf) {
+        delete *std::launder(reinterpret_cast<D**>(buf));
+      },
+  };
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tactic::util

@@ -103,13 +103,13 @@ void AttackerApp::fill_one_slot() {
     return;
   }
 
-  ndn::Interest interest;
-  interest.name = name;
-  interest.nonce = rng_();
-  interest.lifetime = config_.interest_lifetime;
-  interest.tag = make_tag_ ? make_tag_(name, node_.scheduler().now())
-                           : core::TagPtr{};
-  interest.tag_wire_size = interest.tag ? interest.tag->wire_size() : 0;
+  auto interest = node_.pool().make_interest();
+  interest->name = name;
+  interest->nonce = rng_();
+  interest->lifetime = config_.interest_lifetime;
+  interest->tag = make_tag_ ? make_tag_(name, node_.scheduler().now())
+                            : core::TagPtr{};
+  interest->tag_wire_size = interest->tag ? interest->tag->wire_size() : 0;
 
   Outstanding out;
   out.sent_at = node_.scheduler().now();
@@ -117,7 +117,7 @@ void AttackerApp::fill_one_slot() {
       config_.interest_lifetime, [this, name] { on_timeout(name); });
   outstanding_[name] = out;
   ++counters_.chunks_requested;
-  node_.inject_from_app(face_, interest);
+  node_.inject_from_app(face_, std::move(interest));
 }
 
 void AttackerApp::on_data(const ndn::Data& data) {

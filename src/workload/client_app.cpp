@@ -147,12 +147,12 @@ void ClientApp::send_chunk_interest() {
     return;
   }
 
-  ndn::Interest interest;
-  interest.name = name;
-  interest.nonce = rng_();
-  interest.lifetime = config_.interest_lifetime;
-  interest.tag = tags_[current_provider_];
-  interest.tag_wire_size = interest.tag ? interest.tag->wire_size() : 0;
+  auto interest = node_.pool().make_interest();
+  interest->name = name;
+  interest->nonce = rng_();
+  interest->lifetime = config_.interest_lifetime;
+  interest->tag = tags_[current_provider_];
+  interest->tag_wire_size = interest->tag ? interest->tag->wire_size() : 0;
 
   Outstanding out;
   out.sent_at = node_.scheduler().now();
@@ -165,7 +165,7 @@ void ClientApp::send_chunk_interest() {
   outstanding_[name] = out;
   ++counters_.chunks_requested;
   ++chunks_started_;
-  node_.inject_from_app(face_, interest);
+  node_.inject_from_app(face_, std::move(interest));
 }
 
 void ClientApp::resend_chunk(const ndn::Name& name) {
@@ -185,19 +185,19 @@ void ClientApp::resend_chunk(const ndn::Name& name) {
     return;
   }
 
-  ndn::Interest interest;
-  interest.name = name;
-  interest.nonce = rng_();  // fresh nonce so PITs don't flag a duplicate
-  interest.lifetime = config_.interest_lifetime;
-  interest.tag = tag;
-  interest.tag_wire_size = interest.tag ? interest.tag->wire_size() : 0;
+  auto interest = node_.pool().make_interest();
+  interest->name = name;
+  interest->nonce = rng_();  // fresh nonce so PITs don't flag a duplicate
+  interest->lifetime = config_.interest_lifetime;
+  interest->tag = tag;
+  interest->tag_wire_size = interest->tag ? interest->tag->wire_size() : 0;
 
   out.sent_at = node_.scheduler().now();
   out.timeout = node_.scheduler().schedule(
       config_.interest_lifetime, [this, name] { on_timeout(name); });
   ++counters_.chunks_requested;
   ++counters_.retransmissions;
-  node_.inject_from_app(face_, interest);
+  node_.inject_from_app(face_, std::move(interest));
 }
 
 bool ClientApp::tag_usable(const core::TagPtr& tag,
@@ -243,17 +243,17 @@ void ClientApp::send_registration_attempt() {
   const ndn::Name name = provider.registration_name(label(), rng_());
   pending_registration_name_ = name;
 
-  ndn::Interest interest;
-  interest.name = name;
-  interest.nonce = rng_();
-  interest.lifetime = config_.interest_lifetime;
-  interest.payload_size = 64;  // modeled credential blob
+  auto interest = node_.pool().make_interest();
+  interest->name = name;
+  interest->nonce = rng_();
+  interest->lifetime = config_.interest_lifetime;
+  interest->payload_size = 64;  // modeled credential blob
 
   ++counters_.tags_requested;
   if (on_tag_request) on_tag_request(node_.scheduler().now());
   registration_timeout_ = node_.scheduler().schedule(
       config_.interest_lifetime, [this] { on_registration_timeout(); });
-  node_.inject_from_app(face_, interest);
+  node_.inject_from_app(face_, std::move(interest));
 }
 
 void ClientApp::on_registration_timeout() {

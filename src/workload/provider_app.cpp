@@ -63,13 +63,13 @@ void ProviderApp::handle_registration(ndn::FaceId face,
   if (!tag) {
     ++counters_.registrations_refused;
     if (config_.refuse_with_nack) {
-      ndn::Data refusal;
-      refusal.name = interest.name;
-      refusal.content_size = 16;
-      refusal.is_registration_response = true;
-      refusal.provider_key_locator = issuer_.key_locator();
-      refusal.nack_attached = true;
-      refusal.nack_reason = ndn::NackReason::kRegistrationRefused;
+      auto refusal = node_.pool().make_data();
+      refusal->name = interest.name;
+      refusal->content_size = 16;
+      refusal->is_registration_response = true;
+      refusal->provider_key_locator = issuer_.key_locator();
+      refusal->nack_attached = true;
+      refusal->nack_reason = ndn::NackReason::kRegistrationRefused;
       node_.inject_from_app(face, std::move(refusal));
     }
     // Paper behaviour: "drops the request otherwise" — the client times
@@ -78,12 +78,12 @@ void ProviderApp::handle_registration(ndn::FaceId face,
   }
   ++counters_.tags_issued;
 
-  ndn::Data response;
-  response.name = interest.name;
-  response.is_registration_response = true;
-  response.provider_key_locator = issuer_.key_locator();
-  response.tag = tag;
-  response.tag_wire_size = tag->wire_size();
+  auto response = node_.pool().make_data();
+  response->name = interest.name;
+  response->is_registration_response = true;
+  response->provider_key_locator = issuer_.key_locator();
+  response->tag = tag;
+  response->tag_wire_size = tag->wire_size();
   // The content-decryption key travels alongside the tag, encrypted under
   // the client's public key (Section 6).  Real RSA when the client key is
   // resolvable; size-modeled otherwise.
@@ -92,12 +92,12 @@ void ProviderApp::handle_registration(ndn::FaceId face,
       const util::Bytes blob =
           client_key->encrypt_pkcs1(rng_, catalog_.content_key());
       ++counters_.key_encryptions;
-      response.content_size = blob.size();
+      response->content_size = blob.size();
     } else {
-      response.content_size = keypair_.public_key.modulus_size();
+      response->content_size = keypair_.public_key.modulus_size();
     }
   } else {
-    response.content_size = keypair_.public_key.modulus_size();
+    response->content_size = keypair_.public_key.modulus_size();
   }
   node_.inject_from_app(face, std::move(response));
 }
@@ -108,28 +108,28 @@ void ProviderApp::handle_content(ndn::FaceId face,
   if (!parsed) return;  // unknown name under our prefix: drop
   const auto [object, chunk] = *parsed;
 
-  ndn::Data response;
-  response.name = interest.name;
-  response.content_size = catalog_.params().chunk_size;
-  response.access_level = catalog_.access_level(object);
-  response.provider_key_locator = issuer_.key_locator();
-  response.signature_size = keypair_.public_key.modulus_size();
+  auto response = node_.pool().make_data();
+  response->name = interest.name;
+  response->content_size = catalog_.params().chunk_size;
+  response->access_level = catalog_.access_level(object);
+  response->provider_key_locator = issuer_.key_locator();
+  response->signature_size = keypair_.public_key.modulus_size();
   if (config_.sign_content) {
-    auto& cached = signature_cache_[response.name];
+    auto& cached = signature_cache_[response->name];
     if (!cached) {
       cached = std::make_shared<const util::Bytes>(
-          keypair_.private_key.sign_pkcs1_sha256(response.signed_portion()));
+          keypair_.private_key.sign_pkcs1_sha256(response->signed_portion()));
     }
-    response.signature = cached;
+    response->signature = cached;
   }
-  response.tag = interest.tag;
-  response.tag_wire_size = interest.tag_wire_size;
-  response.flag_f = interest.flag_f;
+  response->tag = interest.tag;
+  response->tag_wire_size = interest.tag_wire_size;
+  response->flag_f = interest.flag_f;
 
   // The provider is the ultimate content router: validate exactly as
   // Protocol 3 prescribes, so downstream edge insertion semantics hold.
   if (config_.enforce_access_control &&
-      response.access_level != ndn::kPublicAccessLevel) {
+      response->access_level != ndn::kPublicAccessLevel) {
     bool valid = true;
     ndn::NackReason reason = ndn::NackReason::kNone;
     if (!interest.tag) {
@@ -146,7 +146,7 @@ void ProviderApp::handle_content(ndn::FaceId face,
       reason = ndn::NackReason::kExpiredTag;
     } else {
       const core::PrecheckResult pre =
-          core::content_precheck(*interest.tag, response);
+          core::content_precheck(*interest.tag, *response);
       if (pre != core::PrecheckResult::kOk) {
         valid = false;
         reason = core::to_nack_reason(pre);
@@ -157,14 +157,14 @@ void ProviderApp::handle_content(ndn::FaceId face,
           valid = false;
           reason = ndn::NackReason::kInvalidSignature;
         } else {
-          response.flag_f = 0.0;  // vouch: let the edge insert
+          response->flag_f = 0.0;  // vouch: let the edge insert
         }
       }
     }
     if (!valid) {
       ++counters_.content_nacked;
-      response.nack_attached = true;
-      response.nack_reason = reason;
+      response->nack_attached = true;
+      response->nack_reason = reason;
       node_.inject_from_app(face, std::move(response));
       return;
     }

@@ -71,9 +71,9 @@ TEST(Chaos, ForwarderCrashAndRestartSemantics) {
       sched, net::NodeInfo{0, net::NodeKind::kCoreRouter, "r"}, 10);
   // Volatile state to lose.
   node.pit().get_or_create(ndn::Name("/pending"));
-  ndn::Data cached;
-  cached.name = ndn::Name("/cached");
-  node.cs().insert(cached);
+  auto cached = std::make_shared<ndn::Data>();
+  cached->name = ndn::Name("/cached");
+  node.cs().insert(std::move(cached));
   ASSERT_EQ(node.pit().size(), 1u);
   ASSERT_EQ(node.cs().size(), 1u);
 
@@ -90,7 +90,7 @@ TEST(Chaos, ForwarderCrashAndRestartSemantics) {
   interest.name = ndn::Name("/x");
   interest.nonce = 1;
   interest.lifetime = kSecond;
-  node.receive(0, ndn::PacketVariant(interest));
+  node.receive(0, ndn::make_packet(std::move(interest)));
   EXPECT_EQ(node.counters().dropped_while_down, 1u);
   EXPECT_EQ(node.counters().interests_received, 0u);
 
@@ -155,8 +155,8 @@ TEST(Chaos, EdgeRestartWipesBloomAndForcesRevalidation) {
         const event::Time now = scenario.scheduler().now();
         if (now < crash_at + down_for || now > crash_at + down_for + kSecond)
           return;
-        const auto* interest = std::get_if<ndn::Interest>(&packet);
-        if (interest && interest->tag && interest->flag_f == 0.0) {
+        const auto* interest = std::get_if<ndn::InterestPtr>(&packet);
+        if (interest && (*interest)->tag && (*interest)->flag_f == 0.0) {
           ++f0_interests_after_restart;
         }
       });

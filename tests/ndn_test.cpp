@@ -213,10 +213,10 @@ TEST(Pit, NonceDetection) {
 // Content Store
 // ---------------------------------------------------------------------------
 
-Data make_data(const std::string& uri) {
-  Data data;
-  data.name = Name(uri);
-  data.content_size = 100;
+DataPtr make_data(const std::string& uri) {
+  auto data = std::make_shared<Data>();
+  data->name = Name(uri);
+  data->content_size = 100;
   return data;
 }
 
@@ -250,20 +250,16 @@ TEST(ContentStore, ZeroCapacityDisablesCaching) {
   EXPECT_FALSE(cs.contains(Name("/a")));
 }
 
-TEST(ContentStore, StripsResponseEnvelope) {
+// The CS shares the inserted pointer verbatim — envelope sanitation is
+// the Forwarder's job now (see Forwarder.CacheInsertStripsEnvelope).
+TEST(ContentStore, SharesInsertedPointer) {
   ContentStore cs(10);
-  Data data = make_data("/a");
-  data.nack_attached = true;
-  data.nack_reason = NackReason::kInvalidSignature;
-  data.flag_f = 0.5;
-  data.from_cache = true;
+  DataPtr data = make_data("/a");
+  const Data* address = data.get();
   cs.insert(data);
-  const Data* stored = cs.find(Name("/a"));
+  const DataPtr* stored = cs.find(Name("/a"));
   ASSERT_NE(stored, nullptr);
-  EXPECT_FALSE(stored->nack_attached);
-  EXPECT_EQ(stored->nack_reason, NackReason::kNone);
-  EXPECT_EQ(stored->flag_f, 0.0);
-  EXPECT_FALSE(stored->from_cache);
+  EXPECT_EQ(stored->get(), address);  // zero-copy: same object
 }
 
 TEST(ContentStore, ReinsertRefreshesLru) {
@@ -483,7 +479,7 @@ TEST(Forwarder, UnsolicitedDataDropped) {
   Chain chain;
   Data stray;
   stray.name = Name("/p/stray");
-  chain.router->receive(0, PacketVariant(std::move(stray)));
+  chain.router->receive(0, make_packet(std::move(stray)));
   chain.sched.run();
   EXPECT_EQ(chain.router->counters().unsolicited_data, 1u);
   EXPECT_FALSE(chain.router->cs().contains(Name("/p/stray")));
@@ -509,6 +505,37 @@ TEST(Forwarder, RegistrationResponsesNotCached) {
   ASSERT_EQ(chain.received.size(), 1u);
   EXPECT_TRUE(chain.received[0].is_registration_response);
   EXPECT_FALSE(chain.router->cs().contains(Name("/p/register/u1/1")));
+}
+
+// What the forwarder caches is the canonical content object: response
+// envelope (nack fields, flag_f, from_cache) stripped.  The stripping
+// moved out of ContentStore::insert into Forwarder::on_data so clean
+// packets can be shared without a copy.
+TEST(Forwarder, CacheInsertStripsEnvelope) {
+  Chain chain;
+  Forwarder& producer = *chain.producer;
+  producer.fib().remove_route(Name("/p"));
+  const FaceId app = producer.add_app_face(AppSink{
+      [&producer](FaceId face, const Interest& interest) {
+        Data data;
+        data.name = interest.name;
+        data.content_size = 256;
+        data.nack_reason = NackReason::kInvalidSignature;  // stale field
+        data.flag_f = 0.5;
+        producer.inject_from_app(face, std::move(data));
+      },
+      nullptr, nullptr});
+  producer.fib().add_route(Name("/p"), app);
+
+  chain.express("/p/dirty");
+  chain.sched.run();
+  ASSERT_EQ(chain.received.size(), 1u);
+  const DataPtr* stored = chain.router->cs().find(Name("/p/dirty"));
+  ASSERT_NE(stored, nullptr);
+  EXPECT_FALSE((*stored)->nack_attached);
+  EXPECT_EQ((*stored)->nack_reason, NackReason::kNone);
+  EXPECT_EQ((*stored)->flag_f, 0.0);
+  EXPECT_FALSE((*stored)->from_cache);
 }
 
 /// Diamond topology: consumer - router - {upper, lower} - producer, with
@@ -632,9 +659,9 @@ TEST(Forwarder, WireSizeVariant) {
   Data data;
   data.name = Name("/p/a");
   Nack nack{Name("/p/a"), NackReason::kNoTag, };
-  EXPECT_EQ(wire_size(PacketVariant(interest)), interest.wire_size());
-  EXPECT_EQ(wire_size(PacketVariant(data)), data.wire_size());
-  EXPECT_EQ(wire_size(PacketVariant(nack)), nack.wire_size());
+  EXPECT_EQ(wire_size(make_packet(Interest(interest))), interest.wire_size());
+  EXPECT_EQ(wire_size(make_packet(Data(data))), data.wire_size());
+  EXPECT_EQ(wire_size(make_packet(Nack(nack))), nack.wire_size());
 }
 
 }  // namespace

@@ -171,7 +171,7 @@ TEST(BoundedPit, LruEvictionAtCapacity) {
     interest.name = ndn::Name(uri);
     interest.nonce = nonce;
     interest.lifetime = 100 * kSecond;
-    node.receive(in, ndn::PacketVariant(std::move(interest)));
+    node.receive(in, ndn::make_packet(std::move(interest)));
   };
 
   for (int i = 0; i < 6; ++i) {
@@ -211,7 +211,7 @@ TEST(BoundedPit, UnboundedByDefault) {
     interest.name = ndn::Name("/n" + std::to_string(i));
     interest.nonce = 100 + i;
     interest.lifetime = kSecond;
-    node.receive(in, ndn::PacketVariant(std::move(interest)));
+    node.receive(in, ndn::make_packet(std::move(interest)));
   }
   EXPECT_EQ(node.pit().size(), 50u);
   EXPECT_EQ(node.counters().pit_evictions, 0u);

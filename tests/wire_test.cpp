@@ -235,12 +235,12 @@ TEST(PacketWire, VariantDispatch) {
   ndn::Data data;
   data.name = ndn::Name("/b");
   ndn::Nack nack{ndn::Name("/c"), ndn::NackReason::kNoRoute};
-  EXPECT_TRUE(std::holds_alternative<ndn::Interest>(
-      *decode(encode(ndn::PacketVariant(interest)))));
-  EXPECT_TRUE(std::holds_alternative<ndn::Data>(
-      *decode(encode(ndn::PacketVariant(data)))));
-  EXPECT_TRUE(std::holds_alternative<ndn::Nack>(
-      *decode(encode(ndn::PacketVariant(nack)))));
+  EXPECT_TRUE(std::holds_alternative<ndn::InterestPtr>(
+      *decode(encode(ndn::make_packet(ndn::Interest(interest))))));
+  EXPECT_TRUE(std::holds_alternative<ndn::DataPtr>(
+      *decode(encode(ndn::make_packet(ndn::Data(data))))));
+  EXPECT_TRUE(std::holds_alternative<ndn::NackPtr>(
+      *decode(encode(ndn::make_packet(ndn::Nack(nack))))));
 }
 
 TEST(PacketWire, DeterministicEncoding) {
