@@ -60,6 +60,39 @@ for POOL_FLAG in "" "--no-pool"; do
   fi
 done
 
+# Parallel-engine determinism: the corpus must be bit-identical at any
+# worker thread count.  The threads=1 output equals the goldens (diffed
+# above), so 2 and 4 threads are compared against the goldens directly;
+# verdict multisets likewise.  Lane counts CHANGE behaviour (multi-lane
+# validation reorders queueing), so lanes=4 runs are never compared to
+# the goldens — only across thread counts at the fixed lane count.
+for THREADS in 2 4; do
+  "$BUILD_DIR/fingerprint_corpus" --threads "$THREADS" \
+    > "$BUILD_DIR/fingerprints.t$THREADS.txt"
+  if ! diff -u "$GOLDEN" "$BUILD_DIR/fingerprints.t$THREADS.txt"; then
+    echo "parity: FINGERPRINT MISMATCH at $THREADS threads" >&2
+    exit 1
+  fi
+  "$BUILD_DIR/fingerprint_corpus" --verdicts --threads "$THREADS" \
+    > "$BUILD_DIR/verdicts.t$THREADS.txt"
+  if ! diff -u "$VERDICT_GOLDEN" "$BUILD_DIR/verdicts.t$THREADS.txt"; then
+    echo "parity: VERDICT MISMATCH at $THREADS threads" >&2
+    exit 1
+  fi
+done
+
+LANES_REF="$BUILD_DIR/fingerprints.lanes4.t1.txt"
+"$BUILD_DIR/fingerprint_corpus" --lanes 4 > "$LANES_REF"
+for THREADS in 2 4; do
+  OUT="$BUILD_DIR/fingerprints.lanes4.t$THREADS.txt"
+  "$BUILD_DIR/fingerprint_corpus" --lanes 4 --threads "$THREADS" > "$OUT"
+  if ! diff -u "$LANES_REF" "$OUT"; then
+    echo "parity: FINGERPRINT MISMATCH at 4 lanes, $THREADS threads" \
+      "(vs 4 lanes, 1 thread)" >&2
+    exit 1
+  fi
+done
+
 echo "parity: OK ($(wc -l < "$GOLDEN") fingerprints and" \
   "$(wc -l < "$VERDICT_GOLDEN") verdict multisets bit-identical," \
-  "pooling on and off)"
+  "pooling on and off; threads 1/2/4 identical at 1 and 4 lanes)"

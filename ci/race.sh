@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Race gate for the parallel engine: builds the tree with ThreadSanitizer
+# (-DTACTIC_TSAN=ON, a separate build dir — TSan and ASan runtimes cannot
+# coexist) and runs the workloads that actually exercise cross-thread
+# code at 2 and 4 worker threads:
+#
+#   - the fixed-seed parity corpus (plain, faults, faults+overload), so
+#     every cross-partition path — inbox posts, pool releases on foreign
+#     threads, issuer calls from attacker strategies, the invariant
+#     checker's concurrent on_packet — runs under the race detector;
+#   - a scenario-fuzz sweep with --faults --overload --adaptive, whose
+#     runs also re-execute and byte-compare digests, so nondeterminism
+#     and races are both fatal here.
+#
+# Any TSan report aborts the process (-fno-sanitize-recover=all) and
+# fails the script.  Thread count 1 is deliberately not run here: it
+# spawns no workers, so there is nothing for TSan to see that
+# ci/sanitize.sh does not already cover.
+#
+# Usage: ci/race.sh [build-dir]    (default: build-tsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DTACTIC_TSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target fingerprint_corpus --target fuzz_scenarios
+
+for THREADS in 2 4; do
+  echo "race: parity corpus at $THREADS threads"
+  "$BUILD_DIR/fingerprint_corpus" --threads "$THREADS" \
+    > "$BUILD_DIR/fingerprints.t$THREADS.txt"
+
+  echo "race: fuzz sweep at $THREADS threads"
+  "$BUILD_DIR/fuzz_scenarios" --runs 4 --duration 6 \
+    --faults --overload --adaptive --threads "$THREADS"
+done
+
+echo "race: OK (corpus + fuzz sweep clean under TSan at 2 and 4 threads)"

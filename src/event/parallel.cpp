@@ -1,0 +1,205 @@
+#include "event/parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace tactic::event {
+
+namespace {
+double elapsed_s(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+}  // namespace
+
+ParallelScheduler::ParallelScheduler(std::size_t partitions)
+    : parts_(partitions == 0 ? 1 : partitions) {
+  for (Partition& part : parts_) part.seq_to.resize(parts_.size(), 0);
+}
+
+ParallelScheduler::~ParallelScheduler() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    ++phase_generation_;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ParallelScheduler::set_lookahead(Time lookahead) {
+  if (lookahead < 1) {
+    throw std::invalid_argument("ParallelScheduler: lookahead must be >= 1");
+  }
+  lookahead_ = lookahead;
+}
+
+void ParallelScheduler::post(std::size_t from_partition,
+                             std::size_t to_partition, Time when,
+                             Scheduler::Handler handler) {
+  Partition& from = parts_[from_partition];
+  Partition& to = parts_[to_partition];
+  // The per-destination counter is owned by the posting worker, so the
+  // increment is race-free; the inbox itself is shared and locked.
+  const std::uint64_t seq = from.seq_to[to_partition]++;
+  std::lock_guard<std::mutex> lock(to.inbox_mutex);
+  to.inbox.push_back(Posted{when, static_cast<std::uint32_t>(from_partition),
+                            seq, std::move(handler)});
+}
+
+void ParallelScheduler::schedule_global(Time when,
+                                        std::function<void()> handler) {
+  if (when < now_) {
+    throw std::invalid_argument("ParallelScheduler: global event in the past");
+  }
+  globals_.push_back(GlobalEvent{when, next_global_seq_++, std::move(handler)});
+  std::sort(globals_.begin(), globals_.end(),
+            [](const GlobalEvent& a, const GlobalEvent& b) {
+              return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+            });
+}
+
+void ParallelScheduler::drain_inbox(Partition& part) {
+  std::vector<Posted> batch;
+  {
+    std::lock_guard<std::mutex> lock(part.inbox_mutex);
+    batch.swap(part.inbox);
+  }
+  if (batch.empty()) return;
+  // The vector's order reflects the real-time interleaving of posting
+  // threads; re-sort on the deterministic key before assigning local
+  // sequence numbers.
+  std::sort(batch.begin(), batch.end(), [](const Posted& a, const Posted& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.from != b.from) return a.from < b.from;
+    return a.seq < b.seq;
+  });
+  for (Posted& posted : batch) {
+    part.scheduler.schedule_at(posted.when, std::move(posted.handler));
+  }
+}
+
+void ParallelScheduler::start_workers() {
+  if (!threads_.empty() || parts_.size() == 1) return;
+  threads_.reserve(parts_.size());
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void ParallelScheduler::worker_main(std::size_t index) {
+  Partition& part = parts_[index];
+  std::uint64_t seen = 0;
+  while (true) {
+    Time target;
+    bool inclusive;
+    {
+      const auto wait_start = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return phase_generation_ != seen; });
+      seen = phase_generation_;
+      if (stopping_) return;
+      target = phase_target_;
+      inclusive = phase_inclusive_;
+      part.barrier_wait_s += elapsed_s(wait_start);
+    }
+    drain_inbox(part);
+    if (inclusive) {
+      part.scheduler.run_until(target);
+    } else {
+      part.scheduler.run_before(target);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ParallelScheduler::run_phase(Time target, bool inclusive) {
+  ++stats_.epochs;
+  if (parts_.size() == 1) {
+    drain_inbox(parts_[0]);
+    if (inclusive) {
+      parts_[0].scheduler.run_until(target);
+    } else {
+      parts_[0].scheduler.run_before(target);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_target_ = target;
+    phase_inclusive_ = inclusive;
+    workers_done_ = 0;
+    ++phase_generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_done_ == parts_.size(); });
+}
+
+Time ParallelScheduler::run_until(Time until) {
+  if (lookahead_ < 1) {
+    throw std::logic_error("ParallelScheduler: set_lookahead not called");
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  start_workers();
+  // Epochs run events strictly before each boundary; global handlers at a
+  // boundary run with every worker parked, before the partition events
+  // that share their instant.  The tail phase is inclusive, matching
+  // sequential run_until(until).
+  while (now_ < until) {
+    Time horizon = now_ + lookahead_;
+    if (horizon > until) horizon = until;
+    if (!globals_.empty() && globals_.front().when < horizon) {
+      horizon = globals_.front().when;
+    }
+    run_phase(horizon, /*inclusive=*/false);
+    now_ = horizon;
+    while (!globals_.empty() && globals_.front().when <= now_) {
+      GlobalEvent event = std::move(globals_.front());
+      globals_.erase(globals_.begin());
+      ++stats_.global_events;
+      event.handler();
+    }
+    if (now_ == until) break;
+  }
+  // Globals due at `until` when the loop never ran (now_ was already
+  // there) still owe execution before the tail phase.
+  while (!globals_.empty() && globals_.front().when <= until) {
+    GlobalEvent event = std::move(globals_.front());
+    globals_.erase(globals_.begin());
+    ++stats_.global_events;
+    event.handler();
+  }
+  // Run the events sitting exactly at `until` (merged cross-partition
+  // arrivals included — the phase drains inboxes first).
+  run_phase(until, /*inclusive=*/true);
+  now_ = until;
+
+  std::uint64_t posted = 0;
+  double barrier_wait = 0.0;
+  for (const Partition& part : parts_) {
+    for (std::uint64_t seq : part.seq_to) posted += seq;
+    barrier_wait += part.barrier_wait_s;
+  }
+  stats_.posted = posted;
+  stats_.barrier_wait_s = barrier_wait;
+  stats_.wall_s += elapsed_s(wall_start);
+  return now_;
+}
+
+std::uint64_t ParallelScheduler::executed_count() const {
+  std::uint64_t total = 0;
+  for (const Partition& part : parts_) {
+    total += part.scheduler.executed_count();
+  }
+  return total;
+}
+
+}  // namespace tactic::event

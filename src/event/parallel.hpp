@@ -1,0 +1,154 @@
+#pragma once
+// Conservatively-synchronized parallel discrete-event engine.
+//
+// The simulation's nodes are split into P partitions, each owning a plain
+// sequential `Scheduler` driven by a dedicated worker thread.  Time
+// advances in barrier epochs of length L (the lookahead): during the
+// epoch [t0, t0+L) every worker runs its partition's events with
+// `run_before(t0+L)`, completely independently.  Conservative synchrony
+// holds because every cross-partition interaction travels over a link
+// whose arrival time is at least `send_time + 1 tick + propagation_delay`
+// (serialization is always >= 1 tick), so with
+//
+//     L = min cross-partition propagation_delay + 1 tick
+//
+// a message sent during an epoch can only arrive at or after the next
+// epoch boundary.  Cross-partition events are posted into per-destination
+// inboxes (mutex-guarded vectors) and merged at the barrier in a
+// deterministic order — sorted by (arrival time, source partition, source
+// sequence) — so the destination's event sequence, and therefore the whole
+// run, is reproducible at any thread count.
+//
+// Operations that must touch several partitions at once (link flap +
+// route reconvergence, the invariant sampler walking every PIT) register
+// as *global events*: the epoch loop shortens epochs to stop exactly at
+// their timestamps and runs them on the driving thread while all workers
+// are parked at the barrier.
+//
+// Determinism contract: with identical inputs, fingerprints and verdict
+// multisets are bit-identical to the sequential engine at every thread
+// count.  The one caveat is same-instant ordering *across* partitions
+// (cross-partition ties have no global FIFO sequence); link arrival
+// times are sums of many heterogeneous delays, so exact ties across
+// partitions do not occur in practice — the parity corpus
+// (`ci/parity.sh`, tests/parallel_test.cpp) is the empirical gate.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "event/scheduler.hpp"
+#include "event/time.hpp"
+
+namespace tactic::event {
+
+class ParallelScheduler {
+ public:
+  /// `partitions` >= 1.  Workers are spawned lazily on the first
+  /// run_until() call and joined by the destructor.
+  explicit ParallelScheduler(std::size_t partitions);
+  ~ParallelScheduler();
+
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  std::size_t partitions() const { return parts_.size(); }
+  Scheduler& partition(std::size_t index) { return parts_[index].scheduler; }
+
+  /// Epoch length.  Must be >= 1 tick and no larger than the minimum
+  /// cross-partition link latency (serialization + propagation); the
+  /// scenario layer computes `min propagation + 1 tick`.
+  void set_lookahead(Time lookahead);
+  Time lookahead() const { return lookahead_; }
+
+  /// Posts an event into partition `to`.  Callable from any worker thread
+  /// during an epoch; `when` must be at or past the next epoch boundary
+  /// (conservative lookahead guarantees this for link deliveries).
+  /// `from_partition` keys the deterministic merge order together with a
+  /// per-(from,to) sequence counter maintained internally.
+  void post(std::size_t from_partition, std::size_t to_partition, Time when,
+            Scheduler::Handler handler);
+
+  /// Schedules a handler that runs on the driving thread at `when`, with
+  /// every worker parked at a barrier — it may touch any partition.
+  /// Callable before run_until() or from within another global handler;
+  /// NOT from worker threads.
+  void schedule_global(Time when, std::function<void()> handler);
+
+  /// Advances every partition to `until` (events with timestamp <= until
+  /// run, matching Scheduler::run_until).  Callable repeatedly.
+  Time run_until(Time until);
+
+  /// Current epoch base time (== every partition's now() between calls).
+  Time now() const { return now_; }
+
+  struct Stats {
+    std::uint64_t epochs = 0;          // barrier rounds executed
+    std::uint64_t posted = 0;          // cross-partition events exchanged
+    std::uint64_t global_events = 0;   // quiesced global handlers run
+    double barrier_wait_s = 0.0;       // wall-clock workers spent parked,
+                                       // summed over workers
+    double wall_s = 0.0;               // wall-clock inside run_until
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::uint64_t executed_count() const;
+
+ private:
+  struct Posted {
+    Time when;
+    std::uint32_t from;
+    std::uint64_t seq;  // per-(from,to) counter, assigned by the poster
+    Scheduler::Handler handler;
+  };
+
+  struct Partition {
+    Scheduler scheduler;
+    // Inbox of cross-partition arrivals, filled during an epoch and
+    // drained (sorted, scheduled) by the owning worker at the start of
+    // the next one.
+    std::mutex inbox_mutex;
+    std::vector<Posted> inbox;
+    // seq_to[to]: next per-destination sequence number for posts
+    // originating here.  Written only by the owning worker.
+    std::vector<std::uint64_t> seq_to;
+    double barrier_wait_s = 0.0;  // written by the owning worker
+  };
+
+  struct GlobalEvent {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> handler;
+  };
+
+  void worker_main(std::size_t index);
+  void drain_inbox(Partition& part);
+  void start_workers();
+  // Runs one phase on all workers: each drains its inbox then advances to
+  // `target` (run_before when `inclusive` is false, run_until otherwise).
+  void run_phase(Time target, bool inclusive);
+
+  std::vector<Partition> parts_;  // sized in ctor, never resized
+  Time lookahead_ = 0;
+  Time now_ = 0;
+  Stats stats_;
+
+  std::vector<GlobalEvent> globals_;  // kept sorted by (when, seq)
+  std::uint64_t next_global_seq_ = 0;
+
+  // Barrier state.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a new phase
+  std::condition_variable done_cv_;   // driver waits for completion
+  std::uint64_t phase_generation_ = 0;
+  std::size_t workers_done_ = 0;
+  Time phase_target_ = 0;
+  bool phase_inclusive_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tactic::event

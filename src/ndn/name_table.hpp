@@ -16,13 +16,21 @@
 // router's state.  ID values depend on interning order and carry no
 // meaning: Name equality, ordering, and the byte-level hash used for
 // fingerprints are all defined over the component *strings*, so two runs
-// that intern in different orders still behave identically.
+// that intern in different orders still behave identically.  (The parallel
+// engine leans on exactly that guarantee: partitions race to intern, so
+// ID values differ run to run, and nothing behavior-visible may key off
+// them — see docs/ARCHITECTURE.md, "Concurrency model".)
 //
-// The simulator is single-threaded; the table is not synchronized.  The
-// planned multi-lane router work must either shard it or add a lock.
+// Thread safety: `text(id)` is lock-free — components live in fixed-size
+// blocks whose pointers are published atomically and never move, and the
+// table size is release-published after each slot is fully constructed.
+// `intern` takes a shared lock for the (common) already-interned lookup
+// and an exclusive lock to register a new component.
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <shared_mutex>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -44,21 +52,41 @@ class NameTable {
   /// the same string always yields the same ID (ID stability).
   ComponentId intern(std::string_view text);
 
-  /// The component string for `id`.  The reference is stable forever (the
-  /// backing deque never moves strings).  Throws std::out_of_range for
-  /// unregistered IDs.
+  /// The component string for `id`.  The reference is stable forever
+  /// (block storage never moves strings).  Throws std::out_of_range for
+  /// unregistered IDs.  Lock-free.
   const std::string& text(ComponentId id) const {
-    return components_.at(id);
+    if (id >= size_.load(std::memory_order_acquire)) {
+      throw std::out_of_range("NameTable: unregistered component id");
+    }
+    return blocks_[id >> kBlockBits].load(std::memory_order_relaxed)
+        ->slots[id & (kBlockSize - 1)];
   }
 
   /// Number of distinct components registered so far.
-  std::size_t size() const { return components_.size(); }
+  std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
 
  private:
-  NameTable() = default;
+  // 4096 components per block; enough blocks to cover the 32-bit ID space
+  // the simulator actually uses (2^28 components) without moving a string.
+  static constexpr std::uint32_t kBlockBits = 12;
+  static constexpr std::uint32_t kBlockSize = 1u << kBlockBits;
+  static constexpr std::uint32_t kNumBlocks = 1u << 16;
 
-  std::deque<std::string> components_;  // id -> text, addresses stable
-  /// text -> id; keys view the deque-owned strings (stable storage).
+  struct Block {
+    std::string slots[kBlockSize];
+  };
+
+  NameTable() = default;
+  ~NameTable();
+
+  std::atomic<Block*> blocks_[kNumBlocks] = {};
+  std::atomic<std::uint32_t> size_{0};
+
+  mutable std::shared_mutex mutex_;  // guards ids_ and registration
+  /// text -> id; keys view the block-owned strings (stable storage).
   std::unordered_map<std::string_view, ComponentId> ids_;
 };
 

@@ -30,6 +30,7 @@ RouterOps& RouterOps::operator+=(const RouterOps& other) {
   }
   sig_batch_unbatched_equiv_s += other.sig_batch_unbatched_equiv_s;
   bf_probes_coalesced += other.bf_probes_coalesced;
+  lane_steals += other.lane_steals;
   adaptive_windows += other.adaptive_windows;
   adaptive_minrtt_probes += other.adaptive_minrtt_probes;
   quarantine_sheds += other.quarantine_sheds;

@@ -51,6 +51,10 @@ struct RouterOps {
   /// compute_sig_s.
   double sig_batch_unbatched_equiv_s = 0.0;
   std::uint64_t bf_probes_coalesced = 0;
+  /// Validation jobs stolen from a busy home lane by an idle one (zero
+  /// with a single lane; docs/ARCHITECTURE.md "Concurrency model").
+  /// Never fingerprinted.
+  std::uint64_t lane_steals = 0;
   // Adaptive overload control (docs/OVERLOAD.md, "Adaptive control &
   // face quarantine"; zero while disabled).
   std::uint64_t adaptive_windows = 0;

@@ -1,7 +1,10 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
+#include "ndn/packet_pool.hpp"
 #include "tactic/access_path.hpp"
 
 namespace tactic::sim {
@@ -30,12 +33,144 @@ Scenario::Scenario(ScenarioConfig config)
           .set_impl(config_.fib_impl);
     }
   }
+  // Partitioning must precede the apps: they schedule their first events
+  // at construction, and those events belong on the partition schedulers.
+  setup_partitions();
+  client_samples_.resize(network_->clients().size());
   build_providers();
   install_policies();
   build_clients();
   build_attackers();
   install_faults();
   prepopulate_fib();
+}
+
+namespace {
+
+// Forces every lazily-cached field of a cross-partition frame's payload
+// while still on the sending thread, so the receiving partition only ever
+// reads.  The kind mapping is ndn::Forwarder's (PacketVariant index).
+void warm_frame_caches(const net::Frame& frame) {
+  if (!frame.payload) return;
+  switch (frame.kind) {
+    case 0: {
+      const auto* interest =
+          static_cast<const ndn::Interest*>(frame.payload.get());
+      interest->name.hash();
+      interest->wire_size();
+      break;
+    }
+    case 1: {
+      const auto* data = static_cast<const ndn::Data*>(frame.payload.get());
+      data->name.hash();
+      data->wire_size();
+      data->signed_portion();
+      break;
+    }
+    default: {
+      const auto* nack = static_cast<const ndn::Nack*>(frame.payload.get());
+      nack->name.hash();
+      nack->wire_size();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void Scenario::setup_partitions() {
+  if (config_.threads <= 1) return;
+  if (config_.enable_traitor_tracing) {
+    throw std::invalid_argument(
+        "Scenario: traitor tracing needs a network-wide tracer and is "
+        "not supported with threads > 1");
+  }
+  const std::size_t parts = config_.threads;
+  parallel_ = std::make_unique<event::ParallelScheduler>(parts);
+  partition_of_.assign(network_->node_count(), 0);
+
+  // Routers spread round-robin; users live with their edge router and
+  // providers with their gateway core router, so the only cross-partition
+  // hops are backbone links — the widest lookahead the topology allows.
+  std::size_t next = 0;
+  for (const net::NodeId id : network_->core_routers()) {
+    partition_of_[id] = next++ % parts;
+  }
+  for (const net::NodeId id : network_->edge_routers()) {
+    partition_of_[id] = next++ % parts;
+  }
+  for (const net::NodeId id : network_->clients()) {
+    partition_of_[id] = partition_of_[network_->edge_router_of(id)];
+  }
+  for (const net::NodeId id : network_->attackers()) {
+    partition_of_[id] = partition_of_[network_->edge_router_of(id)];
+  }
+  for (const net::NodeId id : network_->providers()) {
+    partition_of_[id] = partition_of_[network_->gateway_of(id)];
+  }
+
+  // Conservative lookahead: a frame sent during an epoch serializes for
+  // >= 1 tick before propagating, so with L = min cross-partition
+  // propagation delay + 1 it can only arrive at or past the next epoch
+  // boundary.
+  event::Time min_propagation = std::numeric_limits<event::Time>::max();
+  for (std::size_t i = 0; i < network_->node_count(); ++i) {
+    const net::NodeId from = static_cast<net::NodeId>(i);
+    for (const net::NodeId to : network_->neighbors_of(from)) {
+      if (partition_of_[from] == partition_of_[to]) continue;
+      min_propagation = std::min(
+          min_propagation,
+          network_->directed_link(from, to).params().propagation_delay);
+    }
+  }
+  if (min_propagation == std::numeric_limits<event::Time>::max()) {
+    // Everything landed in one partition; any epoch length works.
+    min_propagation = config_.duration;
+  }
+  parallel_->set_lookahead(min_propagation + 1);
+
+  // Rebind every node and every link direction onto its partition (links
+  // follow their *sending* node); cross-partition directions deliver
+  // through the engine's inbox exchange, warming payload caches first.
+  for (std::size_t i = 0; i < network_->node_count(); ++i) {
+    const net::NodeId from = static_cast<net::NodeId>(i);
+    network_->node(from).rebind_scheduler(
+        &parallel_->partition(partition_of_[from]));
+    for (const net::NodeId to : network_->neighbors_of(from)) {
+      net::Link& link = network_->directed_link(from, to);
+      link.rebind_scheduler(&parallel_->partition(partition_of_[from]));
+      if (partition_of_[from] != partition_of_[to]) {
+        const std::size_t from_part = partition_of_[from];
+        const std::size_t to_part = partition_of_[to];
+        link.set_remote_post([this, from_part, to_part](
+                                 event::Time when,
+                                 event::Scheduler::Handler receiver_call,
+                                 const net::Frame* frame) {
+          if (frame != nullptr) warm_frame_caches(*frame);
+          parallel_->post(from_part, to_part, when,
+                          std::move(receiver_call));
+        });
+      }
+    }
+  }
+
+  // Packets acquired from one node's pool are released on the thread
+  // that drops the last reference — possibly another partition's.
+  ndn::PacketPool::set_concurrent(true);
+}
+
+void Scenario::schedule_global_at(event::Time when,
+                                  std::function<void()> fn) {
+  if (parallel_) {
+    parallel_->schedule_global(when, std::move(fn));
+  } else {
+    scheduler_.schedule_at(when, std::move(fn));
+  }
+}
+
+event::Scheduler& Scenario::scheduler_for(net::NodeId id) {
+  if (!parallel_) return scheduler_;
+  return parallel_->partition(partition_of_[id]);
 }
 
 void Scenario::prepopulate_fib() {
@@ -167,17 +302,26 @@ void Scenario::build_clients() {
     }
     if (prob_bf_shared_) prob_bf_shared_->authorized.insert(locator);
 
-    client->on_latency_sample = [this](event::Time when, double latency) {
-      metrics_.latency.add(event::to_seconds(when), latency);
+    // Hooks fire on the client's partition thread (the sole thread at
+    // threads=1); buffer per client — single writer each — and fold
+    // canonically at harvest.  Both engines go through the same buffers
+    // and the same (when, client, position) replay, so per-bucket
+    // floating-point sums are bit-identical by construction at any
+    // thread count: the canonical order IS the defined accumulation
+    // order, not an incidental property of event seq numbers.
+    ClientSamples& samples = client_samples_[clients_.size()];
+    client->on_latency_sample = [&samples](event::Time when, double latency) {
+      samples.latency.emplace_back(when, latency);
     };
-    client->on_tag_request = [this](event::Time when) {
-      metrics_.tag_requests.add_event(event::to_seconds(when));
+    client->on_tag_request = [&samples](event::Time when) {
+      samples.tag_requests.push_back(when);
     };
-    client->on_tag_receive = [this](event::Time when) {
-      metrics_.tag_receives.add_event(event::to_seconds(when));
+    client->on_tag_receive = [&samples](event::Time when) {
+      samples.tag_receives.push_back(when);
     };
-    client->on_recovery_sample = [this](event::Time when, double latency) {
-      metrics_.recovery_latency.add(event::to_seconds(when), latency);
+    client->on_recovery_sample = [&samples](event::Time when,
+                                            double latency) {
+      samples.recovery.emplace_back(when, latency);
     };
     client->start();
     clients_.push_back(std::move(client));
@@ -367,6 +511,11 @@ void Scenario::revoke_client_eagerly(const std::string& client_key_locator) {
 }
 
 void Scenario::move_user(net::NodeId user, std::size_t new_ap_index) {
+  if (parallel_) {
+    throw std::logic_error(
+        "Scenario: move_user needs mid-run link wiring and is not "
+        "supported with threads > 1");
+  }
   network_->reattach_user(user, new_ap_index);
   ndn::Forwarder& node = network_->node(user);
   // New wireless segment: new egress identity and new default route.
@@ -384,18 +533,92 @@ void Scenario::stop_workloads() {
 
 event::Time Scenario::drain(event::Time grace) {
   stop_workloads();
+  if (parallel_) return parallel_->run_until(parallel_->now() + grace);
   return scheduler_.run_until(scheduler_.now() + grace);
 }
 
 const Metrics& Scenario::run() {
   if (ran_) throw std::logic_error("Scenario: run() called twice");
   ran_ = true;
-  scheduler_.run_until(config_.duration);
+  if (parallel_) {
+    parallel_->run_until(config_.duration);
+  } else {
+    scheduler_.run_until(config_.duration);
+  }
   metrics_ = harvest();
   return metrics_;
 }
 
 Metrics Scenario::harvest() {
+  {
+    // Replay the per-client buffers in canonical order — (when, client
+    // index, per-client position).  BOTH engines fold through this merge
+    // (the hooks always buffer), which makes it the defined accumulation
+    // order for the client sample series: per-bucket floating-point sums
+    // are bit-identical at any thread count by construction, including
+    // when two clients sample at the exact same nanosecond (where
+    // sequential event-seq order would be engine-dependent).
+    struct ValueSample {
+      event::Time when;
+      std::uint32_t client;
+      std::uint32_t pos;
+      double value;
+    };
+    const auto by_key = [](const ValueSample& a, const ValueSample& b) {
+      if (a.when != b.when) return a.when < b.when;
+      if (a.client != b.client) return a.client < b.client;
+      return a.pos < b.pos;
+    };
+    auto merge_values =
+        [&](std::vector<std::pair<event::Time, double>> ClientSamples::*
+                member,
+            util::TimeSeries& series) {
+          std::vector<ValueSample> merged;
+          for (std::size_t c = 0; c < client_samples_.size(); ++c) {
+            const auto& buffer = client_samples_[c].*member;
+            for (std::size_t i = 0; i < buffer.size(); ++i) {
+              merged.push_back(ValueSample{buffer[i].first,
+                                           static_cast<std::uint32_t>(c),
+                                           static_cast<std::uint32_t>(i),
+                                           buffer[i].second});
+            }
+          }
+          std::sort(merged.begin(), merged.end(), by_key);
+          for (const ValueSample& sample : merged) {
+            series.add(event::to_seconds(sample.when), sample.value);
+          }
+        };
+    auto merge_events = [&](std::vector<event::Time> ClientSamples::* member,
+                            util::TimeSeries& series) {
+      std::vector<ValueSample> merged;
+      for (std::size_t c = 0; c < client_samples_.size(); ++c) {
+        const auto& buffer = client_samples_[c].*member;
+        for (std::size_t i = 0; i < buffer.size(); ++i) {
+          merged.push_back(ValueSample{buffer[i],
+                                       static_cast<std::uint32_t>(c),
+                                       static_cast<std::uint32_t>(i), 0.0});
+        }
+      }
+      std::sort(merged.begin(), merged.end(), by_key);
+      for (const ValueSample& sample : merged) {
+        series.add_event(event::to_seconds(sample.when));
+      }
+    };
+    merge_values(&ClientSamples::latency, metrics_.latency);
+    merge_values(&ClientSamples::recovery, metrics_.recovery_latency);
+    merge_events(&ClientSamples::tag_requests, metrics_.tag_requests);
+    merge_events(&ClientSamples::tag_receives, metrics_.tag_receives);
+    // The fold goes into metrics_ and consumes the buffers, so harvest()
+    // stays idempotent and incremental: samples buffered after an earlier
+    // harvest (e.g. late arrivals during the drain grace) fold exactly
+    // once, appended behind the earlier fold in chronological order.
+    for (ClientSamples& samples : client_samples_) {
+      samples.latency.clear();
+      samples.recovery.clear();
+      samples.tag_requests.clear();
+      samples.tag_receives.clear();
+    }
+  }
   Metrics out;
   out.latency = metrics_.latency;
   out.tag_requests = metrics_.tag_requests;
@@ -474,6 +697,7 @@ Metrics Scenario::harvest() {
       ops.sig_batch_unbatched_equiv_s +=
           event::to_seconds(c.sig_batch_unbatched_equiv);
       ops.bf_probes_coalesced += c.bf_probes_coalesced;
+      ops.lane_steals += c.lane_steals;
       ops.adaptive_windows += c.adaptive_windows;
       ops.adaptive_minrtt_probes += c.adaptive_minrtt_probes;
       ops.quarantine_sheds += c.quarantine_sheds;

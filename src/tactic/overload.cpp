@@ -30,6 +30,50 @@ void ValidationQueue::reset() {
   busy_until_ = 0;
 }
 
+void ValidationLanes::configure(std::size_t lanes) {
+  lanes_.assign(std::max<std::size_t>(1, lanes), ValidationQueue{});
+  steals_ = 0;
+}
+
+event::Time ValidationLanes::admit(std::size_t home, event::Time now,
+                                   event::Time service) {
+  std::size_t lane = home;
+  if (lanes_.size() > 1 && lanes_[home].busy_at(now)) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (i != home && !lanes_[i].busy_at(now)) {
+        lane = i;
+        ++steals_;
+        break;
+      }
+    }
+  }
+  return lanes_[lane].admit(now, service);
+}
+
+std::size_t ValidationLanes::depth(event::Time now) {
+  std::size_t total = 0;
+  for (ValidationQueue& lane : lanes_) total += lane.depth(now);
+  return total;
+}
+
+event::Time ValidationLanes::total_wait() const {
+  event::Time total = 0;
+  for (const ValidationQueue& lane : lanes_) total += lane.total_wait();
+  return total;
+}
+
+std::size_t ValidationLanes::peak_depth() const {
+  std::size_t peak = 0;
+  for (const ValidationQueue& lane : lanes_) {
+    peak = std::max(peak, lane.peak_depth());
+  }
+  return peak;
+}
+
+void ValidationLanes::reset() {
+  for (ValidationQueue& lane : lanes_) lane.reset();
+}
+
 bool NegativeTagCache::contains(const std::string& key, event::Time now) {
   const auto it = index_.find(key);
   if (it == index_.end()) return false;

@@ -25,6 +25,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "event/time.hpp"
 
@@ -81,11 +82,67 @@ class ValidationQueue {
   /// Crash recovery: pending work dies with the router.
   void reset();
 
+  /// True when the server is occupied at `now` (a job admitted at `now`
+  /// would wait behind earlier work).
+  bool busy_at(event::Time now) const { return busy_until_ > now; }
+
  private:
   std::deque<event::Time> completions_;  // ascending completion times
   event::Time busy_until_ = 0;
   std::size_t peak_depth_ = 0;
   event::Time total_wait_ = 0;
+};
+
+/// N independent single-server validation lanes modeling a multi-core
+/// router (ROADMAP, "multi-lane routers").  Each job names its *home*
+/// lane — a stable byte-hash of the tag key, computed by the caller;
+/// interned-name IDs are deliberately not used because their values
+/// depend on interning order, which real threads make nondeterministic.
+/// Deterministic work stealing at instant boundaries: when the home lane
+/// is busy at the arrival instant and another lane is idle, the
+/// lowest-indexed idle lane takes the job (and `steals` counts it);
+/// otherwise the job queues FIFO behind its home lane.
+///
+/// With one lane every admit degenerates to `ValidationQueue::admit` on
+/// lane 0 — bit-identical to the pre-lane router.
+class ValidationLanes {
+ public:
+  explicit ValidationLanes(std::size_t lanes = 1) { configure(lanes); }
+
+  /// Resizes to `lanes` (>= 1; 0 is clamped to 1) and clears all state.
+  void configure(std::size_t lanes);
+
+  std::size_t lanes() const { return lanes_.size(); }
+
+  /// Admits one job with service time `service` arriving at `now` with
+  /// home lane `home` (must be < lanes()).  Returns the delay until
+  /// completion, exactly as ValidationQueue::admit.
+  event::Time admit(std::size_t home, event::Time now, event::Time service);
+
+  /// Live backlog summed over all lanes — the admission-control signal
+  /// (watermarks and capacity bound the router, not a single core).
+  std::size_t depth(event::Time now);
+
+  /// Live backlog of one lane.
+  std::size_t lane_depth(std::size_t lane, event::Time now) {
+    return lanes_[lane].depth(now);
+  }
+
+  /// Aggregate waiting time across lanes (simulated).
+  event::Time total_wait() const;
+
+  /// Largest per-lane depth observed after any admit.
+  std::size_t peak_depth() const;
+
+  /// Jobs routed away from a busy home lane to an idle one.
+  std::uint64_t steals() const { return steals_; }
+
+  /// Crash recovery: pending work in every lane dies with the router.
+  void reset();
+
+ private:
+  std::vector<ValidationQueue> lanes_;
+  std::uint64_t steals_ = 0;
 };
 
 /// TTL- and size-bounded set of tag keys that failed verification.

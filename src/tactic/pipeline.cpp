@@ -34,6 +34,7 @@ ValidationEngine::ValidationEngine(TacticConfig config,
       compute_(compute),
       rng_(rng),
       bloom_(config_.bloom),
+      lanes_(config_.validation_lanes),
       neg_cache_(config_.overload.neg_cache_capacity,
                  config_.overload.neg_cache_ttl) {
   if (config_.adaptive.enabled && config_.overload.enabled) {
@@ -72,8 +73,20 @@ void ValidationEngine::observe_face_verdict(ndn::FaceId face, bool good,
   sync_adaptive_counters();
 }
 
+std::size_t ValidationEngine::lane_for(const Tag& tag) const {
+  if (lanes_.lanes() <= 1) return 0;
+  // FNV-1a over the tag key: stable across runs and thread counts
+  // (unlike interned IDs, whose values depend on interning order).
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const std::uint8_t byte : tag.bloom_key()) {
+    hash = (hash ^ byte) * 1099511628211ull;
+  }
+  return static_cast<std::size_t>(hash % lanes_.lanes());
+}
+
 void ValidationEngine::charge(event::Time now, event::Time cost,
-                              event::Time& compute, CostKind kind) {
+                              event::Time& compute, CostKind kind,
+                              std::size_t lane) {
   counters_.compute_charged += cost;
   switch (kind) {
     case CostKind::kBf: counters_.compute_bf += cost; break;
@@ -84,10 +97,12 @@ void ValidationEngine::charge(event::Time now, event::Time cost,
     compute += cost;
     return;
   }
-  // Single crypto server: the op waits behind everything already pending
-  // on this router.  The packet leaves when its last op completes, so
-  // per-packet delay is the max, not the sum, of its ops' delays.
-  const event::Time delay = queue_.admit(now, cost);
+  // Per-lane crypto server: the op waits behind work pending on its lane
+  // (with one lane, behind everything on the router).  The packet leaves
+  // when its last op completes, so per-packet delay is the max, not the
+  // sum, of its ops' delays.
+  const event::Time delay = lanes_.admit(lane, now, cost);
+  counters_.lane_steals = lanes_.steals();
   counters_.validation_wait += delay - cost;
   counters_.validation_wait_hist.add(event::to_seconds(delay - cost));
   if (adaptive_) {
@@ -119,8 +134,9 @@ BloomVouch ValidationEngine::bloom_lookup(const Tag& tag, event::Time now,
                                     compute_.bf_probe_marginal());
   };
 
+  const std::size_t lane = lane_for(tag);
   ++counters_.bf_lookups;
-  charge(now, probe_cost(), compute, CostKind::kBf);
+  charge(now, probe_cost(), compute, CostKind::kBf, lane);
   if (bloom_.contains(tag.bloom_key())) {
     return BloomVouch{true, bloom_.current_fpp()};
   }
@@ -131,7 +147,7 @@ BloomVouch ValidationEngine::bloom_lookup(const Tag& tag, event::Time now,
       // Staged reset drain: the saturated predecessor still vouches (at
       // its own, higher FPP) for the cost of a second lookup.
       ++counters_.bf_lookups;
-      charge(now, probe_cost(), compute, CostKind::kBf);
+      charge(now, probe_cost(), compute, CostKind::kBf, lane);
       if (draining_->contains(tag.bloom_key())) {
         ++counters_.draining_hits;
         return BloomVouch{true, draining_->current_fpp()};
@@ -144,7 +160,8 @@ BloomVouch ValidationEngine::bloom_lookup(const Tag& tag, event::Time now,
 void ValidationEngine::bloom_insert(const Tag& tag, event::Time now,
                                     event::Time& compute) {
   ++counters_.bf_insertions;
-  charge(now, compute_.bf_insert_cost(rng_), compute, CostKind::kBf);
+  charge(now, compute_.bf_insert_cost(rng_), compute, CostKind::kBf,
+         lane_for(tag));
   bloom_.insert(tag.bloom_key());
   // "Each router automatically resets its BF when it is saturated (its
   // FPP reaches the maximum FPP)."
@@ -166,9 +183,10 @@ void ValidationEngine::bloom_insert(const Tag& tag, event::Time now,
 
 bool ValidationEngine::verify_signature(const Tag& tag, event::Time now,
                                         event::Time& compute) {
+  const std::size_t lane = lane_for(tag);
   if (config_.overload.enabled) {
     charge(now, compute_.neg_lookup_cost(rng_), compute,
-           CostKind::kNegCache);
+           CostKind::kNegCache, lane);
     if (neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
       // Known-bad tag: same verdict, none of the signature work.
       ++counters_.neg_cache_hits;
@@ -177,7 +195,7 @@ bool ValidationEngine::verify_signature(const Tag& tag, event::Time now,
   }
   ++counters_.sig_verifications;
   charge(now, compute_.sig_verify_cost(rng_), compute,
-         CostKind::kSignature);
+         CostKind::kSignature, lane);
   const bool ok = verify_tag_signature(tag, anchors_.pki);
   if (!ok) {
     ++counters_.sig_failures;
@@ -194,10 +212,10 @@ ValidationEngine::BatchedVerify ValidationEngine::verify_signature_batched(
   // the validation queue, so the drain trigger sees the server as the
   // item found it.
   const bool queue_idle =
-      config_.overload.enabled && queue_.depth(now) == 0;
+      config_.overload.enabled && lanes_.depth(now) == 0;
   if (config_.overload.enabled) {
     charge(now, compute_.neg_lookup_cost(rng_), compute,
-           CostKind::kNegCache);
+           CostKind::kNegCache, lane_for(tag));
     if (neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
       ++counters_.neg_cache_hits;
       return BatchedVerify{false, nullptr};
@@ -221,6 +239,7 @@ std::shared_ptr<ndn::DeferredVerdict> ValidationEngine::sig_batch_join(
   if (batch.pending.empty()) {
     batch.first_cost = item_cost;
     batch.unbatched_cost = 0;
+    batch.lane = lane_for(tag);
     // Deadline flush.  max_hold == 0 degenerates to "end of the current
     // instant" (scheduler FIFO runs the flush after all work already
     // queued for now), which is what coalesces the verifications one
@@ -274,7 +293,7 @@ void ValidationEngine::sig_batch_flush(const std::string& provider,
   counters_.sig_batch_unbatched_equiv += batch.unbatched_cost;
 
   event::Time done = 0;
-  charge(scheduler_->now(), cost, done, CostKind::kSignature);
+  charge(scheduler_->now(), cost, done, CostKind::kSignature, batch.lane);
   for (const auto& handle : batch.pending) handle->fire(done);
 }
 
@@ -296,7 +315,8 @@ std::size_t ValidationEngine::sig_batch_depth(const Tag& tag) const {
 
 bool ValidationEngine::neg_cache_rejects(const Tag& tag, event::Time now,
                                          event::Time& compute) {
-  charge(now, compute_.neg_lookup_cost(rng_), compute, CostKind::kNegCache);
+  charge(now, compute_.neg_lookup_cost(rng_), compute, CostKind::kNegCache,
+         lane_for(tag));
   if (!neg_cache_.contains(util::to_hex(tag.bloom_key()), now)) {
     return false;
   }
@@ -328,7 +348,7 @@ void ValidationEngine::wipe_volatile() {
   counters_.requests_since_reset = 0;
   // The overload layer's state is just as volatile: pending validation
   // work dies with the router, and verdict/policing memory is lost.
-  queue_.reset();
+  lanes_.reset();
   neg_cache_.clear();
   buckets_.clear();
   draining_.reset();

@@ -155,6 +155,14 @@ struct TacticConfig {
   /// by default; a disabled layer leaves the router bit-identical to the
   /// instantaneous-charging model.  See docs/OVERLOAD.md.
   OverloadConfig overload;
+  /// Parallel validation lanes (modeled crypto cores) per router.  1 =
+  /// the single-server queue, bit-identical to every pre-lane run; >1
+  /// shards validation jobs across lanes by a stable tag-key hash with
+  /// deterministic idle-lane stealing (docs/ARCHITECTURE.md,
+  /// "Concurrency model").  Only meaningful while `overload.enabled` is
+  /// set — without the overload layer, charging is instantaneous and
+  /// there is no queue to shard.
+  std::size_t validation_lanes = 1;
   /// Batched validation (amortized batch-RSA + multi-probe BF).  Disabled
   /// by default; see docs/ARCHITECTURE.md, "Batched stages".
   BatchConfig batch;
@@ -242,6 +250,9 @@ struct TacticCounters {
   /// Same-instant Bloom lookups coalesced into a multi-probe (charged at
   /// the marginal probe cost instead of a full lookup).
   std::uint64_t bf_probes_coalesced = 0;
+  /// Validation jobs stolen from a busy home lane by an idle one (zero
+  /// with a single lane).  Never fingerprinted.
+  std::uint64_t lane_steals = 0;
   // --- Adaptive overload control (all zero while it is disabled) ---
   /// Gradient-controller sample windows closed and minRTT re-measurement
   /// probe windows completed.
@@ -299,7 +310,7 @@ class ValidationEngine {
   const TacticCounters& counters() const { return counters_; }
   bloom::BloomFilter& bloom() { return bloom_; }
   const bloom::BloomFilter& bloom() const { return bloom_; }
-  const ValidationQueue& validation_queue() const { return queue_; }
+  const ValidationLanes& validation_lanes() const { return lanes_; }
   const NegativeTagCache& neg_cache() const { return neg_cache_; }
   ComputeModel& compute_model() { return compute_; }
   util::Rng& rng() { return rng_; }
@@ -312,11 +323,23 @@ class ValidationEngine {
   }
 
   /// Charges one operation: instantaneous without the overload layer,
-  /// through the validation queue with it (the op waits behind every
-  /// pending job on this router's single crypto server).  `kind` files
-  /// the cost under the per-stage breakdown.
+  /// through the validation lanes with it (the op waits behind pending
+  /// jobs on its lane's crypto server).  `kind` files the cost under the
+  /// per-stage breakdown; `lane` is the job's home lane (lane_for(tag);
+  /// the three-argument form charges lane 0, which with the default
+  /// single lane is the pre-lane behavior exactly).
   void charge(event::Time now, event::Time cost, event::Time& compute,
-              CostKind kind);
+              CostKind kind) {
+    charge(now, cost, compute, kind, 0);
+  }
+  void charge(event::Time now, event::Time cost, event::Time& compute,
+              CostKind kind, std::size_t lane);
+
+  /// Home lane for `tag`'s validation work: a stable byte-hash (FNV-1a)
+  /// of the tag key modulo the lane count.  Interned-name IDs are
+  /// deliberately not used — their values depend on interning order,
+  /// which real threads make nondeterministic across runs.
+  std::size_t lane_for(const Tag& tag) const;
   /// BF membership test with charging & counting.  With a staged reset
   /// in its drain window, a miss in the active filter also consults the
   /// draining one (a second, charged lookup).
@@ -377,8 +400,9 @@ class ValidationEngine {
   std::size_t sig_batch_depth(const Tag& tag) const;
   /// Records a failed-verification verdict for `tag`.
   void remember_invalid(const Tag& tag, event::Time now);
-  /// Pending validation jobs at `now`.
-  std::size_t queue_depth(event::Time now) { return queue_.depth(now); }
+  /// Pending validation jobs at `now`, summed over every lane — the
+  /// admission-control signal (watermarks bound the router, not one core).
+  std::size_t queue_depth(event::Time now) { return lanes_.depth(now); }
 
   // --- adaptive overload control (docs/OVERLOAD.md, "Adaptive control
   // & face quarantine"; inert unless overload AND adaptive are enabled) ---
@@ -432,7 +456,7 @@ class ValidationEngine {
   TraitorTracer* tracer_ = nullptr;
   // Overload-resilience state (inert while config_.overload.enabled is
   // false; all volatile, wiped by wipe_volatile).
-  ValidationQueue queue_;
+  ValidationLanes lanes_;
   NegativeTagCache neg_cache_;
   std::unordered_map<ndn::FaceId, TokenBucket> buckets_;
   /// Staged reset: the saturated filter kept readable until
@@ -451,6 +475,8 @@ class ValidationEngine {
     event::Time first_cost = 0;
     /// Sum of all recorded per-item draws (amortization accounting).
     event::Time unbatched_cost = 0;
+    /// Home lane of the first joined item; the flush charges there.
+    std::size_t lane = 0;
     event::EventId deadline;
   };
   void sig_batch_flush(const std::string& provider, FlushReason reason);

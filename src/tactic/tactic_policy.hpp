@@ -40,8 +40,8 @@ class TacticRouterPolicy : public ndn::AccessControlPolicy {
   const TacticCounters& counters() const { return engine_.counters(); }
   const bloom::BloomFilter& bloom() const { return engine_.bloom(); }
   std::uint64_t bf_resets() const { return engine_.bloom().reset_count(); }
-  const ValidationQueue& validation_queue() const {
-    return engine_.validation_queue();
+  const ValidationLanes& validation_lanes() const {
+    return engine_.validation_lanes();
   }
   const NegativeTagCache& neg_cache() const { return engine_.neg_cache(); }
   /// Whether a staged-reset drain window is open at `now`.

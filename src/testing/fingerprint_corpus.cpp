@@ -37,7 +37,13 @@ constexpr const char* kUsage =
     "                 metrics digests (order-insensitive per-user verdict\n"
     "                 counts; pinned by tests/golden/verdicts.txt)\n"
     "  --no-pool      disable packet-pool slab recycling (fresh heap\n"
-    "                 allocation per packet); digests must not change\n";
+    "                 allocation per packet); digests must not change\n"
+    "  --threads N    run every scenario on N event-loop threads\n"
+    "                 (default 1); digests must not change at any N\n"
+    "  --lanes N      validation lanes per router (default: leave the\n"
+    "                 generated config's value).  Lanes change behaviour,\n"
+    "                 so goldens only pin lanes as generated; cross-thread\n"
+    "                 comparisons hold at any fixed lane count\n";
 
 struct Mode {
   const char* name;
@@ -69,6 +75,8 @@ int main(int argc, char** argv) {
     if (flags.get_bool("no-pool", false)) {
       ndn::PacketPool::set_pooling_enabled(false);
     }
+    const std::int64_t threads = flags.get_int("threads", 1);
+    const std::int64_t lanes = flags.get_int("lanes", 0);
     if (seeds < 0 || !(duration_s > 0.0)) {
       std::fputs(kUsage, stderr);
       return 2;
@@ -82,8 +90,11 @@ int main(int argc, char** argv) {
       generator.with_overload = mode.overload;
       for (std::int64_t i = 0; i < seeds; ++i) {
         const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
-        const sim::ScenarioConfig config =
-            testing::random_config(seed, generator);
+        sim::ScenarioConfig config = testing::random_config(seed, generator);
+        if (threads > 1) config.threads = static_cast<std::size_t>(threads);
+        if (lanes > 0) {
+          config.tactic.validation_lanes = static_cast<std::size_t>(lanes);
+        }
         sim::Scenario scenario(config);
         scenario.run();
         const std::string digest =

@@ -47,57 +47,82 @@ void InvariantChecker::arm() {
 }
 
 void InvariantChecker::schedule_sample() {
-  scenario_.scheduler().schedule(options_.sample_interval, [this] {
+  // schedule_global: a plain event on the sequential engine; under the
+  // parallel engine a driver-thread event with every worker parked, so
+  // the sampler may touch any partition's tables.
+  scenario_.schedule_global(options_.sample_interval, [this] {
     sample();
     const event::Time horizon =
         scenario_.config().duration + options_.drain_grace;
-    if (scenario_.scheduler().now() < horizon) schedule_sample();
+    if (scenario_.now() < horizon) schedule_sample();
   });
 }
 
 void InvariantChecker::on_packet(const ndn::Forwarder& node,
                                  const ndn::PacketVariant& packet,
                                  ndn::FaceId face, bool is_rx) {
-  ++packets_observed_;
+  // The node's own scheduler is the time authority: under the parallel
+  // engine each partition's clock advances independently within an epoch
+  // and the scenario-level scheduler stands still.
+  const event::Time now = node.scheduler().now();
 
-  // Fold the event into the trace hash chain.
+  // Hash the event, then fold it into the multiset accumulator: a
+  // lane-wise wrapping sum of per-event digests, so the fold commutes and
+  // partition interleavings cannot change the result.
   util::Bytes record;
   record.reserve(25);
   append_u64(record, node.info().id);
   append_u64(record, static_cast<std::uint64_t>(face));
   record.push_back(is_rx ? 1 : 0);
-  append_u64(record,
-             static_cast<std::uint64_t>(scenario_.scheduler().now()));
+  append_u64(record, static_cast<std::uint64_t>(now));
   // Reusable wire scratch: the checker encodes every packet event, so a
   // fresh buffer per event would dominate the run's allocations.
   static thread_local util::Bytes wire_scratch;
   wire::encode_into(wire_scratch, packet);
   crypto::Sha256 hash;
-  hash.update(chain_);
   hash.update(record);
   hash.update(wire_scratch);
-  chain_ = hash.finish();
+  const util::Bytes digest = hash.finish();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++packets_observed_;
+    for (std::size_t lane = 0; lane < chain_.size(); lane += 8) {
+      std::uint64_t sum = 0;
+      std::uint64_t add = 0;
+      for (std::size_t b = 0; b < 8; ++b) {
+        sum |= static_cast<std::uint64_t>(chain_[lane + b]) << (8 * b);
+        add |= static_cast<std::uint64_t>(digest[lane + b]) << (8 * b);
+      }
+      sum += add;  // wrapping; per-lane commutative fold
+      for (std::size_t b = 0; b < 8; ++b) {
+        chain_[lane + b] = static_cast<std::uint8_t>(sum >> (8 * b));
+      }
+    }
+  }
 
   if (!is_rx) {
     if (const auto* data = std::get_if<ndn::DataPtr>(&packet)) {
-      check_delivery(node, **data);
+      check_delivery(node, **data, now);
     }
   }
 }
 
 void InvariantChecker::check_delivery(const ndn::Forwarder& node,
-                                      const ndn::Data& data) {
+                                      const ndn::Data& data,
+                                      event::Time now) {
   if (scenario_.config().policy != sim::PolicyKind::kTactic) return;
   if (!net::is_router(node.info().kind)) return;
   if (data.is_registration_response || data.nack_attached) return;
   if (data.access_level == ndn::kPublicAccessLevel) return;
-  ++deliveries_checked_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++deliveries_checked_;
+  }
 
-  const event::Time now = scenario_.scheduler().now();
   const std::string& label = node.info().label;
   if (!data.tag) {
-    add_violation(label, "protected Data sent without tag or NACK: " +
-                             data.name.to_uri());
+    add_violation(now, label, "protected Data sent without tag or NACK: " +
+                                  data.name.to_uri());
     return;
   }
   const core::Tag& tag = *data.tag;
@@ -123,30 +148,33 @@ void InvariantChecker::check_delivery(const ndn::Forwarder& node,
   }
   if (tag.expiry() + slack < now) {
     structurally_invalid = true;
-    add_violation(label, "expired tag honoured for " + data.name.to_uri() +
-                             " (expiry " + format_seconds(tag.expiry()) +
-                             ", now " + format_seconds(now) + ")");
+    add_violation(now, label,
+                  "expired tag honoured for " + data.name.to_uri() +
+                      " (expiry " + format_seconds(tag.expiry()) + ", now " +
+                      format_seconds(now) + ")");
   }
   if (data.access_level > tag.access_level()) {
     structurally_invalid = true;
-    add_violation(label,
+    add_violation(now, label,
                   "insufficient access level honoured for " +
                       data.name.to_uri());
   }
   if (!data.provider_key_locator.empty() &&
       data.provider_key_locator != tag.provider_key_locator()) {
     structurally_invalid = true;
-    add_violation(label, "wrong-provider tag honoured for " +
-                             data.name.to_uri());
+    add_violation(now, label, "wrong-provider tag honoured for " +
+                                  data.name.to_uri());
   }
   if (!structurally_invalid && !signature_valid(tag)) {
     // Possibly a designed Bloom false positive — budgeted at finalize().
+    std::lock_guard<std::mutex> lock(mutex_);
     ++fp_leaks_;
   }
 }
 
 bool InvariantChecker::signature_valid(const core::Tag& tag) {
   const std::string key = util::to_hex(tag.bloom_key());
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = signature_cache_.find(key);
   if (it != signature_cache_.end()) return it->second;
   const bool valid = core::verify_tag_signature(tag, scenario_.anchors().pki);
@@ -155,7 +183,7 @@ bool InvariantChecker::signature_valid(const core::Tag& tag) {
 }
 
 void InvariantChecker::sample() {
-  const event::Time now = scenario_.scheduler().now();
+  const event::Time now = scenario_.now();
   auto& network = scenario_.network();
   for (std::size_t i = 0; i < network.node_count(); ++i) {
     const net::NodeId id = static_cast<net::NodeId>(i);
@@ -167,7 +195,7 @@ void InvariantChecker::sample() {
       node.pit().for_each([&](const ndn::PitEntry& entry) {
         if (entry.expiry_time < now) {
           add_violation(
-              node.info().label,
+              now, node.info().label,
               "PIT entry outlived its expiry: " + entry.name.to_uri() +
                   " (expiry " + format_seconds(entry.expiry_time) +
                   ", now " + format_seconds(now) + ")");
@@ -176,11 +204,11 @@ void InvariantChecker::sample() {
     }
     if (node.cs().capacity() > 0 &&
         node.cs().size() > node.cs().capacity()) {
-      add_violation(node.info().label, "CS exceeded its capacity");
+      add_violation(now, node.info().label, "CS exceeded its capacity");
     }
     if (node.pit_capacity() > 0 &&
         node.pit().size() > node.pit_capacity()) {
-      add_violation(node.info().label,
+      add_violation(now, node.info().label,
                     "PIT exceeded its configured capacity");
     }
     if (const auto* tactic =
@@ -189,7 +217,7 @@ void InvariantChecker::sample() {
                         tactic->config().bloom.max_fpp;
       int& streak = fpp_streak_[id];
       if (over && ++streak > 1) {
-        add_violation(node.info().label,
+        add_violation(now, node.info().label,
                       "BF estimated FPP above the reset threshold for more "
                       "than one sampling interval");
       }
@@ -199,6 +227,7 @@ void InvariantChecker::sample() {
 }
 
 void InvariantChecker::check_pits(const char* context) {
+  const event::Time now = scenario_.now();
   auto& network = scenario_.network();
   for (std::size_t i = 0; i < network.node_count(); ++i) {
     auto& node = network.node(static_cast<net::NodeId>(i));
@@ -206,7 +235,7 @@ void InvariantChecker::check_pits(const char* context) {
       char what[96];
       std::snprintf(what, sizeof(what), "PIT holds %zu entries %s",
                     node.pit().size(), context);
-      add_violation(node.info().label, what);
+      add_violation(now, node.info().label, what);
     }
   }
 }
@@ -224,19 +253,19 @@ void InvariantChecker::finalize() {
                                  metrics.clients.nacks +
                                  metrics.clients.timeouts;
   if (resolved > metrics.clients.requested) {
-    add_violation("-", "client accounting: received+nacks+timeouts "
+    add_violation(scenario_.now(), "-", "client accounting: received+nacks+timeouts "
                        "exceeds requests");
   }
   if (config.topology.clients > 0 &&
       config.duration >= 5 * event::kSecond) {
     if (metrics.clients.requested == 0) {
-      add_violation("-", "liveness: clients issued no requests");
+      add_violation(scenario_.now(), "-", "liveness: clients issued no requests");
     } else if (metrics.clients.received == 0 &&
                !config.faults.severe(config.duration)) {
       // A severe fault plan (sustained heavy loss or outages covering a
       // large share of the run) may legitimately starve delivery, so
       // only this liveness check is budgeted — never the security ones.
-      add_violation("-", "liveness: no client received any content");
+      add_violation(scenario_.now(), "-", "liveness: no client received any content");
     }
   }
   if (!config.faults.any()) {
@@ -244,7 +273,7 @@ void InvariantChecker::finalize() {
     if (metrics.link_frames_lost != 0 || metrics.link_frames_corrupted != 0 ||
         metrics.node_crashes != 0 || metrics.node_restarts != 0 ||
         metrics.corrupt_frames_rejected != 0) {
-      add_violation("-", "fault accounting: fault-model counters nonzero "
+      add_violation(scenario_.now(), "-", "fault accounting: fault-model counters nonzero "
                          "without a fault plan");
     }
   }
@@ -257,12 +286,12 @@ void InvariantChecker::finalize() {
           ops->policer_sheds != 0 || ops->staged_resets != 0 ||
           ops->draining_hits != 0 || ops->validation_wait_s != 0.0 ||
           !ops->validation_wait_hist.empty()) {
-        add_violation("-", "overload accounting: overload-layer counters "
+        add_violation(scenario_.now(), "-", "overload accounting: overload-layer counters "
                            "nonzero while the layer is disabled");
       }
     }
     if (metrics.clients.overload_nacks != 0) {
-      add_violation("-", "overload accounting: clients saw "
+      add_violation(scenario_.now(), "-", "overload accounting: clients saw "
                          "kRouterOverloaded NACKs while the layer is "
                          "disabled");
     }
@@ -276,7 +305,7 @@ void InvariantChecker::finalize() {
           ops->quarantine_sheds != 0 || ops->quarantine_ejections != 0 ||
           ops->quarantine_probes != 0 || ops->quarantine_readmissions != 0 ||
           ops->adaptive_gradient != 0.0 || ops->adaptive_limit != 0) {
-        add_violation("-", "adaptive accounting: adaptive-layer counters "
+        add_violation(scenario_.now(), "-", "adaptive accounting: adaptive-layer counters "
                            "nonzero while the layer is disabled");
       }
     }
@@ -290,7 +319,7 @@ void InvariantChecker::finalize() {
       if (ops->skew_soft_accepts != 0 || ops->skew_false_rejects != 0 ||
           ops->skew_false_accepts != 0 || ops->grace_accepts != 0 ||
           ops->grace_engagements != 0) {
-        add_violation("-", "lifecycle accounting: skew/grace counters "
+        add_violation(scenario_.now(), "-", "lifecycle accounting: skew/grace counters "
                            "nonzero while skewed clocks, the tolerance "
                            "window, and grace mode are all disabled");
       }
@@ -298,7 +327,7 @@ void InvariantChecker::finalize() {
   }
   if (!config.client.proactive_renewal &&
       metrics.clients.proactive_renewals != 0) {
-    add_violation("-", "lifecycle accounting: proactive renewals counted "
+    add_violation(scenario_.now(), "-", "lifecycle accounting: proactive renewals counted "
                        "while proactive renewal is disabled");
   }
   if (config.faults.clock_skew.any() && config.tactic.skew.enabled) {
@@ -313,13 +342,13 @@ void InvariantChecker::finalize() {
     if (worst_skew <= config.tactic.skew.tolerance &&
         (metrics.edge_ops.skew_false_rejects != 0 ||
          metrics.core_ops.skew_false_rejects != 0)) {
-      add_violation("-", "skew tolerance: live tags rejected although the "
+      add_violation(scenario_.now(), "-", "skew tolerance: live tags rejected although the "
                          "worst-case clock skew fits inside the tolerance "
                          "window");
     }
   }
   if (config.router_pit_capacity == 0 && metrics.pit_evictions != 0) {
-    add_violation("-", "PIT accounting: evictions counted with an "
+    add_violation(scenario_.now(), "-", "PIT accounting: evictions counted with an "
                        "unbounded PIT");
   }
 
@@ -333,7 +362,7 @@ void InvariantChecker::finalize() {
                       static_cast<unsigned long long>(fp_leaks_),
                       static_cast<unsigned long long>(
                           options_.fp_leak_budget));
-        add_violation("-", what);
+        add_violation(scenario_.now(), "-", what);
       }
       if (metrics.attackers.received > fp_leaks_) {
         char what[128];
@@ -343,14 +372,14 @@ void InvariantChecker::finalize() {
                       static_cast<unsigned long long>(
                           metrics.attackers.received),
                       static_cast<unsigned long long>(fp_leaks_));
-        add_violation("-", what);
+        add_violation(scenario_.now(), "-", what);
       }
       break;
     }
     case sim::PolicyKind::kPerRequestAuth:
     case sim::PolicyKind::kProbBf:
       if (metrics.attackers.received != 0) {
-        add_violation("-", std::string("attackers received content under ") +
+        add_violation(scenario_.now(), "-", std::string("attackers received content under ") +
                                sim::to_string(config.policy));
       }
       break;
@@ -360,12 +389,13 @@ void InvariantChecker::finalize() {
   }
 }
 
-void InvariantChecker::add_violation(const std::string& node,
+void InvariantChecker::add_violation(event::Time when,
+                                     const std::string& node,
                                      std::string what) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++violation_count_;
   if (violations_.size() < options_.max_recorded) {
-    violations_.push_back(
-        Violation{scenario_.scheduler().now(), node, std::move(what)});
+    violations_.push_back(Violation{when, node, std::move(what)});
   }
 }
 

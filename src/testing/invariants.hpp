@@ -29,11 +29,22 @@
 //
 // The checker consumes no randomness and sends no packets, so attaching
 // it does not perturb the run — a property the harness itself verifies
-// through its bit-reproducibility comparison.  The packet stream is
-// hash-chained (SHA-256 over node/face/direction/time/wire bytes) into
-// `trace_digest()`, the trace half of that comparison.
+// through its bit-reproducibility comparison.  Every packet event is
+// hashed (SHA-256 over node/face/direction/time/wire bytes) and folded
+// into `trace_digest()` as an order-insensitive multiset accumulator
+// (lane-wise wrapping sum of the per-event digests).  Order-insensitivity
+// is what lets the digest compare across engines: the parallel scheduler
+// observes the same packet events in a different interleaving, and the
+// digest must not care.  Digests are only ever compared run-to-run within
+// one build — never pinned as goldens.
+//
+// Thread safety: on_packet may run concurrently from partition worker
+// threads (parallel engine); the fold, the counters, and the signature
+// cache are guarded by one mutex.  sample()/finalize() run exclusively
+// (global events park every worker; finalize runs after the loop).
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -93,7 +104,9 @@ class InvariantChecker {
   std::uint64_t violation_count() const { return violation_count_; }
   const std::vector<Violation>& violations() const { return violations_; }
 
-  /// Hex SHA-256 chain over every packet event observed.
+  /// Hex multiset accumulator (lane-wise sum of per-event SHA-256) over
+  /// every packet event observed.  Interleaving-independent by
+  /// construction; compared run-to-run, never golden-pinned.
   std::string trace_digest() const;
 
   std::uint64_t packets_observed() const { return packets_observed_; }
@@ -107,11 +120,13 @@ class InvariantChecker {
   void on_packet(const ndn::Forwarder& node,
                  const ndn::PacketVariant& packet, ndn::FaceId face,
                  bool is_rx);
-  void check_delivery(const ndn::Forwarder& node, const ndn::Data& data);
+  void check_delivery(const ndn::Forwarder& node, const ndn::Data& data,
+                      event::Time now);
   void sample();
   void schedule_sample();
   void check_pits(const char* context);
-  void add_violation(const std::string& node, std::string what);
+  void add_violation(event::Time when, const std::string& node,
+                     std::string what);
   bool signature_valid(const core::Tag& tag);
 
   sim::Scenario& scenario_;
@@ -119,7 +134,10 @@ class InvariantChecker {
   bool armed_ = false;
   bool finalized_ = false;
 
-  util::Bytes chain_;  // rolling SHA-256 state of the packet stream
+  /// Guards the digest fold, counters, caches, and violation list against
+  /// concurrent on_packet calls from partition workers.
+  mutable std::mutex mutex_;
+  util::Bytes chain_;  // multiset accumulator over per-event digests
   std::unordered_map<std::string, bool> signature_cache_;
   std::unordered_map<net::NodeId, int> fpp_streak_;
 

@@ -1,0 +1,276 @@
+// Determinism and race gates for the parallel simulation core.
+//
+// The contract (docs/ARCHITECTURE.md, "Concurrency model"): with
+// identical inputs, the parallel engine produces bit-identical metrics
+// fingerprints and packet-trace digests to the sequential engine at any
+// worker thread count.  This suite byte-compares threads {1, 2, 4}
+// across the corpus modes (plain, faults, faults+overload), repeats one
+// parallel configuration five times as a flake detector, pins the
+// validation-lane semantics (deterministic assignment, deterministic
+// steal ordering, crash wipe), and locks the canonical per-client
+// metric-sample merge to the sequential accumulation order byte-exactly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "tactic/overload.hpp"
+#include "testing/fingerprint.hpp"
+#include "testing/generator.hpp"
+#include "testing/invariants.hpp"
+#include "util/timeseries.hpp"
+
+namespace tactic {
+namespace testing_ = ::tactic::testing;
+namespace {
+
+struct RunDigests {
+  std::string metrics;
+  std::string trace;
+  std::uint64_t violations = 0;
+  std::string report;
+};
+
+RunDigests digests_of(const sim::ScenarioConfig& config) {
+  sim::Scenario scenario(config);
+  testing_::InvariantChecker checker(scenario);
+  checker.arm();
+  scenario.run();
+  checker.finalize();
+  RunDigests run;
+  run.metrics = testing_::fingerprint_digest(scenario.harvest());
+  run.trace = checker.trace_digest();
+  run.violations = checker.violation_count();
+  run.report = checker.report();
+  return run;
+}
+
+// Sixteen seeds per mode, shortened runs: this is not the golden corpus
+// (ci/parity.sh pins that at full length) but the same generator axes,
+// compared across engines rather than against files.
+void expect_thread_parity(bool faults, bool overload) {
+  testing_::GeneratorOptions options;
+  options.duration = 3 * event::kSecond;
+  options.with_faults = faults;
+  options.with_overload = overload;
+  for (std::uint64_t seed = 9000; seed < 9016; ++seed) {
+    sim::ScenarioConfig config = testing_::random_config(seed, options);
+    const RunDigests sequential = digests_of(config);
+    EXPECT_EQ(sequential.violations, 0u) << sequential.report;
+    for (const std::size_t threads : {2u, 4u}) {
+      config.threads = threads;
+      const RunDigests parallel = digests_of(config);
+      EXPECT_EQ(sequential.metrics, parallel.metrics)
+          << "metrics fingerprint diverged at seed " << seed << ", "
+          << threads << " threads";
+      EXPECT_EQ(sequential.trace, parallel.trace)
+          << "trace digest diverged at seed " << seed << ", " << threads
+          << " threads";
+      EXPECT_EQ(parallel.violations, 0u) << parallel.report;
+    }
+  }
+}
+
+TEST(ParallelParity, Plain) { expect_thread_parity(false, false); }
+
+TEST(ParallelParity, Faults) { expect_thread_parity(true, false); }
+
+TEST(ParallelParity, FaultsOverload) { expect_thread_parity(true, true); }
+
+// Lanes compose with threads: a 4-lane router must behave identically
+// under either engine (lane behaviour itself differs from 1 lane — that
+// is the point of lanes — so the reference is the sequential 4-lane run).
+TEST(ParallelParity, MultiLane) {
+  testing_::GeneratorOptions options;
+  options.duration = 3 * event::kSecond;
+  options.with_overload = true;
+  for (std::uint64_t seed = 9100; seed < 9104; ++seed) {
+    sim::ScenarioConfig config = testing_::random_config(seed, options);
+    config.tactic.validation_lanes = 4;
+    const RunDigests sequential = digests_of(config);
+    for (const std::size_t threads : {2u, 4u}) {
+      config.threads = threads;
+      const RunDigests parallel = digests_of(config);
+      EXPECT_EQ(sequential.metrics, parallel.metrics) << "seed " << seed;
+      EXPECT_EQ(sequential.trace, parallel.trace) << "seed " << seed;
+    }
+  }
+}
+
+// Flake detector: real races are intermittent, so one agreeing run
+// proves little.  Five repetitions of the same parallel configuration
+// must produce one digest, byte-for-byte.
+TEST(ParallelParity, RepeatedRunsAreByteIdentical) {
+  testing_::GeneratorOptions options;
+  options.duration = 3 * event::kSecond;
+  options.with_faults = true;
+  options.with_overload = true;
+  sim::ScenarioConfig config = testing_::random_config(9042, options);
+  config.threads = 4;
+  const RunDigests first = digests_of(config);
+  for (int repeat = 1; repeat < 5; ++repeat) {
+    const RunDigests again = digests_of(config);
+    EXPECT_EQ(first.metrics, again.metrics) << "repeat " << repeat;
+    EXPECT_EQ(first.trace, again.trace) << "repeat " << repeat;
+  }
+}
+
+TEST(Parallel, TraitorTracingRefused) {
+  testing_::GeneratorOptions options;
+  options.duration = 2 * event::kSecond;
+  sim::ScenarioConfig config = testing_::random_config(1, options);
+  config.threads = 2;
+  config.enable_traitor_tracing = true;
+  config.tactic.enforce_access_path = true;
+  EXPECT_THROW(sim::Scenario{std::move(config)}, std::invalid_argument);
+}
+
+// --- Validation lanes (core::ValidationLanes) ---------------------------
+
+TEST(ValidationLanes, SingleLaneMatchesValidationQueue) {
+  core::ValidationQueue queue;
+  core::ValidationLanes lanes(1);
+  for (event::Time now : {0, 5, 9, 9, 40}) {
+    const event::Time service = 7;
+    EXPECT_EQ(queue.admit(now, service), lanes.admit(0, now, service));
+  }
+  EXPECT_EQ(lanes.steals(), 0u);  // nowhere to steal to
+  EXPECT_EQ(queue.total_wait(), lanes.total_wait());
+  EXPECT_EQ(queue.peak_depth(), lanes.peak_depth());
+}
+
+TEST(ValidationLanes, DeterministicStealToLowestIdleLane) {
+  core::ValidationLanes lanes(3);
+  // First job occupies its home lane 1.
+  EXPECT_EQ(lanes.admit(1, 0, 10), 10);
+  EXPECT_EQ(lanes.steals(), 0u);
+  // Same instant, same busy home lane: the lowest-indexed idle lane (0)
+  // takes it — no waiting, one steal.
+  EXPECT_EQ(lanes.admit(1, 0, 10), 10);
+  EXPECT_EQ(lanes.steals(), 1u);
+  // Next job: lanes 0 and 1 busy, lane 2 idle — steal again.
+  EXPECT_EQ(lanes.admit(1, 0, 10), 10);
+  EXPECT_EQ(lanes.steals(), 2u);
+  // All lanes busy: the job queues FIFO behind its home lane.
+  EXPECT_EQ(lanes.admit(1, 0, 10), 20);
+  EXPECT_EQ(lanes.steals(), 2u);
+  EXPECT_EQ(lanes.depth(0), 4u);
+}
+
+TEST(ValidationLanes, IdleHomeLaneIsNeverStolenFrom) {
+  core::ValidationLanes lanes(4);
+  // An idle home lane takes its own job even when lower-indexed lanes
+  // are also idle — stealing only rescues jobs from a busy home.
+  EXPECT_EQ(lanes.admit(3, 0, 4), 4);
+  EXPECT_EQ(lanes.steals(), 0u);
+  EXPECT_EQ(lanes.lane_depth(3, 0), 1u);
+  EXPECT_EQ(lanes.lane_depth(0, 0), 0u);
+}
+
+TEST(ValidationLanes, ResetWipesEveryLane) {
+  core::ValidationLanes lanes(3);
+  lanes.admit(0, 0, 100);
+  lanes.admit(1, 0, 100);
+  lanes.admit(2, 0, 100);
+  EXPECT_EQ(lanes.depth(0), 3u);
+  lanes.reset();  // crash: pending work dies with the router
+  EXPECT_EQ(lanes.depth(0), 0u);
+  // Post-restart jobs see fresh lanes, not the dead backlog.
+  EXPECT_EQ(lanes.admit(0, 1, 10), 10);
+}
+
+TEST(ValidationLanes, ConfigureResizesAndClears) {
+  core::ValidationLanes lanes(2);
+  lanes.admit(0, 0, 50);
+  lanes.configure(5);
+  EXPECT_EQ(lanes.lanes(), 5u);
+  EXPECT_EQ(lanes.depth(0), 0u);
+  lanes.configure(0);  // clamped
+  EXPECT_EQ(lanes.lanes(), 1u);
+}
+
+// --- Canonical metric-sample merge --------------------------------------
+//
+// The parallel engine buffers metric samples per client and replays them
+// at harvest sorted by (when, client index, per-client position).  The
+// regression below locks the replay to the sequential accumulation order
+// byte-exactly (same floating-point sums, not approximately): the same
+// samples added directly in event order must give bucket sums and counts
+// identical to the buffered replay.
+TEST(MetricMerge, BufferedReplayMatchesDirectAccumulationExactly) {
+  struct Sample {
+    event::Time when;
+    std::size_t client;
+    double value;
+  };
+  // Event-order stream with strictly increasing times, so canonical
+  // order equals event order and direct accumulation is the reference.
+  // (Same-instant cross-client samples are defined to fold in client
+  // order instead — both engines share that merge; see scenario.cpp.)
+  // Values are "nasty" doubles whose sums depend on accumulation order,
+  // which is exactly what must match.
+  std::vector<Sample> stream;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  event::Time when = 0;
+  for (int i = 0; i < 500; ++i) {
+    when += 1 + static_cast<event::Time>(next() % (event::kSecond / 3));
+    const std::size_t client = next() % 7;
+    const double value =
+        static_cast<double>(next() % 1000000007ull) * 1e-7 + 1e-13;
+    stream.push_back(Sample{when, client, value});
+  }
+
+  util::TimeSeries direct;
+  for (const Sample& sample : stream) {
+    direct.add(event::to_seconds(sample.when), sample.value);
+  }
+
+  // Per-client buffers in per-client arrival order, then the canonical
+  // merge: stable-sort by when keeps (client, position) order for equal
+  // times — the exact order scenario.cpp replays.
+  std::vector<std::vector<std::pair<event::Time, double>>> buffers(7);
+  for (const Sample& sample : stream) {
+    buffers[sample.client].emplace_back(sample.when, sample.value);
+  }
+  struct Rec {
+    event::Time when;
+    std::size_t client;
+    std::size_t pos;
+    double value;
+  };
+  std::vector<Rec> merged;
+  for (std::size_t c = 0; c < buffers.size(); ++c) {
+    for (std::size_t i = 0; i < buffers[c].size(); ++i) {
+      merged.push_back(Rec{buffers[c][i].first, c, i, buffers[c][i].second});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Rec& a, const Rec& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.client != b.client) return a.client < b.client;
+    return a.pos < b.pos;
+  });
+  util::TimeSeries replayed;
+  for (const Rec& rec : merged) {
+    replayed.add(event::to_seconds(rec.when), rec.value);
+  }
+
+  ASSERT_EQ(direct.bucket_count(), replayed.bucket_count());
+  for (std::size_t b = 0; b < direct.bucket_count(); ++b) {
+    EXPECT_EQ(direct.count(b), replayed.count(b)) << "bucket " << b;
+    // Bitwise double equality — the merge must reproduce the exact
+    // accumulation order, not a nearby sum.
+    EXPECT_EQ(direct.sum(b), replayed.sum(b)) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace tactic
